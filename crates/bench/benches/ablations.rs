@@ -1,0 +1,55 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * merge narrowing — the literal Fig. 2 union merge vs. the
+//!   single-witness merge (`merge_step_union` vs `merge_step`);
+//! * worklist strategy — rank-bucketed bottom-up vs naive rescan, on both
+//!   merge variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_bench::experiments::setup::{plain, Dataset};
+use gpv_core::matchjoin::{match_join_union_with, match_join_with, JoinStrategy};
+use gpv_core::minimum::minimum;
+
+fn bench(c: &mut Criterion) {
+    let s = plain(Dataset::Densification(1.2), 20_000, (4, 6), 42);
+    let sel = minimum(&s.query, &s.views).expect("contained");
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(20);
+    g.bench_function("narrowed+ranked", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("narrowed+naive", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::NaiveFixpoint)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("union+ranked", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                match_join_union_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("union+naive", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                match_join_union_with(&s.query, &sel.plan, &s.ext, JoinStrategy::NaiveFixpoint)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

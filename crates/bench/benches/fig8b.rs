@@ -1,0 +1,42 @@
+//! Criterion bench for the paper's Fig. 8(b): Match vs MatchJoin
+//! (minimal / minimum view selections) on the Citation emulator.
+//! The full |Qs| sweep is produced by `repro fig8b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_bench::experiments::setup::{plain, Dataset};
+use gpv_core::matchjoin::{match_join_with, JoinStrategy};
+use gpv_core::minimal::minimal;
+use gpv_core::minimum::minimum;
+use gpv_matching::simulation::match_pattern;
+
+fn bench(c: &mut Criterion) {
+    let s = plain(Dataset::Citation, 28_000, (6,12), 42);
+    let sel_mnl = minimal(&s.query, &s.views).expect("contained");
+    let sel_min = minimum(&s.query, &s.views).expect("contained");
+
+    let mut g = c.benchmark_group("fig8b");
+    g.sample_size(20);
+    g.bench_function("Match", |b| {
+        b.iter(|| std::hint::black_box(match_pattern(&s.query, &s.g)))
+    });
+    g.bench_function("MatchJoin_mnl", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                match_join_with(&s.query, &sel_mnl.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("MatchJoin_min", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                match_join_with(&s.query, &sel_min.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 8(d): scalability with |G| on synthetic graphs
+//! (|E| = 2|V|, Q = (4,6)). Two graph sizes bound the paper's sweep; the
+//! full series is produced by `repro fig8d`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_bench::experiments::setup::{plain, Dataset};
+use gpv_core::matchjoin::{match_join_with, JoinStrategy};
+use gpv_core::minimum::minimum;
+use gpv_matching::simulation::match_pattern;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8d");
+    g.sample_size(15);
+    for n in [6_000usize, 20_000] {
+        let s = plain(Dataset::Synthetic, n, (4, 6), 42);
+        let sel = minimum(&s.query, &s.views).expect("contained");
+        g.bench_function(format!("Match/|V|={n}"), |b| {
+            b.iter(|| std::hint::black_box(match_pattern(&s.query, &s.g)))
+        });
+        g.bench_function(format!("MatchJoin_min/|V|={n}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

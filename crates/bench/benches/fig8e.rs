@@ -1,0 +1,28 @@
+//! Criterion bench for Fig. 8(e): MatchJoin_min across query sizes Q1..Q4
+//! ((4,8)..(7,14)) on a fixed synthetic graph. Full sweep: `repro fig8e`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_bench::experiments::setup::{plain, Dataset};
+use gpv_core::matchjoin::{match_join_with, JoinStrategy};
+use gpv_core::minimum::minimum;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8e");
+    g.sample_size(15);
+    for (i, size) in [(4, 8), (5, 10), (6, 12), (7, 14)].into_iter().enumerate() {
+        let s = plain(Dataset::Synthetic, 12_000, size, 42 + i as u64);
+        let sel = minimum(&s.query, &s.views).expect("contained");
+        g.bench_function(format!("MatchJoin_min/Q{}", i + 1), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

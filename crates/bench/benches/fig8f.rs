@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 8(f): the rank-based bottom-up optimization vs
+//! the literal Fig. 2 fixpoint, on a densification-law graph (α = 1.15).
+//! Full α sweep: `repro fig8f`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_bench::experiments::setup::{plain, Dataset};
+use gpv_core::matchjoin::{match_join_with, JoinStrategy};
+use gpv_core::minimum::minimum;
+
+fn bench(c: &mut Criterion) {
+    let s = plain(Dataset::Densification(1.15), 8_000, (4, 6), 42);
+    let sel = minimum(&s.query, &s.views).expect("contained");
+    let mut g = c.benchmark_group("fig8f");
+    g.sample_size(20);
+    g.bench_function("MatchJoin_nopt", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::NaiveFixpoint)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("MatchJoin_min", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 8(g): `contain` on DAG vs cyclic patterns.
+//! Full size sweep: `repro fig8g`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_core::containment::contain;
+use gpv_generator::{covering_views, random_pattern, PatternShape, DEFAULT_ALPHABET};
+
+fn bench(c: &mut Criterion) {
+    let pool: Vec<_> = (0..8)
+        .map(|i| random_pattern(5, 8, &DEFAULT_ALPHABET, PatternShape::Any, 100 + i))
+        .collect();
+    let views = covering_views(&pool, 3, 7);
+    let dag = random_pattern(10, 20, &DEFAULT_ALPHABET, PatternShape::Dag, 1);
+    let cyc = random_pattern(10, 20, &DEFAULT_ALPHABET, PatternShape::Cyclic, 2);
+
+    let mut g = c.benchmark_group("fig8g");
+    g.bench_function("contain/QDAG(10,20)", |b| {
+        b.iter(|| std::hint::black_box(contain(&dag, &views)))
+    });
+    g.bench_function("contain/QCyclic(10,20)", |b| {
+        b.iter(|| std::hint::black_box(contain(&cyc, &views)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

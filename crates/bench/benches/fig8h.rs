@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 8(h): `minimum` vs `minimal` selection cost on
+//! cyclic patterns. The R1/R2 ratio series is produced by `repro fig8h`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_core::minimal::minimal;
+use gpv_core::minimum::minimum;
+use gpv_core::view::ViewSet;
+use gpv_generator::{
+    covering_views, label_pair_views, random_pattern, PatternShape, DEFAULT_ALPHABET,
+};
+
+fn bench(c: &mut Criterion) {
+    let q = random_pattern(10, 20, &DEFAULT_ALPHABET, PatternShape::Cyclic, 3);
+    let qs = [q.clone()];
+    let mut views = label_pair_views(&qs).views().to_vec();
+    views.extend(covering_views(&qs, 3, 9).views().iter().cloned());
+    views.extend(covering_views(&qs, 10, 11).views().iter().cloned());
+    let views = ViewSet::new(views);
+
+    let mut g = c.benchmark_group("fig8h");
+    g.bench_function("minimal(10,20)", |b| {
+        b.iter(|| std::hint::black_box(minimal(&q, &views)))
+    });
+    g.bench_function("minimum(10,20)", |b| {
+        b.iter(|| std::hint::black_box(minimum(&q, &views)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

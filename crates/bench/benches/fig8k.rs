@@ -1,0 +1,42 @@
+//! Criterion bench for the paper's Fig. 8(k): BMatch vs BMatchJoin on the
+//! YouTube emulator (uniform edge bound fe(e) = 3).
+//! The full sweep is produced by `repro fig8k`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_bench::experiments::setup::{bounded, Dataset};
+use gpv_core::bcontainment::{bminimal, bminimum};
+use gpv_core::bmatchjoin::bmatch_join_with;
+use gpv_core::matchjoin::JoinStrategy;
+use gpv_matching::bounded::bmatch_pattern;
+
+fn bench(c: &mut Criterion) {
+    let s = bounded(Dataset::YouTube, 16_000, (4,8), 3, 42);
+    let sel_mnl = bminimal(&s.query, &s.views).expect("contained");
+    let sel_min = bminimum(&s.query, &s.views).expect("contained");
+
+    let mut g = c.benchmark_group("fig8k");
+    g.sample_size(10);
+    g.bench_function("BMatch", |b| {
+        b.iter(|| std::hint::black_box(bmatch_pattern(&s.query, &s.g)))
+    });
+    g.bench_function("BMatchJoin_mnl", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                bmatch_join_with(&s.query, &sel_mnl.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("BMatchJoin_min", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                bmatch_join_with(&s.query, &sel_min.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 8(l): bounded scalability with |G| on synthetic
+//! graphs (Q = (4,6), fe = 3). Full sweep: `repro fig8l`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpv_bench::experiments::setup::{bounded, Dataset};
+use gpv_core::bcontainment::bminimum;
+use gpv_core::bmatchjoin::bmatch_join_with;
+use gpv_core::matchjoin::JoinStrategy;
+use gpv_matching::bounded::bmatch_pattern;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8l");
+    g.sample_size(10);
+    for n in [6_000usize, 20_000] {
+        let s = bounded(Dataset::Synthetic, n, (4, 6), 3, 42);
+        let sel = bminimum(&s.query, &s.views).expect("contained");
+        g.bench_function(format!("BMatch/|V|={n}"), |b| {
+            b.iter(|| std::hint::black_box(bmatch_pattern(&s.query, &s.g)))
+        });
+        g.bench_function(format!("BMatchJoin_min/|V|={n}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    bmatch_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Table rendering and JSON export for experiment results.
+
+use crate::experiments::ExperimentResult;
+use std::fmt::Write as _;
+
+/// Renders an experiment as an aligned text table (paper-style series).
+pub fn render_table(r: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} — {} (values in {}) ==", r.id, r.title, r.unit);
+    if r.rows.is_empty() {
+        out.push_str("(no rows)\n");
+        return out;
+    }
+    // Header.
+    let series: Vec<&str> = r.rows[0]
+        .series
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .collect();
+    let xw = r.rows.iter().map(|row| row.x.len()).max().unwrap_or(1).max(4);
+    let _ = write!(out, "{:<xw$}", "x");
+    for s in &series {
+        let _ = write!(out, "  {s:>18}");
+    }
+    out.push('\n');
+    for row in &r.rows {
+        let _ = write!(out, "{:<xw$}", row.x);
+        for (_, v) in &row.series {
+            let _ = write!(out, "  {v:>18.6}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a whole run as a markdown section for EXPERIMENTS.md.
+pub fn render_markdown(r: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {} — {}\n", r.id, r.title);
+    if r.rows.is_empty() {
+        return out;
+    }
+    let series: Vec<&str> = r.rows[0]
+        .series
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let _ = write!(out, "| x |");
+    for s in &series {
+        let _ = write!(out, " {s} ({}) |", r.unit);
+    }
+    out.push('\n');
+    let _ = write!(out, "|---|");
+    for _ in &series {
+        let _ = write!(out, "---|");
+    }
+    out.push('\n');
+    for row in &r.rows {
+        let _ = write!(out, "| {} |", row.x);
+        for (_, v) in &row.series {
+            let _ = write!(out, " {v:.6} |");
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Serializes results to pretty JSON.
+pub fn to_json(results: &[ExperimentResult]) -> String {
+    serde_json::to_string_pretty(results).expect("serializable results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Row;
+
+    fn sample() -> ExperimentResult {
+        ExperimentResult {
+            id: "figX".into(),
+            title: "test".into(),
+            unit: "s".into(),
+            rows: vec![Row {
+                x: "(4,6)".into(),
+                series: vec![("Match".into(), 1.25), ("MatchJoin".into(), 0.5)],
+            }],
+        }
+    }
+
+    #[test]
+    fn table_contains_values() {
+        let t = render_table(&sample());
+        assert!(t.contains("figX"));
+        assert!(t.contains("1.250000"));
+        assert!(t.contains("MatchJoin"));
+    }
+
+    #[test]
+    fn markdown_is_table() {
+        let m = render_markdown(&sample());
+        assert!(m.contains("| (4,6) |"));
+        assert!(m.contains("| x |"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let j = to_json(&[sample()]);
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v[0]["id"], "figX");
+    }
+}

@@ -1,0 +1,394 @@
+//! Bounded pattern containment: `Bcontain`, `Bminimal`, `Bminimum`
+//! (paper Section VI-B).
+//!
+//! View matches for bounded patterns treat `Qb` as a weighted data graph
+//! (edge weight = `fe(e)`). A view `V` is first simulated into weighted `Qb`
+//! (node-level bounded simulation over weighted distances); the view match
+//! `M^Qb_V` then contains every query edge `e = (u, u')` such that some view
+//! edge `eV = (x, x')` has `u ∈ sim(x)`, `u' ∈ sim(x')` and `fe(e)` within
+//! `eV`'s bound.
+//!
+//! The extra `fe(e) ≤ k` requirement (DESIGN.md §S4) keeps coverage *sound*:
+//! a match `(v, v')` of `e` in `G` only guarantees `dist_G(v, v') ≤ fe(e)`,
+//! so a view edge with a smaller bound — even one admitted by a shorter
+//! alternative path in `Qb` — need not contain it. The criteria coincide
+//! whenever the direct edge is a weighted shortest path, which holds in all
+//! the paper's examples (e.g. Example 9 rejects V7 because
+//! `dist(C, D) = 3 > 2`).
+//!
+//! Complexity: `O(|Qb|²|V|)` for `Bcontain`/`Bminimal` (Theorem 10), up from
+//! quadratic in the unweighted case.
+
+use crate::bview::BoundedViewSet;
+use crate::containment::{ContainmentPlan, ViewEdgeRef};
+use crate::minimal::Selection;
+use gpv_matching::bounded_pattern_sim::simulate_bounded_pattern;
+use gpv_pattern::{BoundedPattern, PatternEdgeId};
+
+/// The bounded view match `M^Qb_V`: covered query edges, with the witnessing
+/// λ entries.
+fn bounded_view_match_entries(
+    view: &BoundedPattern,
+    qb: &BoundedPattern,
+) -> Vec<(PatternEdgeId, PatternEdgeId)> {
+    let Some(cand) = simulate_bounded_pattern(view, qb) else {
+        return Vec::new();
+    };
+    let qp = qb.pattern();
+    let vp = view.pattern();
+    let mut entries = Vec::new();
+    for (vei, &(x, x2)) in vp.edges().iter().enumerate() {
+        let vbound = view.bound(PatternEdgeId(vei as u32));
+        for (qei, &(u, u2)) in qp.edges().iter().enumerate() {
+            let qe = PatternEdgeId(qei as u32);
+            if cand[x.index()][u.index()]
+                && cand[x2.index()][u2.index()]
+                && qb.bound(qe).within(vbound)
+            {
+                entries.push((qe, PatternEdgeId(vei as u32)));
+            }
+        }
+    }
+    entries
+}
+
+/// `M^Qb_V` as a sorted set of covered query edges.
+pub fn bounded_view_match(view: &BoundedPattern, qb: &BoundedPattern) -> Vec<PatternEdgeId> {
+    let mut edges: Vec<PatternEdgeId> = bounded_view_match_entries(view, qb)
+        .into_iter()
+        .map(|(qe, _)| qe)
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Per-view match table shared by the three algorithms.
+struct BTable {
+    covers: Vec<Vec<PatternEdgeId>>,
+    entries: Vec<Vec<(PatternEdgeId, ViewEdgeRef)>>,
+}
+
+impl BTable {
+    fn build(qb: &BoundedPattern, views: &BoundedViewSet) -> Self {
+        let mut covers = Vec::with_capacity(views.card());
+        let mut entries = Vec::with_capacity(views.card());
+        for (vi, vdef) in views.iter() {
+            let es = bounded_view_match_entries(&vdef.pattern, qb);
+            let mut cover: Vec<PatternEdgeId> = es.iter().map(|&(qe, _)| qe).collect();
+            cover.sort_unstable();
+            cover.dedup();
+            covers.push(cover);
+            entries.push(
+                es.into_iter()
+                    .map(|(qe, ve)| (qe, ViewEdgeRef { view: vi, edge: ve }))
+                    .collect(),
+            );
+        }
+        BTable { covers, entries }
+    }
+
+    fn plan_for(&self, qb: &BoundedPattern, selected: &[usize]) -> Option<ContainmentPlan> {
+        let mut lambda: Vec<Vec<ViewEdgeRef>> =
+            vec![Vec::new(); qb.pattern().edge_count()];
+        for &vi in selected {
+            for &(qe, r) in &self.entries[vi] {
+                lambda[qe.index()].push(r);
+            }
+        }
+        if lambda.iter().any(Vec::is_empty) {
+            return None;
+        }
+        let mut used = selected.to_vec();
+        used.sort_unstable();
+        used.dedup();
+        Some(ContainmentPlan {
+            lambda,
+            used_views: used,
+        })
+    }
+}
+
+/// `Bcontain`: decides `Qb ⊑ V` (Proposition 11) and returns λ on success.
+pub fn bcontain(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<ContainmentPlan> {
+    let table = BTable::build(qb, views);
+    let ne = qb.pattern().edge_count();
+    let mut covered = vec![false; ne];
+    for cover in &table.covers {
+        for e in cover {
+            covered[e.index()] = true;
+        }
+    }
+    if covered.iter().all(|&c| c) {
+        table.plan_for(qb, &(0..views.card()).collect::<Vec<_>>())
+    } else {
+        None
+    }
+}
+
+/// `Bminimal`: minimal containing subset (Theorem 10(2)); mirrors `minimal`.
+pub fn bminimal(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Selection> {
+    let table = BTable::build(qb, views);
+    let ne = qb.pattern().edge_count();
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut covered = vec![false; ne];
+    let mut covered_count = 0usize;
+    let mut m: Vec<Vec<usize>> = vec![Vec::new(); ne];
+    for (vi, cover) in table.covers.iter().enumerate() {
+        if !cover.iter().any(|e| !covered[e.index()]) {
+            continue;
+        }
+        selected.push(vi);
+        for e in cover {
+            if !covered[e.index()] {
+                covered[e.index()] = true;
+                covered_count += 1;
+            }
+            m[e.index()].push(vi);
+        }
+        if covered_count == ne {
+            break;
+        }
+    }
+    if covered_count != ne {
+        return None;
+    }
+
+    let mut kept = vec![true; views.card()];
+    for &vj in selected.clone().iter() {
+        let needed = table.covers[vj].iter().any(|e| {
+            m[e.index()].iter().filter(|&&v| kept[v]).count() == 1
+                && m[e.index()].iter().any(|&v| v == vj && kept[v])
+        });
+        if !needed {
+            kept[vj] = false;
+        }
+    }
+    let final_views: Vec<usize> = selected.into_iter().filter(|&v| kept[v]).collect();
+    let plan = table.plan_for(qb, &final_views).expect("still covers");
+    Some(Selection {
+        views: final_views,
+        plan,
+    })
+}
+
+/// `Bminimum`: greedy set-cover approximation of the minimum containing
+/// subset (Theorem 10(3): NP-complete exactly, `O(log |Ep|)`-approximable).
+pub fn bminimum(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Selection> {
+    let table = BTable::build(qb, views);
+    let ne = qb.pattern().edge_count();
+    let mut covered = vec![false; ne];
+    let mut covered_count = 0usize;
+    let mut available: Vec<usize> = (0..views.card()).collect();
+    let mut selected = Vec::new();
+
+    while covered_count < ne {
+        let (best_pos, best_gain) = available
+            .iter()
+            .enumerate()
+            .map(|(pos, &vi)| {
+                (
+                    pos,
+                    table.covers[vi]
+                        .iter()
+                        .filter(|e| !covered[e.index()])
+                        .count(),
+                )
+            })
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?;
+        if best_gain == 0 {
+            return None;
+        }
+        let vi = available.swap_remove(best_pos);
+        selected.push(vi);
+        for e in &table.covers[vi] {
+            if !covered[e.index()] {
+                covered[e.index()] = true;
+                covered_count += 1;
+            }
+        }
+    }
+    selected.sort_unstable();
+    let plan = table.plan_for(qb, &selected).expect("covers");
+    Some(Selection {
+        views: selected,
+        plan,
+    })
+}
+
+/// Bounded query containment `Qb1 ⊑ Qb2` (single-view special case).
+pub fn bounded_query_contained(q1: &BoundedPattern, q2: &BoundedPattern) -> bool {
+    let vs = BoundedViewSet::new(vec![crate::bview::BoundedViewDef::new(
+        "q2",
+        q2.clone(),
+    )]);
+    bcontain(q1, &vs).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bview::BoundedViewDef;
+    use gpv_pattern::{PatternBuilder, PatternNodeId};
+
+    /// A bounded query in the spirit of Fig. 6: A -\[3\]-> B, A -\[3\]-> C,
+    /// B -\[3\]-> D, C -\[3\]-> D, B -\[2\]-> E.
+    fn qb() -> BoundedPattern {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let bb = b.node_labeled("B");
+        let c = b.node_labeled("C");
+        let d = b.node_labeled("D");
+        let e = b.node_labeled("E");
+        b.edge_bounded(a, bb, 3);
+        b.edge_bounded(a, c, 3);
+        b.edge_bounded(bb, d, 3);
+        b.edge_bounded(c, d, 3);
+        b.edge_bounded(bb, e, 2);
+        b.build_bounded().unwrap()
+    }
+
+    fn bview(edges: &[(&str, &str, Option<u32>)]) -> BoundedViewDef {
+        let mut b = PatternBuilder::new();
+        let mut ids = std::collections::HashMap::new();
+        for &(x, y, _) in edges {
+            ids.entry(x.to_string()).or_insert_with(|| b.node_labeled(x));
+            ids.entry(y.to_string()).or_insert_with(|| b.node_labeled(y));
+        }
+        for &(x, y, k) in edges {
+            match k {
+                Some(k) => b.edge_bounded(ids[x], ids[y], k),
+                None => b.edge_unbounded(ids[x], ids[y]),
+            }
+        }
+        BoundedViewDef::new("V", b.build_bounded().unwrap())
+    }
+
+    #[test]
+    fn covers_with_looser_bounds() {
+        // Views with bounds ≥ the query's cover it.
+        let views = BoundedViewSet::new(vec![
+            bview(&[("A", "B", Some(3)), ("A", "C", Some(4))]),
+            bview(&[("B", "D", Some(3)), ("C", "D", Some(5))]),
+            bview(&[("B", "E", Some(2))]),
+        ]);
+        let plan = bcontain(&qb(), &views).expect("contained");
+        assert_eq!(plan.used_views, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tighter_view_bound_does_not_cover() {
+        // (B,E) has fe = 2; a view with bound 1 cannot cover it.
+        let views = BoundedViewSet::new(vec![
+            bview(&[("A", "B", Some(3)), ("A", "C", Some(3))]),
+            bview(&[("B", "D", Some(3)), ("C", "D", Some(3))]),
+            bview(&[("B", "E", Some(1))]),
+        ]);
+        assert!(bcontain(&qb(), &views).is_none());
+    }
+
+    #[test]
+    fn example_9_style_distance_rejection() {
+        // View V7-style: C -[2]-> D, but the query's C-D edge has weight 3:
+        // M^Qb_V excludes (C,D).
+        let v = bview(&[("C", "D", Some(2))]);
+        let m = bounded_view_match(&v.pattern, &qb());
+        assert!(m.is_empty(), "distance from C to D in Qb is 3 > 2");
+        // With bound 3 it covers.
+        let v = bview(&[("C", "D", Some(3))]);
+        let m = bounded_view_match(&v.pattern, &qb());
+        let cd = qb()
+            .pattern()
+            .edge_id(PatternNodeId(2), PatternNodeId(3))
+            .unwrap();
+        assert_eq!(m, vec![cd]);
+    }
+
+    #[test]
+    fn star_view_edges_cover_everything_reachable() {
+        let views = BoundedViewSet::new(vec![
+            bview(&[("A", "B", None), ("A", "C", None)]),
+            bview(&[("B", "D", None), ("C", "D", None), ("B", "E", None)]),
+        ]);
+        assert!(bcontain(&qb(), &views).is_some());
+    }
+
+    #[test]
+    fn bminimal_removes_redundant() {
+        let views = BoundedViewSet::new(vec![
+            bview(&[("C", "D", Some(3))]), // redundant with the big view
+            bview(&[("A", "B", Some(3)), ("A", "C", Some(3))]),
+            bview(&[("B", "D", Some(3)), ("C", "D", Some(3))]),
+            bview(&[("B", "E", Some(2))]),
+        ]);
+        let sel = bminimal(&qb(), &views).expect("contained");
+        assert_eq!(sel.views, vec![1, 2, 3], "V1 is redundant");
+    }
+
+    #[test]
+    fn bminimum_prefers_big_covers() {
+        let views = BoundedViewSet::new(vec![
+            bview(&[("A", "B", Some(3))]),
+            bview(&[("A", "C", Some(3))]),
+            bview(&[("B", "D", Some(3))]),
+            bview(&[("C", "D", Some(3))]),
+            bview(&[("B", "E", Some(2))]),
+            // One view covering four edges.
+            bview(&[
+                ("A", "B", Some(3)),
+                ("A", "C", Some(3)),
+                ("B", "D", Some(3)),
+                ("C", "D", Some(3)),
+            ]),
+        ]);
+        let min = bminimum(&qb(), &views).expect("contained");
+        assert_eq!(min.views, vec![4, 5], "big view + (B,E)");
+        let mnl = bminimal(&qb(), &views).expect("contained");
+        assert!(min.views.len() <= mnl.views.len());
+    }
+
+    #[test]
+    fn plain_case_reduces_to_unbounded_containment() {
+        use crate::containment::contain;
+        use crate::view::{ViewDef, ViewSet};
+        // With all bounds = 1, bcontain must agree with contain.
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let bb = b.node_labeled("B");
+        let c = b.node_labeled("C");
+        b.edge(a, bb);
+        b.edge(bb, c);
+        let q = b.build().unwrap();
+
+        let mk = |edges: &[(&str, &str)]| {
+            let mut b = PatternBuilder::new();
+            let mut ids = std::collections::HashMap::new();
+            for &(x, y) in edges {
+                ids.entry(x.to_string()).or_insert_with(|| b.node_labeled(x));
+                ids.entry(y.to_string()).or_insert_with(|| b.node_labeled(y));
+            }
+            for &(x, y) in edges {
+                b.edge(ids[x], ids[y]);
+            }
+            b.build().unwrap()
+        };
+        let v_ab = mk(&[("A", "B")]);
+        let v_bc = mk(&[("B", "C")]);
+
+        let plain = ViewSet::new(vec![
+            ViewDef::new("V1", v_ab.clone()),
+            ViewDef::new("V2", v_bc.clone()),
+        ]);
+        let bounded = BoundedViewSet::new(vec![
+            BoundedViewDef::new("V1", BoundedPattern::from_pattern(v_ab)),
+            BoundedViewDef::new("V2", BoundedPattern::from_pattern(v_bc)),
+        ]);
+        let qbd = BoundedPattern::from_pattern(q.clone());
+        assert_eq!(
+            contain(&q, &plain).is_some(),
+            bcontain(&qbd, &bounded).is_some()
+        );
+        assert!(bounded_query_contained(&qbd, &qbd));
+    }
+}

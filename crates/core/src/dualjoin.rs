@@ -1,0 +1,404 @@
+//! Answering **dual-simulation** pattern queries using views (the paper's
+//! §VIII extension: "our techniques can be readily extended to revisions of
+//! simulation such as dual and strong simulation \[28\], retaining the same
+//! complexity").
+//!
+//! Everything mirrors the plain pipeline with backward edge-preservation
+//! added at each level:
+//!
+//! * view matches come from [`simulate_pattern_dual`] — a view covers a
+//!   query edge only when it dual-simulates into the query;
+//! * extensions are materialized with `dual_match_pattern`;
+//! * `dual_match_join` runs the fixpoint with *two* support counters per
+//!   edge (forward witnesses for the source, backward witnesses for the
+//!   target).
+//!
+//! Dual simulations compose exactly like plain ones, so the single-witness
+//! merge narrowing and the Theorem-1-style equivalence
+//! `DualMatchJoin(V(G)) == DualMatch(G)` both carry over (property-tested
+//! in `tests/`).
+
+use crate::containment::{ContainmentPlan, ViewEdgeRef};
+use crate::matchjoin::JoinError;
+use crate::view::{ViewExtensions, ViewSet};
+use gpv_graph::{BitSet, NodeId};
+use gpv_matching::dual::dual_match_pattern;
+use gpv_matching::pattern_sim::simulate_pattern_dual;
+use gpv_matching::result::MatchResult;
+use gpv_pattern::{Pattern, PatternEdgeId};
+use std::collections::HashMap;
+
+/// `Dcontain`: decides whether `Qs` is contained in `V` under dual
+/// simulation, returning the witnessing λ.
+pub fn dual_contain(q: &Pattern, views: &ViewSet) -> Option<ContainmentPlan> {
+    let ne = q.edge_count();
+    let mut lambda: Vec<Vec<ViewEdgeRef>> = vec![Vec::new(); ne];
+    let mut covered = vec![false; ne];
+    for (vi, vdef) in views.iter() {
+        let Some(sim) = simulate_pattern_dual(&vdef.pattern, q) else {
+            continue;
+        };
+        for (vei, qedges) in sim.edge_matches.iter().enumerate() {
+            for &qe in qedges {
+                covered[qe.index()] = true;
+                lambda[qe.index()].push(ViewEdgeRef {
+                    view: vi,
+                    edge: PatternEdgeId(vei as u32),
+                });
+            }
+        }
+    }
+    if covered.iter().all(|&c| c) {
+        let mut used: Vec<usize> = lambda
+            .iter()
+            .flat_map(|v| v.iter().map(|r| r.view))
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        Some(ContainmentPlan {
+            lambda,
+            used_views: used,
+        })
+    } else {
+        None
+    }
+}
+
+/// Materializes views with the dual-simulation engine.
+pub fn dual_materialize(views: &ViewSet, g: &gpv_graph::DataGraph) -> ViewExtensions {
+    ViewExtensions {
+        extensions: views
+            .views()
+            .iter()
+            .map(|v| dual_match_pattern(&v.pattern, g))
+            .collect(),
+    }
+}
+
+/// `DualMatchJoin`: computes the dual-simulation result of `q` from dual
+/// view extensions, without accessing `G`.
+pub fn dual_match_join(
+    q: &Pattern,
+    plan: &ContainmentPlan,
+    ext: &ViewExtensions,
+) -> Result<MatchResult, JoinError> {
+    if q.edge_count() == 0 {
+        return Err(JoinError::NoEdges);
+    }
+    if plan.lambda.len() != q.edge_count() {
+        return Err(JoinError::PlanMismatch);
+    }
+    // Single-witness merge (dual simulations compose).
+    let mut merged: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(q.edge_count());
+    for entries in &plan.lambda {
+        for r in entries {
+            if r.view >= ext.extensions.len() {
+                return Err(JoinError::ViewOutOfRange(r.view));
+            }
+        }
+        let best = entries
+            .iter()
+            .min_by_key(|r| ext.edge_set(r.view, r.edge).len())
+            .ok_or(JoinError::PlanMismatch)?;
+        merged.push(ext.edge_set(best.view, best.edge).to_vec());
+    }
+    Ok(dual_fixpoint(q, merged))
+}
+
+/// Two-directional support-counter fixpoint over merged candidate sets.
+fn dual_fixpoint(q: &Pattern, merged: Vec<Vec<(NodeId, NodeId)>>) -> MatchResult {
+    let np = q.node_count();
+    let ne = q.edge_count();
+
+    // Compact node ids.
+    let mut index: HashMap<NodeId, u32> = HashMap::new();
+    for set in &merged {
+        for &(s, t) in set {
+            let next = index.len() as u32;
+            index.entry(s).or_insert(next);
+            let next = index.len() as u32;
+            index.entry(t).or_insert(next);
+        }
+    }
+    let m = index.len();
+    let mut rev_index = vec![NodeId(0); m];
+    for (&node, &i) in &index {
+        rev_index[i as usize] = node;
+    }
+
+    let mut pairs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(ne);
+    let mut srcs_of: Vec<BitSet> = Vec::with_capacity(ne);
+    let mut tgts_of: Vec<BitSet> = Vec::with_capacity(ne);
+    for set in &merged {
+        let mut ps = Vec::with_capacity(set.len());
+        let mut sb = BitSet::new(m);
+        let mut tb = BitSet::new(m);
+        for &(s, t) in set {
+            let (cs, ct) = (index[&s], index[&t]);
+            ps.push((cs, ct));
+            sb.insert(cs as usize);
+            tb.insert(ct as usize);
+        }
+        pairs.push(ps);
+        srcs_of.push(sb);
+        tgts_of.push(tb);
+    }
+
+    // Dual candidates: sources of every out-edge AND targets of every
+    // in-edge.
+    let mut cand: Vec<BitSet> = Vec::with_capacity(np);
+    for u in q.nodes() {
+        let mut set: Option<BitSet> = None;
+        for &(_, e) in q.out_edges(u) {
+            match &mut set {
+                None => set = Some(srcs_of[e.index()].clone()),
+                Some(s) => s.intersect_with(&srcs_of[e.index()]),
+            }
+        }
+        for &(_, e) in q.in_edges(u) {
+            match &mut set {
+                None => set = Some(tgts_of[e.index()].clone()),
+                Some(s) => s.intersect_with(&tgts_of[e.index()]),
+            }
+        }
+        let set = set.unwrap_or_else(|| BitSet::new(m));
+        if set.is_empty() {
+            return MatchResult::empty();
+        }
+        cand.push(set);
+    }
+
+    // Per-edge CSR both ways.
+    let build_csr = |ps: &[(u32, u32)], by_src: bool| -> (Vec<u32>, Vec<u32>) {
+        let mut off = vec![0u32; m + 1];
+        for &(s, t) in ps {
+            let k = if by_src { s } else { t };
+            off[k as usize + 1] += 1;
+        }
+        for i in 0..m {
+            off[i + 1] += off[i];
+        }
+        let mut cur = off.clone();
+        let mut data = vec![0u32; ps.len()];
+        for &(s, t) in ps {
+            let (k, v) = if by_src { (s, t) } else { (t, s) };
+            data[cur[k as usize] as usize] = v;
+            cur[k as usize] += 1;
+        }
+        (off, data)
+    };
+    let fwd: Vec<(Vec<u32>, Vec<u32>)> = pairs.iter().map(|ps| build_csr(ps, true)).collect();
+    let rev: Vec<(Vec<u32>, Vec<u32>)> = pairs.iter().map(|ps| build_csr(ps, false)).collect();
+
+    // Forward support (source side) and backward support (target side).
+    let mut sup_f: Vec<Vec<u32>> = vec![vec![0; m]; ne];
+    let mut sup_b: Vec<Vec<u32>> = vec![vec![0; m]; ne];
+    let mut worklist: Vec<(u32, u32)> = Vec::new(); // (pattern node, compact node)
+    let mut scheduled: Vec<BitSet> = vec![BitSet::new(m); np];
+
+    for u in q.nodes() {
+        for &(t, e) in q.out_edges(u) {
+            let (fo, ft) = &fwd[e.index()];
+            let ct = &cand[t.index()];
+            for v in cand[u.index()].iter() {
+                let (a, b) = (fo[v] as usize, fo[v + 1] as usize);
+                let cnt = ft[a..b].iter().filter(|&&t2| ct.contains(t2 as usize)).count() as u32;
+                sup_f[e.index()][v] = cnt;
+                if cnt == 0 && scheduled[u.index()].insert(v) {
+                    worklist.push((u.0, v as u32));
+                }
+            }
+        }
+        for &(s, e) in q.in_edges(u) {
+            let (ro, rs) = &rev[e.index()];
+            let cs = &cand[s.index()];
+            for v in cand[u.index()].iter() {
+                let (a, b) = (ro[v] as usize, ro[v + 1] as usize);
+                let cnt = rs[a..b].iter().filter(|&&s2| cs.contains(s2 as usize)).count() as u32;
+                sup_b[e.index()][v] = cnt;
+                if cnt == 0 && scheduled[u.index()].insert(v) {
+                    worklist.push((u.0, v as u32));
+                }
+            }
+        }
+    }
+
+    let mut head = 0;
+    while head < worklist.len() {
+        let (u, v) = worklist[head];
+        head += 1;
+        let u = gpv_pattern::PatternNodeId(u);
+        if !cand[u.index()].remove(v as usize) {
+            continue;
+        }
+        if cand[u.index()].is_empty() {
+            return MatchResult::empty();
+        }
+        // Forward propagation to predecessors.
+        for &(u0, e0) in q.in_edges(u) {
+            let (ro, rs) = &rev[e0.index()];
+            let (a, b) = (ro[v as usize] as usize, ro[v as usize + 1] as usize);
+            for &w in &rs[a..b] {
+                if cand[u0.index()].contains(w as usize)
+                    && !scheduled[u0.index()].contains(w as usize)
+                {
+                    let s = &mut sup_f[e0.index()][w as usize];
+                    *s = s.saturating_sub(1);
+                    if *s == 0 {
+                        scheduled[u0.index()].insert(w as usize);
+                        worklist.push((u0.0, w));
+                    }
+                }
+            }
+        }
+        // Backward propagation to successors.
+        for &(t2, e2) in q.out_edges(u) {
+            let (fo, ft) = &fwd[e2.index()];
+            let (a, b) = (fo[v as usize] as usize, fo[v as usize + 1] as usize);
+            for &w in &ft[a..b] {
+                if cand[t2.index()].contains(w as usize)
+                    && !scheduled[t2.index()].contains(w as usize)
+                {
+                    let s = &mut sup_b[e2.index()][w as usize];
+                    *s = s.saturating_sub(1);
+                    if *s == 0 {
+                        scheduled[t2.index()].insert(w as usize);
+                        worklist.push((t2.0, w));
+                    }
+                }
+            }
+        }
+    }
+
+    // Final sets.
+    let mut out = Vec::with_capacity(ne);
+    let mut node_sets: Vec<std::collections::HashSet<NodeId>> =
+        vec![std::collections::HashSet::new(); np];
+    for (ei, ps) in pairs.into_iter().enumerate() {
+        let (u, t) = q.edge(PatternEdgeId(ei as u32));
+        let filtered: Vec<(NodeId, NodeId)> = ps
+            .into_iter()
+            .filter(|&(s, w)| {
+                cand[u.index()].contains(s as usize) && cand[t.index()].contains(w as usize)
+            })
+            .map(|(s, w)| {
+                let (a, b) = (rev_index[s as usize], rev_index[w as usize]);
+                node_sets[u.index()].insert(a);
+                node_sets[t.index()].insert(b);
+                (a, b)
+            })
+            .collect();
+        if filtered.is_empty() {
+            return MatchResult::empty();
+        }
+        out.push(filtered);
+    }
+    if node_sets.iter().any(std::collections::HashSet::is_empty) {
+        return MatchResult::empty();
+    }
+    MatchResult::new(
+        q,
+        node_sets
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect(),
+        out,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ViewDef;
+    use gpv_graph::GraphBuilder;
+    use gpv_pattern::PatternBuilder;
+
+    /// G where dual prunes more than plain: A1 -> B1 (B1 lacks a C pred),
+    /// A2 -> B2, C1 -> B2.
+    fn setup() -> (gpv_graph::DataGraph, Pattern, ViewSet) {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node(["A"]);
+        let b1 = b.add_node(["B"]);
+        let a2 = b.add_node(["A"]);
+        let b2 = b.add_node(["B"]);
+        let c1 = b.add_node(["C"]);
+        b.add_edge(a1, b1);
+        b.add_edge(a2, b2);
+        b.add_edge(c1, b2);
+        let g = b.build();
+
+        let mut pb = PatternBuilder::new();
+        let ua = pb.node_labeled("A");
+        let ub = pb.node_labeled("B");
+        let uc = pb.node_labeled("C");
+        pb.edge(ua, ub);
+        pb.edge(uc, ub);
+        let q = pb.build().unwrap();
+
+        // Views: the exact two edges.
+        let mut v1 = PatternBuilder::new();
+        let x = v1.node_labeled("A");
+        let y = v1.node_labeled("B");
+        v1.edge(x, y);
+        let mut v2 = PatternBuilder::new();
+        let x = v2.node_labeled("C");
+        let y = v2.node_labeled("B");
+        v2.edge(x, y);
+        let views = ViewSet::new(vec![
+            ViewDef::new("VA", v1.build().unwrap()),
+            ViewDef::new("VC", v2.build().unwrap()),
+        ]);
+        (g, q, views)
+    }
+
+    #[test]
+    fn dual_join_equals_dual_match() {
+        let (g, q, views) = setup();
+        let plan = dual_contain(&q, &views).expect("contained under dual sim");
+        let ext = dual_materialize(&views, &g);
+        let joined = dual_match_join(&q, &plan, &ext).unwrap();
+        let direct = dual_match_pattern(&q, &g);
+        assert_eq!(joined, direct);
+        assert!(!direct.is_empty());
+        // B1 must be gone from the (A,B) matches: only (A2,B2) remains.
+        assert_eq!(direct.edge_matches[0], vec![(NodeId(2), NodeId(3))]);
+    }
+
+    #[test]
+    fn dual_contain_stricter_than_plain() {
+        use crate::containment::contain;
+        // View with an in-edge requirement that the query lacks.
+        let mut vb = PatternBuilder::new();
+        let a = vb.node_labeled("A");
+        let bb = vb.node_labeled("B");
+        let c = vb.node_labeled("C");
+        vb.edge(a, bb);
+        vb.edge(c, bb);
+        let v = vb.build().unwrap();
+
+        let mut qb = PatternBuilder::new();
+        let a = qb.node_labeled("A");
+        let bb = qb.node_labeled("B");
+        qb.edge(a, bb);
+        let q = qb.build().unwrap();
+
+        let views = ViewSet::new(vec![ViewDef::new("V", v)]);
+        assert!(contain(&q, &views).is_none(), "plain also fails (C unmatched)");
+        assert!(dual_contain(&q, &views).is_none());
+    }
+
+    #[test]
+    fn empty_when_views_empty() {
+        let (_, q, views) = setup();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["X"]);
+        let y = b.add_node(["Y"]);
+        b.add_edge(x, y);
+        let g = b.build();
+        let plan = dual_contain(&q, &views).unwrap();
+        let ext = dual_materialize(&views, &g);
+        let r = dual_match_join(&q, &plan, &ext).unwrap();
+        assert!(r.is_empty());
+        assert!(dual_match_pattern(&q, &g).is_empty());
+    }
+}

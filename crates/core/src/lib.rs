@@ -1,0 +1,57 @@
+//! # gpv-core — answering graph pattern queries using views
+//!
+//! The primary contribution of *Answering Graph Pattern Queries Using Views*
+//! (Fan, Wang, Wu — ICDE 2014):
+//!
+//! * [`view`] — view definitions `V`, view sets, materialized extensions
+//!   `V(G)` (§II-B);
+//! * [`containment`] — pattern containment `Qs ⊑ V`, the `contain`
+//!   algorithm and the mapping `λ` (Theorem 1, Prop. 7, Theorem 3), plus
+//!   classical query containment (Cor. 4);
+//! * [`mod@minimal`] — the quadratic `minimal` algorithm (Fig. 5, Theorem 5);
+//! * [`mod@minimum`] — the greedy `O(log |Ep|)`-approximate `minimum` algorithm
+//!   for the NP-complete MMCP (Theorem 6);
+//! * [`matchjoin`] — `MatchJoin` (Fig. 2) with the naive fixpoint and the
+//!   rank-based bottom-up optimization (Lemma 2);
+//! * [`bview`] / [`bcontainment`] / [`bmatchjoin`] — the bounded-pattern
+//!   counterparts `Bcontain` / `Bminimal` / `Bminimum` / `BMatchJoin` with
+//!   the distance index `I(V)` (§VI);
+//! * [`maintenance`] — incremental maintenance of materialized views
+//!   (extension following the paper's pointer to \[15\]).
+//!
+//! ## The contract (Theorem 1 / Theorem 8)
+//!
+//! `Qs` can be answered using `V` **iff** `Qs ⊑ V`; when it is,
+//! `match_join(q, contain(q, v).unwrap(), materialize(v, g))` equals
+//! `match_pattern(q, g)` for *every* graph `g`, at cost
+//! `O(|Qs||V(G)| + |V(G)|²)` — no access to `g`.
+
+pub mod bcontainment;
+pub mod bmatchjoin;
+pub mod bview;
+pub mod containment;
+pub mod dualjoin;
+pub mod maintenance;
+pub mod matchjoin;
+pub mod minimal;
+pub mod minimize;
+pub mod minimum;
+pub mod partial;
+pub mod selection;
+pub mod storage;
+pub mod view;
+
+pub use bcontainment::{bcontain, bminimal, bminimum, bounded_query_contained, bounded_view_match};
+pub use bmatchjoin::{bmatch_join, bmatch_join_with};
+pub use bview::{bmaterialize, BoundedViewDef, BoundedViewExtensions, BoundedViewSet};
+pub use containment::{contain, query_contained, view_match, ContainmentPlan, ViewEdgeRef};
+pub use dualjoin::{dual_contain, dual_match_join, dual_materialize};
+pub use maintenance::IncrementalView;
+pub use matchjoin::{match_join, match_join_with, JoinError, JoinStats, JoinStrategy};
+pub use minimal::{minimal, Selection};
+pub use minimize::{minimize, Minimized};
+pub use minimum::{alpha, minimum};
+pub use partial::{answer_with_partial_views, hybrid_match_join, partial_contain, PartialPlan};
+pub use selection::{select_views_for_workload, WorkloadSelection};
+pub use storage::{BoundedViewCache, CacheError, ViewCache};
+pub use view::{materialize, ViewDef, ViewExtensions, ViewSet};

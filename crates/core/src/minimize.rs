@@ -1,0 +1,270 @@
+//! Pattern-query minimization (extension).
+//!
+//! The paper notes that "the query containment analysis is important in
+//! minimizing and optimizing pattern queries" (Corollary 4). This module
+//! implements the standard simulation-equivalence quotient: pattern nodes
+//! `u ~ v` when each simulates the other inside the pattern; equivalent
+//! nodes are merged and duplicate edges collapse. The quotient is
+//! equivalent to the original query — `q ⊑ q'` and `q' ⊑ q` both hold
+//! ([`minimize`] verifies this with the `contain` machinery and the tests
+//! check match-set equality on random graphs).
+//!
+//! Smaller queries matter here because every algorithm in this crate is
+//! quadratic-or-worse in `|Qs|`.
+
+use crate::containment::query_contained;
+use gpv_matching::pattern_sim::simulate_pattern;
+use gpv_pattern::{Pattern, PatternEdgeId, PatternNodeId};
+
+/// Result of [`minimize`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Minimized {
+    /// The quotient pattern (never larger than the input).
+    pub pattern: Pattern,
+    /// `node_map[u]` = the quotient node representing original node `u`.
+    pub node_map: Vec<PatternNodeId>,
+    /// `edge_map[e]` = the quotient edge carrying original edge `e`.
+    pub edge_map: Vec<PatternEdgeId>,
+}
+
+/// Computes the simulation preorder of a pattern with itself: `le[u][v]`
+/// iff `v` simulates `u` (node conditions by equivalence, like view
+/// matches).
+pub fn self_simulation_preorder(q: &Pattern) -> Vec<Vec<bool>> {
+    // simulate_pattern(q, q) computes the maximum relation S with
+    // (x, u) ∈ S iff u simulates x; it always succeeds (identity works).
+    let sim = simulate_pattern(q, q).expect("a pattern simulates itself");
+    let n = q.node_count();
+    let mut le = vec![vec![false; n]; n];
+    for (x, matches) in sim.node_matches.iter().enumerate() {
+        for u in matches {
+            le[x][u.index()] = true;
+        }
+    }
+    le
+}
+
+/// Merges simulation-equivalent nodes. The result is verified equivalent to
+/// the input (both containment directions); if verification ever failed the
+/// input would be returned unchanged — a safe identity fallback.
+pub fn minimize(q: &Pattern) -> Minimized {
+    let n = q.node_count();
+    let le = self_simulation_preorder(q);
+
+    // Equivalence classes: u ~ v iff le[u][v] && le[v][u]. Assign class
+    // representatives by first occurrence.
+    let mut class_of: Vec<usize> = (0..n).collect();
+    let mut reps: Vec<usize> = Vec::new();
+    for u in 0..n {
+        let mut found = None;
+        for &r in &reps {
+            if le[u][r] && le[r][u] {
+                found = Some(r);
+                break;
+            }
+        }
+        match found {
+            Some(r) => class_of[u] = r,
+            None => {
+                reps.push(u);
+                class_of[u] = u;
+            }
+        }
+    }
+
+    if reps.len() == n {
+        // Nothing merges; identity result.
+        return Minimized {
+            pattern: q.clone(),
+            node_map: q.nodes().collect(),
+            edge_map: (0..q.edge_count() as u32).map(PatternEdgeId).collect(),
+        };
+    }
+
+    // Quotient node ids in representative order.
+    let mut new_id = vec![u32::MAX; n];
+    for (i, &r) in reps.iter().enumerate() {
+        new_id[r] = i as u32;
+    }
+    let preds: Vec<_> = reps
+        .iter()
+        .map(|&r| q.pred(PatternNodeId(r as u32)).clone())
+        .collect();
+    let edges: Vec<(u32, u32)> = q
+        .edges()
+        .iter()
+        .map(|&(u, v)| {
+            (
+                new_id[class_of[u.index()]],
+                new_id[class_of[v.index()]],
+            )
+        })
+        .collect();
+    let quotient = Pattern::from_parts(preds, edges).expect("nonempty quotient");
+
+    // Verify equivalence (Corollary 4 machinery; quadratic in |Qs|).
+    if !(query_contained(q, &quotient) && query_contained(&quotient, q)) {
+        return Minimized {
+            pattern: q.clone(),
+            node_map: q.nodes().collect(),
+            edge_map: (0..q.edge_count() as u32).map(PatternEdgeId).collect(),
+        };
+    }
+
+    let node_map: Vec<PatternNodeId> = (0..n)
+        .map(|u| PatternNodeId(new_id[class_of[u]]))
+        .collect();
+    let edge_map: Vec<PatternEdgeId> = q
+        .edges()
+        .iter()
+        .map(|&(u, v)| {
+            quotient
+                .edge_id(node_map[u.index()], node_map[v.index()])
+                .expect("quotient edge exists by construction")
+        })
+        .collect();
+    Minimized {
+        pattern: quotient,
+        node_map,
+        edge_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_matching::simulation::match_pattern;
+    use gpv_pattern::PatternBuilder;
+
+    #[test]
+    fn identical_branches_merge() {
+        // A -> B, A -> B' with identical B, B': merges to A -> B.
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let b1 = b.node_labeled("B");
+        let b2 = b.node_labeled("B");
+        b.edge(a, b1);
+        b.edge(a, b2);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.pattern.node_count(), 2);
+        assert_eq!(m.pattern.edge_count(), 1);
+        assert_eq!(m.node_map[b1.index()], m.node_map[b2.index()]);
+        assert_eq!(m.edge_map[0], m.edge_map[1]);
+    }
+
+    #[test]
+    fn fig1c_cycle_halves() {
+        // The paper's Fig. 1(c): DBA1 ~ DBA2 and PRG1 ~ PRG2 (the cycle is
+        // symmetric), so the 5-node query minimizes to 3 nodes.
+        let mut b = PatternBuilder::new();
+        let pm = b.node_labeled("PM");
+        let dba1 = b.node_labeled("DBA");
+        let prg1 = b.node_labeled("PRG");
+        let dba2 = b.node_labeled("DBA");
+        let prg2 = b.node_labeled("PRG");
+        b.edge(pm, dba1);
+        b.edge(pm, prg2);
+        b.edge(dba1, prg1);
+        b.edge(prg1, dba2);
+        b.edge(dba2, prg2);
+        b.edge(prg2, dba1);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.pattern.node_count(), 3, "PM + merged DBA + merged PRG");
+        assert_eq!(m.node_map[1], m.node_map[3]);
+        assert_eq!(m.node_map[2], m.node_map[4]);
+    }
+
+    #[test]
+    fn asymmetric_nodes_do_not_merge() {
+        // B1 has an extra C successor: not equivalent to B2.
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let b1 = b.node_labeled("B");
+        let b2 = b.node_labeled("B");
+        let c = b.node_labeled("C");
+        b.edge(a, b1);
+        b.edge(a, b2);
+        b.edge(b1, c);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.pattern.node_count(), 4, "nothing merges");
+        assert_eq!(m.pattern, q);
+    }
+
+    #[test]
+    fn two_cycle_collapses_to_self_loop() {
+        let mut b = PatternBuilder::new();
+        let a1 = b.node_labeled("A");
+        let a2 = b.node_labeled("A");
+        b.edge(a1, a2);
+        b.edge(a2, a1);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.pattern.node_count(), 1);
+        assert!(m.pattern.has_self_loop(PatternNodeId(0)));
+    }
+
+    #[test]
+    fn quotient_matches_same_graph() {
+        // Randomized cross-crate coverage lives in tests/minimize.rs; here a
+        // concrete case: the symmetric team query over Fig. 1(a)'s shape.
+        use gpv_graph::GraphBuilder;
+        let mut gb = GraphBuilder::new();
+        let pm = gb.add_node(["PM"]);
+        let d1 = gb.add_node(["DBA"]);
+        let d2 = gb.add_node(["DBA"]);
+        let p1 = gb.add_node(["PRG"]);
+        gb.add_edge(pm, d1);
+        gb.add_edge(pm, p1);
+        gb.add_edge(d1, p1);
+        gb.add_edge(p1, d2);
+        gb.add_edge(d2, p1);
+        gb.add_edge(p1, d1);
+        let g = gb.build();
+
+        let mut b = PatternBuilder::new();
+        let upm = b.node_labeled("PM");
+        let ud1 = b.node_labeled("DBA");
+        let up1 = b.node_labeled("PRG");
+        let ud2 = b.node_labeled("DBA");
+        let up2 = b.node_labeled("PRG");
+        b.edge(upm, ud1);
+        b.edge(upm, up2);
+        b.edge(ud1, up1);
+        b.edge(up1, ud2);
+        b.edge(ud2, up2);
+        b.edge(up2, ud1);
+        let q = b.build().unwrap();
+
+        let m = minimize(&q);
+        assert!(m.pattern.node_count() < q.node_count());
+        let r1 = match_pattern(&q, &g);
+        let r2 = match_pattern(&m.pattern, &g);
+        assert_eq!(r1.is_empty(), r2.is_empty());
+        if !r1.is_empty() {
+            for (ei, set) in r1.edge_matches.iter().enumerate() {
+                let qe = m.edge_map[ei];
+                assert_eq!(set, &r2.edge_matches[qe.index()], "edge {ei}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimized_is_equivalent_query() {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let b1 = b.node_labeled("B");
+        let b2 = b.node_labeled("B");
+        b.edge(a, b1);
+        b.edge(a, b2);
+        b.edge(b1, b2);
+        b.edge(b2, b1);
+        let q = b.build().unwrap();
+        let m = minimize(&q);
+        assert!(query_contained(&q, &m.pattern));
+        assert!(query_contained(&m.pattern, &q));
+        assert!(m.pattern.size() <= q.size());
+    }
+}

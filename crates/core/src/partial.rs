@@ -1,0 +1,260 @@
+//! Partial containment and hybrid evaluation (extension).
+//!
+//! The paper's future-work list asks for "efficient algorithms for computing
+//! maximally contained rewriting using views, when a pattern query is not
+//! contained in available views". This module provides the evaluation-side
+//! counterpart: when `Qs ⋢ V`, [`partial_contain`] still extracts the
+//! *maximal coverage* — the covered query edges with their λ entries — and
+//! [`hybrid_match_join`] answers the query by initializing covered edges
+//! from the cached extensions and only the uncovered edges from `G`.
+//!
+//! The access to `G` is surgical: for an uncovered edge `(u, u')` only the
+//! candidate pairs satisfying the two node conditions are scanned — exactly
+//! the per-edge work `Match` would do, but limited to the uncovered part.
+//! When every edge is covered this degenerates to `MatchJoin` (no `G`
+//! access); when nothing is covered it degenerates to `Match`.
+
+use crate::containment::{ContainmentPlan, ViewEdgeRef};
+use crate::matchjoin::{match_join_with, JoinError, JoinStats, JoinStrategy};
+use crate::view::{ViewExtensions, ViewSet};
+use gpv_graph::{DataGraph, NodeId};
+use gpv_matching::pattern_sim::simulate_pattern;
+use gpv_matching::result::MatchResult;
+use gpv_pattern::{Pattern, PatternEdgeId};
+
+/// Maximal-coverage result: which query edges the views can supply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialPlan {
+    /// λ entries per query edge (empty = uncovered).
+    pub lambda: Vec<Vec<ViewEdgeRef>>,
+    /// Query edges with no covering view edge.
+    pub uncovered: Vec<PatternEdgeId>,
+}
+
+impl PartialPlan {
+    /// Whether the coverage is total (equivalent to `contain` succeeding).
+    pub fn is_total(&self) -> bool {
+        self.uncovered.is_empty()
+    }
+
+    /// Converts to a full [`ContainmentPlan`] when total.
+    pub fn into_plan(self) -> Option<ContainmentPlan> {
+        if !self.is_total() {
+            return None;
+        }
+        let mut used: Vec<usize> = self
+            .lambda
+            .iter()
+            .flat_map(|v| v.iter().map(|r| r.view))
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        Some(ContainmentPlan {
+            lambda: self.lambda,
+            used_views: used,
+        })
+    }
+}
+
+/// Computes the maximal coverage of `q` by `views` (never fails — an empty
+/// view set yields all edges uncovered).
+pub fn partial_contain(q: &Pattern, views: &ViewSet) -> PartialPlan {
+    let ne = q.edge_count();
+    let mut lambda: Vec<Vec<ViewEdgeRef>> = vec![Vec::new(); ne];
+    for (vi, vdef) in views.iter() {
+        let Some(sim) = simulate_pattern(&vdef.pattern, q) else {
+            continue;
+        };
+        for (vei, qedges) in sim.edge_matches.iter().enumerate() {
+            for &qe in qedges {
+                lambda[qe.index()].push(ViewEdgeRef {
+                    view: vi,
+                    edge: PatternEdgeId(vei as u32),
+                });
+            }
+        }
+    }
+    let uncovered = (0..ne)
+        .filter(|&e| lambda[e].is_empty())
+        .map(|e| PatternEdgeId(e as u32))
+        .collect();
+    PartialPlan { lambda, uncovered }
+}
+
+/// Answers `q` using views for the covered edges and a surgical scan of `g`
+/// for the uncovered ones. Equivalent to `Match(q, g)` on every graph (the
+/// property tests assert it), with `G` access proportional to the uncovered
+/// part only.
+pub fn hybrid_match_join(
+    q: &Pattern,
+    partial: &PartialPlan,
+    ext: &ViewExtensions,
+    g: &DataGraph,
+) -> Result<(MatchResult, JoinStats), JoinError> {
+    if q.edge_count() == 0 {
+        return Err(JoinError::NoEdges);
+    }
+    if partial.lambda.len() != q.edge_count() {
+        return Err(JoinError::PlanMismatch);
+    }
+    // Build a full λ by adding a sentinel for uncovered edges, then merge:
+    // covered edges read their (smallest) extension, uncovered edges scan g.
+    let mut merged: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(q.edge_count());
+    for (ei, entries) in partial.lambda.iter().enumerate() {
+        if entries.is_empty() {
+            let (u, t) = q.edge(PatternEdgeId(ei as u32));
+            let pu = q.pred(u).resolve(g);
+            let pt = q.pred(t).resolve(g);
+            let mut set = Vec::new();
+            for v in g.nodes() {
+                if !pu.satisfied_by(g, v) {
+                    continue;
+                }
+                for &w in g.out_neighbors(v) {
+                    if pt.satisfied_by(g, w) {
+                        set.push((v, w));
+                    }
+                }
+            }
+            merged.push(set);
+        } else {
+            for r in entries {
+                if r.view >= ext.extensions.len() {
+                    return Err(JoinError::ViewOutOfRange(r.view));
+                }
+            }
+            let best = entries
+                .iter()
+                .min_by_key(|r| ext.edge_set(r.view, r.edge).len())
+                .expect("nonempty entries");
+            merged.push(ext.edge_set(best.view, best.edge).to_vec());
+        }
+    }
+    // Same refinement as MatchJoin from here on: build a plan-shaped call by
+    // reusing the internal fixpoint through a fabricated total plan.
+    // (`match_join_with` only needs the merged sets; we inline via the
+    // public union API by constructing a single-view extension.)
+    crate::matchjoin::run_fixpoint_public(q, merged)
+}
+
+/// Convenience: full pipeline — maximal coverage, then hybrid evaluation.
+pub fn answer_with_partial_views(
+    q: &Pattern,
+    views: &ViewSet,
+    ext: &ViewExtensions,
+    g: &DataGraph,
+) -> Result<MatchResult, JoinError> {
+    let partial = partial_contain(q, views);
+    if partial.is_total() {
+        let plan = partial.clone().into_plan().expect("total");
+        return match_join_with(q, &plan, ext, JoinStrategy::RankedBottomUp).map(|(r, _)| r);
+    }
+    hybrid_match_join(q, &partial, ext, g).map(|(r, _)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{materialize, ViewDef};
+    use gpv_graph::GraphBuilder;
+    use gpv_matching::simulation::match_pattern;
+    use gpv_pattern::PatternBuilder;
+
+    fn single(x: &str, y: &str) -> Pattern {
+        let mut b = PatternBuilder::new();
+        let u = b.node_labeled(x);
+        let v = b.node_labeled(y);
+        b.edge(u, v);
+        b.build().unwrap()
+    }
+
+    fn chain3() -> Pattern {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let bb = b.node_labeled("B");
+        let c = b.node_labeled("C");
+        b.edge(a, bb);
+        b.edge(bb, c);
+        b.build().unwrap()
+    }
+
+    fn graph() -> gpv_graph::DataGraph {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node(["A"]);
+        let b1 = b.add_node(["B"]);
+        let c1 = b.add_node(["C"]);
+        let a2 = b.add_node(["A"]);
+        let b2 = b.add_node(["B"]);
+        b.add_edge(a1, b1);
+        b.add_edge(b1, c1);
+        b.add_edge(a2, b2); // b2 has no C successor
+        b.build()
+    }
+
+    #[test]
+    fn coverage_reported() {
+        let q = chain3();
+        // Only the (A,B) view is cached.
+        let views = ViewSet::new(vec![ViewDef::new("vab", single("A", "B"))]);
+        let p = partial_contain(&q, &views);
+        assert!(!p.is_total());
+        assert_eq!(p.uncovered, vec![PatternEdgeId(1)]);
+        assert!(!p.lambda[0].is_empty());
+        assert!(p.into_plan().is_none());
+    }
+
+    #[test]
+    fn hybrid_equals_match() {
+        let q = chain3();
+        let g = graph();
+        let views = ViewSet::new(vec![ViewDef::new("vab", single("A", "B"))]);
+        let ext = materialize(&views, &g);
+        let p = partial_contain(&q, &views);
+        let (r, _) = hybrid_match_join(&q, &p, &ext, &g).unwrap();
+        assert_eq!(r, match_pattern(&q, &g));
+        // And the pruning worked: a2/b2 must be gone.
+        assert_eq!(r.node_set(gpv_pattern::PatternNodeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn total_coverage_degenerates_to_matchjoin() {
+        let q = chain3();
+        let g = graph();
+        let views = ViewSet::new(vec![
+            ViewDef::new("vab", single("A", "B")),
+            ViewDef::new("vbc", single("B", "C")),
+        ]);
+        let ext = materialize(&views, &g);
+        let p = partial_contain(&q, &views);
+        assert!(p.is_total());
+        let r = answer_with_partial_views(&q, &views, &ext, &g).unwrap();
+        assert_eq!(r, match_pattern(&q, &g));
+    }
+
+    #[test]
+    fn no_views_degenerates_to_match() {
+        let q = chain3();
+        let g = graph();
+        let views = ViewSet::default();
+        let ext = materialize(&views, &g);
+        let p = partial_contain(&q, &views);
+        assert_eq!(p.uncovered.len(), 2);
+        let (r, _) = hybrid_match_join(&q, &p, &ext, &g).unwrap();
+        assert_eq!(r, match_pattern(&q, &g));
+    }
+
+    #[test]
+    fn empty_result_flows_through() {
+        let q = chain3();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["X"]);
+        let y = b.add_node(["Y"]);
+        b.add_edge(x, y);
+        let g = b.build();
+        let views = ViewSet::new(vec![ViewDef::new("vab", single("A", "B"))]);
+        let ext = materialize(&views, &g);
+        let p = partial_contain(&q, &views);
+        let (r, _) = hybrid_match_join(&q, &p, &ext, &g).unwrap();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! Emulators for the paper's three real-life datasets (DESIGN.md §S1).
+//!
+//! The original snapshots (Amazon co-purchase 548K/1.78M, Citation 1.4M/3M,
+//! YouTube 1.6M/4.5M) are not redistributable here; these seeded generators
+//! reproduce their *schemas* and coarse structure at a configurable scale:
+//!
+//! * **Amazon** — products labeled by group (`Book`, `Music`, `DVD`, ...),
+//!   `sales-rank` attribute; co-purchase edges with preferential attachment
+//!   ("people who buy x also buy y").
+//! * **Citation** — papers labeled by venue area, `year` attribute; edges
+//!   cite strictly older papers (a DAG), per arnetminer's citation network.
+//! * **YouTube** — videos labeled `video` plus a category label, with the
+//!   Fig. 7 attributes: age (A), length (L), category (C), rate (R),
+//!   visits (V); "related video" edges mix same-category and random links.
+//!
+//! All algorithms under test are label/structure driven, so these preserve
+//! the experiments' relevant behaviour; absolute timings differ from the
+//! paper's testbed either way (§S2).
+
+use gpv_graph::{DataGraph, GraphBuilder, NodeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Product groups for the Amazon emulator.
+pub const AMAZON_GROUPS: [&str; 6] = ["Book", "Music", "DVD", "Video", "Software", "Toy"];
+
+/// Venue areas for the Citation emulator.
+pub const CITATION_AREAS: [&str; 8] = ["DB", "AI", "SE", "OS", "PL", "Arch", "Net", "Theory"];
+
+/// Video categories for the YouTube emulator (per Fig. 7's conditions).
+pub const YOUTUBE_CATEGORIES: [&str; 6] = ["Music", "Sports", "Comedy", "News", "Ent.", "Film"];
+
+/// Amazon-like co-purchase network: `n` products, ~`2n` edges by
+/// preferential attachment within and across groups.
+pub fn amazon(n: usize, seed: u64) -> DataGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    for i in 0..n {
+        let group = AMAZON_GROUPS[rng.gen_range(0..AMAZON_GROUPS.len())];
+        let v = b.add_node([group]);
+        b.set_attr(v, "salesrank", Value::int(rng.gen_range(1..1_000_000)));
+        b.set_attr(v, "id", Value::int(i as i64));
+    }
+    // Preferential attachment flavour: later products point to earlier,
+    // popular ones ("people who buy x also buy y" lists are short).
+    for i in 1..n {
+        let out_deg = rng.gen_range(1..=4usize).min(i);
+        for _ in 0..out_deg {
+            // Bias toward low ids (earlier = more popular): square the unit
+            // sample.
+            let r: f64 = rng.gen::<f64>();
+            let j = ((r * r) * i as f64) as usize;
+            if j != i {
+                b.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+        }
+        // Occasionally reciprocate, as co-purchasing is loosely symmetric.
+        if rng.gen_bool(0.3) {
+            let r: f64 = rng.gen::<f64>();
+            let j = ((r * r) * i as f64) as usize;
+            if j != i {
+                b.add_edge(NodeId(j as u32), NodeId(i as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Citation-like DAG: `n` papers, each citing up to 8 strictly older papers,
+/// preferring its own area.
+pub fn citation(n: usize, seed: u64) -> DataGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    let mut areas = Vec::with_capacity(n);
+    for i in 0..n {
+        let area = CITATION_AREAS[rng.gen_range(0..CITATION_AREAS.len())];
+        areas.push(area);
+        let v = b.add_node([area]);
+        // Publication years increase with id; citations point backwards.
+        b.set_attr(v, "year", Value::int(1990 + (i * 30 / n.max(1)) as i64));
+        b.set_attr(v, "venue", Value::str(format!("{area}-conf")));
+    }
+    for i in 1..n {
+        let cites = rng.gen_range(1..=8usize).min(i);
+        for _ in 0..cites {
+            let mut j = rng.gen_range(0..i);
+            // Prefer same-area citations: resample once if mismatched.
+            if areas[j] != areas[i] && rng.gen_bool(0.6) {
+                j = rng.gen_range(0..i);
+            }
+            b.add_edge(NodeId(i as u32), NodeId(j as u32));
+        }
+    }
+    b.build()
+}
+
+/// YouTube-like recommendation network with Fig. 7's attributes:
+/// age (A, days), length (L, seconds), category (C), rate (R, 1–5),
+/// visits (V).
+pub fn youtube(n: usize, seed: u64) -> DataGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    let mut cats = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cat = YOUTUBE_CATEGORIES[rng.gen_range(0..YOUTUBE_CATEGORIES.len())];
+        cats.push(cat);
+        let v = b.add_node(["video", cat]);
+        b.set_attr(v, "C", Value::str(cat));
+        b.set_attr(v, "A", Value::int(rng.gen_range(1..1500)));
+        b.set_attr(v, "L", Value::int(rng.gen_range(10..3600)));
+        b.set_attr(v, "R", Value::int(rng.gen_range(1..=5)));
+        b.set_attr(
+            v,
+            "V",
+            Value::int((10f64.powf(rng.gen::<f64>() * 6.0)) as i64),
+        );
+    }
+    // "y is in the related list of x": mostly same category.
+    for i in 0..n {
+        let related = rng.gen_range(2..=5usize);
+        for _ in 0..related {
+            let j = if rng.gen_bool(0.7) {
+                // Same-category pick: rejection sample a few times.
+                let mut j = rng.gen_range(0..n);
+                for _ in 0..4 {
+                    if cats[j] == cats[i] && j != i {
+                        break;
+                    }
+                    j = rng.gen_range(0..n);
+                }
+                j
+            } else {
+                rng.gen_range(0..n)
+            };
+            if j != i {
+                b.add_edge(NodeId(i as u32), NodeId(j as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Node-condition pool for Amazon queries/views: product group plus a
+/// sales-rank ceiling (the attributes the paper names for this dataset).
+pub fn amazon_predicate_pool() -> Vec<gpv_pattern::Predicate> {
+    use gpv_pattern::{CmpOp, Predicate};
+    let mut out = Vec::new();
+    for g in AMAZON_GROUPS {
+        for t in [100_000i64, 300_000, 600_000] {
+            out.push(Predicate::label(g).and(Predicate::cmp("salesrank", CmpOp::Le, t)));
+        }
+    }
+    out
+}
+
+/// Node-condition pool for Citation queries/views: venue area plus a year
+/// window.
+pub fn citation_predicate_pool() -> Vec<gpv_pattern::Predicate> {
+    use gpv_pattern::{CmpOp, Predicate};
+    let mut out = Vec::new();
+    for a in CITATION_AREAS {
+        for y in [1995i64, 2005, 2012] {
+            out.push(Predicate::label(a).and(Predicate::cmp("year", CmpOp::Ge, y)));
+        }
+    }
+    out
+}
+
+/// Node-condition pool for YouTube queries/views, in the style of Fig. 7:
+/// category plus rate/visits thresholds.
+pub fn youtube_predicate_pool() -> Vec<gpv_pattern::Predicate> {
+    use gpv_pattern::{CmpOp, Predicate};
+    let mut out = Vec::new();
+    for c in YOUTUBE_CATEGORIES {
+        out.push(
+            Predicate::cmp("C", CmpOp::Eq, c).and(Predicate::cmp("R", CmpOp::Ge, 4i64)),
+        );
+        out.push(
+            Predicate::cmp("C", CmpOp::Eq, c).and(Predicate::cmp("V", CmpOp::Ge, 10_000i64)),
+        );
+    }
+    out.push(Predicate::cmp("R", CmpOp::Ge, 5i64).and(Predicate::cmp("V", CmpOp::Ge, 10_000i64)));
+    out.push(Predicate::cmp("A", CmpOp::Le, 100i64).and(Predicate::cmp("R", CmpOp::Ge, 4i64)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_graph::stats::{label_histogram, stats};
+
+    #[test]
+    fn amazon_shape() {
+        let g = amazon(2000, 1);
+        let s = stats(&g);
+        assert_eq!(s.nodes, 2000);
+        assert!(s.edges >= 2000, "roughly 2-3 edges per node: {}", s.edges);
+        assert!(s.edges <= 7000);
+        let h = label_histogram(&g);
+        assert!(h.len() >= 5, "most groups present");
+        // Attributes present.
+        let rank = g.lookup_attr("salesrank").unwrap();
+        assert!(g.attr_int(NodeId(0), rank).is_some());
+    }
+
+    #[test]
+    fn citation_is_dag() {
+        let g = citation(1500, 2);
+        // Every edge points to a smaller id → acyclic by construction.
+        for (u, v) in g.edges() {
+            assert!(v.0 < u.0);
+        }
+        let year = g.lookup_attr("year").unwrap();
+        // Years are monotone in id.
+        let y0 = g.attr_int(NodeId(0), year).unwrap();
+        let yl = g.attr_int(NodeId(1499), year).unwrap();
+        assert!(y0 <= yl);
+    }
+
+    #[test]
+    fn youtube_attributes() {
+        let g = youtube(1000, 3);
+        let c = g.lookup_attr("C").unwrap();
+        let r = g.lookup_attr("R").unwrap();
+        let v = g.lookup_attr("V").unwrap();
+        for node in g.nodes().take(50) {
+            assert!(g.attr(node, c).is_some());
+            let rate = g.attr_int(node, r).unwrap();
+            assert!((1..=5).contains(&rate));
+            assert!(g.attr_int(node, v).unwrap() >= 1);
+        }
+        // Both the `video` label and the category label are set.
+        let video = g.lookup_label("video").unwrap();
+        assert!(g.nodes().all(|n| g.has_label(n, video)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = youtube(200, 7);
+        let b = youtube(200, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let c = youtube(200, 8);
+        assert!(a.edge_count() != c.edge_count() || a.edges().ne(c.edges()));
+    }
+}

@@ -1,0 +1,235 @@
+//! Random (bounded) pattern generators (paper Section VII).
+//!
+//! "We implemented a generator for bounded pattern queries controlled by
+//! four parameters: the number |Vp| of pattern nodes, the number |Ep| of
+//! pattern edges, label fv from Σ, and an upper bound k for fe(e), which
+//! draws an edge bound randomly from [1, k]. When k = 1 for all edges,
+//! bounded patterns are pattern queries."
+//!
+//! Patterns are generated connected (random spanning tree + extra edges).
+//! DAG and cyclic variants support the Fig. 8(g)/(h) containment
+//! experiments.
+
+use gpv_pattern::{BoundedPattern, Pattern, PatternBuilder, PatternNodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape constraint for generated patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternShape {
+    /// Any connected digraph.
+    Any,
+    /// Acyclic (`QDAG` in Fig. 8(g)): edges oriented low → high index.
+    Dag,
+    /// At least one directed cycle (`QCyclic`).
+    Cyclic,
+}
+
+/// Generates a connected random pattern with `nv` nodes and (about) `ne`
+/// edges, labels drawn uniformly from `alphabet`. `ne` is clamped to at
+/// least `nv - 1` (spanning tree) and duplicate edges are merged, so the
+/// edge count may come out slightly below `ne` for dense requests.
+pub fn random_pattern(
+    nv: usize,
+    ne: usize,
+    alphabet: &[&str],
+    shape: PatternShape,
+    seed: u64,
+) -> Pattern {
+    assert!(nv >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = PatternBuilder::new();
+    let nodes: Vec<PatternNodeId> = (0..nv)
+        .map(|_| b.node_labeled(alphabet[rng.gen_range(0..alphabet.len())]))
+        .collect();
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Random spanning tree for connectivity: attach node i to a random
+    // earlier node (direction depends on shape).
+    for i in 1..nv {
+        let j = rng.gen_range(0..i);
+        match shape {
+            PatternShape::Dag => edges.push((j, i)),
+            _ => {
+                if rng.gen_bool(0.5) {
+                    edges.push((j, i));
+                } else {
+                    edges.push((i, j));
+                }
+            }
+        }
+    }
+    // Extra edges up to ne.
+    let want = ne.max(nv.saturating_sub(1));
+    let mut guard = 0;
+    while edges.len() < want && guard < want * 20 {
+        guard += 1;
+        let a = rng.gen_range(0..nv);
+        let c = rng.gen_range(0..nv);
+        if a == c {
+            continue;
+        }
+        let e = match shape {
+            PatternShape::Dag => (a.min(c), a.max(c)),
+            _ => (a, c),
+        };
+        if !edges.contains(&e) {
+            edges.push(e);
+        }
+    }
+    // Cyclic: force a cycle by closing the first tree edge backwards.
+    if shape == PatternShape::Cyclic && nv >= 2 {
+        let (a, c) = edges[0];
+        let back = (c, a);
+        if !edges.contains(&back) {
+            edges.push(back);
+        }
+    }
+    for (a, c) in edges {
+        b.edge(nodes[a], nodes[c]);
+    }
+    b.build().expect("nonempty pattern")
+}
+
+/// Generates a connected random pattern whose node conditions are drawn
+/// from a pool of `Predicate`s (label + attribute comparisons), as in the
+/// paper's real-life workloads (Fig. 7 style search conditions). Structure
+/// generation is identical to [`random_pattern`].
+pub fn random_pattern_with_preds(
+    nv: usize,
+    ne: usize,
+    preds: &[gpv_pattern::Predicate],
+    shape: PatternShape,
+    seed: u64,
+) -> Pattern {
+    assert!(!preds.is_empty());
+    // Reuse random_pattern's structure by regenerating with a dummy alphabet
+    // of the right size, then swap predicates deterministically.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5151_5151);
+    let skeleton = random_pattern(nv, ne, &["X"], shape, seed);
+    let node_preds: Vec<gpv_pattern::Predicate> = (0..nv)
+        .map(|_| preds[rng.gen_range(0..preds.len())].clone())
+        .collect();
+    let edges: Vec<(u32, u32)> = skeleton.edges().iter().map(|&(u, v)| (u.0, v.0)).collect();
+    Pattern::from_parts(node_preds, edges).expect("skeleton was valid")
+}
+
+/// Bounded analogue of [`random_pattern_with_preds`] with a uniform bound.
+pub fn uniform_bounded_pattern_with_preds(
+    nv: usize,
+    ne: usize,
+    preds: &[gpv_pattern::Predicate],
+    k: u32,
+    shape: PatternShape,
+    seed: u64,
+) -> BoundedPattern {
+    BoundedPattern::with_uniform_bound(random_pattern_with_preds(nv, ne, preds, shape, seed), k)
+}
+
+/// Generates a bounded pattern: same structure as [`random_pattern`], with
+/// each edge bound drawn uniformly from `[1, max_k]` (the paper's `k`).
+pub fn random_bounded_pattern(
+    nv: usize,
+    ne: usize,
+    alphabet: &[&str],
+    max_k: u32,
+    shape: PatternShape,
+    seed: u64,
+) -> BoundedPattern {
+    assert!(max_k >= 1);
+    let plain = random_pattern(nv, ne, alphabet, shape, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let bounds = plain
+        .edges()
+        .iter()
+        .map(|_| gpv_pattern::EdgeBound::Hop(rng.gen_range(1..=max_k)))
+        .collect();
+    BoundedPattern::new(plain, bounds).expect("bounds aligned")
+}
+
+/// Generates a bounded pattern with a *uniform* bound on every edge, as in
+/// the Fig. 8(i)–(l) experiments (`fe(e) = 2` or `3` for all `e`).
+pub fn uniform_bounded_pattern(
+    nv: usize,
+    ne: usize,
+    alphabet: &[&str],
+    k: u32,
+    shape: PatternShape,
+    seed: u64,
+) -> BoundedPattern {
+    BoundedPattern::with_uniform_bound(random_pattern(nv, ne, alphabet, shape, seed), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::DEFAULT_ALPHABET;
+
+    #[test]
+    fn connected_and_sized() {
+        for seed in 0..20 {
+            let p = random_pattern(6, 9, &DEFAULT_ALPHABET, PatternShape::Any, seed);
+            assert_eq!(p.node_count(), 6);
+            assert!(p.is_connected(), "seed {seed}");
+            assert!(p.edge_count() >= 5);
+        }
+    }
+
+    #[test]
+    fn dag_shape() {
+        for seed in 0..20 {
+            let p = random_pattern(8, 16, &DEFAULT_ALPHABET, PatternShape::Dag, seed);
+            assert!(p.is_dag(), "seed {seed}");
+            assert!(p.is_connected());
+        }
+    }
+
+    #[test]
+    fn cyclic_shape() {
+        for seed in 0..20 {
+            let p = random_pattern(8, 16, &DEFAULT_ALPHABET, PatternShape::Cyclic, seed);
+            assert!(!p.is_dag(), "seed {seed}");
+            assert!(p.is_connected());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = random_pattern(5, 8, &DEFAULT_ALPHABET, PatternShape::Any, 42);
+        let b = random_pattern(5, 8, &DEFAULT_ALPHABET, PatternShape::Any, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounded_bounds_in_range() {
+        let q = random_bounded_pattern(6, 10, &DEFAULT_ALPHABET, 4, PatternShape::Any, 9);
+        for &b in q.bounds() {
+            match b {
+                gpv_pattern::EdgeBound::Hop(k) => assert!((1..=4).contains(&k)),
+                gpv_pattern::EdgeBound::Unbounded => panic!("no * bounds from this generator"),
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let q = uniform_bounded_pattern(4, 8, &DEFAULT_ALPHABET, 3, PatternShape::Any, 1);
+        assert!(q
+            .bounds()
+            .iter()
+            .all(|&b| b == gpv_pattern::EdgeBound::Hop(3)));
+    }
+
+    #[test]
+    fn k_equals_one_is_plain() {
+        let q = random_bounded_pattern(4, 6, &DEFAULT_ALPHABET, 1, PatternShape::Any, 3);
+        assert!(q.is_plain());
+    }
+
+    #[test]
+    fn single_node() {
+        let p = random_pattern(1, 0, &DEFAULT_ALPHABET, PatternShape::Any, 0);
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.edge_count(), 0);
+    }
+}

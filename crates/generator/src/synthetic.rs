@@ -1,0 +1,101 @@
+//! Seeded synthetic graph generators (paper Section VII, "Synthetic data").
+//!
+//! "We designed a generator to produce random graphs, controlled by the
+//! number |V| of nodes and the number |E| of edges, with node labels from an
+//! alphabet Σ." The scalability experiments use `|E| = 2|V|`; the
+//! densification experiments (Fig. 8(f)) follow `|E| = |V|^α` per
+//! Leskovec et al.'s densification law.
+
+use gpv_graph::{DataGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The default 10-label alphabet used for synthetic data (the paper draws
+/// labels "from a set Σ of 10 labels").
+pub const DEFAULT_ALPHABET: [&str; 10] = ["L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"];
+
+/// Generates a random graph with `n` nodes, `m` directed edges (before
+/// deduplication of collisions) and one label per node drawn uniformly from
+/// `alphabet`. Deterministic in `seed`.
+pub fn random_graph(n: usize, m: usize, alphabet: &[&str], seed: u64) -> DataGraph {
+    assert!(n > 0, "graph must have nodes");
+    assert!(!alphabet.is_empty(), "alphabet must be nonempty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        let l = alphabet[rng.gen_range(0..alphabet.len())];
+        b.add_node([l]);
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let mut v = rng.gen_range(0..n) as u32;
+        if u == v {
+            // Avoid a bias toward self-loops; real social edges rarely are.
+            v = (v + 1) % n as u32;
+        }
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    b.build()
+}
+
+/// Generates a graph following the densification law `|E| = |V|^α`
+/// (Fig. 8(f): `|V| = 200K`, `α ∈ [1, 1.25]`).
+pub fn densification_graph(n: usize, alpha: f64, alphabet: &[&str], seed: u64) -> DataGraph {
+    let m = (n as f64).powf(alpha).round() as usize;
+    random_graph(n, m, alphabet, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_graph::stats::stats;
+
+    #[test]
+    fn deterministic() {
+        let a = random_graph(100, 300, &DEFAULT_ALPHABET, 7);
+        let b = random_graph(100, 300, &DEFAULT_ALPHABET, 7);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = random_graph(100, 300, &DEFAULT_ALPHABET, 8);
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn sizes_roughly_requested() {
+        let g = random_graph(1000, 2000, &DEFAULT_ALPHABET, 1);
+        assert_eq!(g.node_count(), 1000);
+        // Collisions shave a few edges off.
+        assert!(g.edge_count() > 1900 && g.edge_count() <= 2000);
+    }
+
+    #[test]
+    fn labels_from_alphabet() {
+        let g = random_graph(50, 100, &["X", "Y"], 3);
+        for v in g.nodes() {
+            let ls = g.labels_of(v);
+            assert_eq!(ls.len(), 1);
+            let name = g.label_name(ls[0]);
+            assert!(name == "X" || name == "Y");
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = random_graph(10, 200, &DEFAULT_ALPHABET, 5);
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn densification_exponent() {
+        let g = densification_graph(1000, 1.2, &DEFAULT_ALPHABET, 2);
+        let s = stats(&g);
+        // n^1.2 ≈ 3981; collisions allowed.
+        assert!(s.edges > 3600 && s.edges <= 3982, "{}", s.edges);
+        assert!((s.alpha - 1.2).abs() < 0.05);
+    }
+}

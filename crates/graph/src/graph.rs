@@ -1,0 +1,349 @@
+//! The immutable [`DataGraph`] and its CSR adjacency.
+
+use crate::interner::{Interner, Sym};
+use crate::value::{AttrId, LabelId, StoredValue, ValueRef};
+use serde::{Deserialize, Serialize};
+
+/// A node identifier: a dense index in `0..node_count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for indexing into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed data graph `G = (V, E, L)` with interned labels and typed node
+/// attributes, stored in CSR form with both out- and in-adjacency.
+///
+/// Construct with [`GraphBuilder`](crate::GraphBuilder). The representation is
+/// immutable after construction; all per-node queries are `O(1)` slice
+/// lookups and `has_edge` is a binary search over the sorted out-adjacency.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DataGraph {
+    pub(crate) labels: Interner,
+    pub(crate) attr_names: Interner,
+    pub(crate) values: Interner,
+
+    pub(crate) label_offsets: Vec<u32>,
+    pub(crate) label_data: Vec<LabelId>,
+
+    pub(crate) attr_offsets: Vec<u32>,
+    pub(crate) attr_data: Vec<(AttrId, StoredValue)>,
+
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_sources: Vec<NodeId>,
+}
+
+impl DataGraph {
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// The paper's size measure `|G|`: number of nodes plus edges.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// Iterates all node ids `0..|V|`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Out-neighbours of `v` (sorted ascending).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let (s, e) = (
+            self.out_offsets[v.index()] as usize,
+            self.out_offsets[v.index() + 1] as usize,
+        );
+        &self.out_targets[s..e]
+    }
+
+    /// In-neighbours of `v` (sorted ascending).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let (s, e) = (
+            self.in_offsets[v.index()] as usize,
+            self.in_offsets[v.index() + 1] as usize,
+        );
+        &self.in_sources[s..e]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Whether the directed edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates all edges `(u, v)` in CSR order.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            node: 0,
+            pos: 0,
+        }
+    }
+
+    /// Labels of node `v` (sorted ascending).
+    #[inline]
+    pub fn labels_of(&self, v: NodeId) -> &[LabelId] {
+        let (s, e) = (
+            self.label_offsets[v.index()] as usize,
+            self.label_offsets[v.index() + 1] as usize,
+        );
+        &self.label_data[s..e]
+    }
+
+    /// Whether `l ∈ L(v)`, the paper's node-label test.
+    #[inline]
+    pub fn has_label(&self, v: NodeId, l: LabelId) -> bool {
+        self.labels_of(v).binary_search(&l).is_ok()
+    }
+
+    /// The attribute value of `v` under attribute `a`, if set.
+    pub fn attr(&self, v: NodeId, a: AttrId) -> Option<ValueRef<'_>> {
+        let (s, e) = (
+            self.attr_offsets[v.index()] as usize,
+            self.attr_offsets[v.index() + 1] as usize,
+        );
+        let attrs = &self.attr_data[s..e];
+        let i = attrs.binary_search_by_key(&a, |&(id, _)| id).ok()?;
+        Some(match attrs[i].1 {
+            StoredValue::Int(x) => ValueRef::Int(x),
+            StoredValue::Sym(s) => ValueRef::Str(self.values.resolve(s)),
+        })
+    }
+
+    /// Raw stored attribute value (interned form), for hot-path comparisons.
+    #[inline]
+    pub(crate) fn attr_stored(&self, v: NodeId, a: AttrId) -> Option<StoredValue> {
+        let (s, e) = (
+            self.attr_offsets[v.index()] as usize,
+            self.attr_offsets[v.index() + 1] as usize,
+        );
+        let attrs = &self.attr_data[s..e];
+        let i = attrs.binary_search_by_key(&a, |&(id, _)| id).ok()?;
+        Some(attrs[i].1)
+    }
+
+    /// Hot-path attribute comparison against an interned string value.
+    ///
+    /// Returns `None` when the attribute is absent, `Some(result)` otherwise.
+    /// String attributes compare by symbol equality; integer attributes never
+    /// equal a string value.
+    #[inline]
+    pub fn attr_str_eq(&self, v: NodeId, a: AttrId, value_sym: Sym) -> Option<bool> {
+        Some(match self.attr_stored(v, a)? {
+            StoredValue::Sym(s) => s == value_sym,
+            StoredValue::Int(_) => false,
+        })
+    }
+
+    /// Hot-path integer attribute read (`None` if absent or non-integer).
+    #[inline]
+    pub fn attr_int(&self, v: NodeId, a: AttrId) -> Option<i64> {
+        match self.attr_stored(v, a)? {
+            StoredValue::Int(x) => Some(x),
+            StoredValue::Sym(_) => None,
+        }
+    }
+
+    /// Iterates the attributes of node `v` as `(id, value)` pairs.
+    pub fn attrs_of(&self, v: NodeId) -> impl Iterator<Item = (AttrId, ValueRef<'_>)> + '_ {
+        let (s, e) = (
+            self.attr_offsets[v.index()] as usize,
+            self.attr_offsets[v.index() + 1] as usize,
+        );
+        self.attr_data[s..e].iter().map(|&(aid, stored)| {
+            let val = match stored {
+                StoredValue::Int(x) => ValueRef::Int(x),
+                StoredValue::Sym(sym) => ValueRef::Str(self.values.resolve(sym)),
+            };
+            (aid, val)
+        })
+    }
+
+    /// Resolves a label name against this graph's alphabet.
+    pub fn lookup_label(&self, name: &str) -> Option<LabelId> {
+        self.labels.get(name).map(LabelId::from)
+    }
+
+    /// Resolves an attribute name.
+    pub fn lookup_attr(&self, name: &str) -> Option<AttrId> {
+        self.attr_names.get(name).map(AttrId::from)
+    }
+
+    /// Resolves a string attribute value to its interned symbol.
+    pub fn lookup_value(&self, s: &str) -> Option<Sym> {
+        self.values.get(s)
+    }
+
+    /// Resolves a label id back to its name.
+    pub fn label_name(&self, l: LabelId) -> &str {
+        self.labels.resolve(l.into())
+    }
+
+    /// Resolves an attribute id back to its name.
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        self.attr_names.resolve(a.into())
+    }
+
+    /// Number of distinct labels in the alphabet Σ.
+    pub fn label_alphabet_size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Rebuilds interner lookup indices after deserialization.
+    pub fn rebuild_indices(&mut self) {
+        self.labels.rebuild_index();
+        self.attr_names.rebuild_index();
+        self.values.rebuild_index();
+    }
+}
+
+/// Iterator over all edges of a [`DataGraph`].
+pub struct EdgeIter<'a> {
+    graph: &'a DataGraph,
+    node: u32,
+    pos: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        let n = self.graph.node_count() as u32;
+        while self.node < n {
+            let end = self.graph.out_offsets[self.node as usize + 1] as usize;
+            if self.pos < end {
+                let e = (NodeId(self.node), self.graph.out_targets[self.pos]);
+                self.pos += 1;
+                return Some(e);
+            }
+            self.node += 1;
+            if self.node < n {
+                self.pos = self.graph.out_offsets[self.node as usize] as usize;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::value::Value;
+    use crate::NodeId;
+
+    fn diamond() -> crate::DataGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let x = b.add_node(["B"]);
+        let y = b.add_node(["B", "C"]);
+        let z = b.add_node(["D"]);
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, z);
+        b.add_edge(y, z);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_adjacency() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.size(), 8);
+        assert_eq!(g.out_neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.in_neighbors(NodeId(3)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn has_edge_and_edge_iter() {
+        let g = diamond();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(0)));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(NodeId(1), NodeId(3))));
+    }
+
+    #[test]
+    fn labels() {
+        let g = diamond();
+        let b_label = g.lookup_label("B").unwrap();
+        let c = g.lookup_label("C").unwrap();
+        assert!(g.has_label(NodeId(1), b_label));
+        assert!(g.has_label(NodeId(2), b_label));
+        assert!(g.has_label(NodeId(2), c));
+        assert!(!g.has_label(NodeId(1), c));
+        assert_eq!(g.label_name(b_label), "B");
+        assert_eq!(g.lookup_label("Z"), None);
+        assert_eq!(g.label_alphabet_size(), 4);
+    }
+
+    #[test]
+    fn attributes() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(["video"]);
+        b.set_attr(v, "category", Value::str("Music"));
+        b.set_attr(v, "visits", Value::int(10_000));
+        let w = b.add_node(["video"]);
+        b.set_attr(w, "category", Value::str("Sports"));
+        let g = b.build();
+
+        let cat = g.lookup_attr("category").unwrap();
+        let visits = g.lookup_attr("visits").unwrap();
+        assert_eq!(g.attr(v, cat), Some(crate::ValueRef::Str("Music")));
+        assert_eq!(g.attr_int(v, visits), Some(10_000));
+        assert_eq!(g.attr_int(w, visits), None);
+        let music = g.lookup_value("Music").unwrap();
+        assert_eq!(g.attr_str_eq(v, cat, music), Some(true));
+        assert_eq!(g.attr_str_eq(w, cat, music), Some(false));
+        assert_eq!(g.attr_name(cat), "category");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! String interning.
+//!
+//! Labels, attribute names and string attribute values are interned per
+//! [`DataGraph`](crate::DataGraph) so that all hot-path comparisons during
+//! matching are integer comparisons. Pattern queries keep their own strings
+//! and resolve them against a graph's interners once per match call.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An interned-string handle. Only meaningful relative to the [`Interner`]
+/// that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Sym(pub u32);
+
+/// A simple append-only string interner.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    #[serde(skip)]
+    index: HashMap<Box<str>, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its existing symbol if already present.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.strings.len() as u32);
+        self.strings.push(s.into());
+        self.index.insert(s.into(), sym);
+        sym
+    }
+
+    /// Looks up the symbol for `s` without interning.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(Sym, &str)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+    }
+
+    /// Rebuilds the lookup index (needed after deserialization, which skips
+    /// the redundant `index` map).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), Sym(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("PM");
+        let b = it.intern("DBA");
+        let a2 = it.intern("PM");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(a), "PM");
+        assert_eq!(it.resolve(b), "DBA");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut it = Interner::new();
+        assert_eq!(it.get("x"), None);
+        let s = it.intern("x");
+        assert_eq!(it.get("x"), Some(s));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_insertion_order() {
+        let mut it = Interner::new();
+        it.intern("a");
+        it.intern("b");
+        let v: Vec<&str> = it.iter().map(|(_, s)| s).collect();
+        assert_eq!(v, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        let mut it = Interner::new();
+        it.intern("hello");
+        let mut clone = Interner {
+            strings: it.strings.clone(),
+            index: HashMap::new(),
+        };
+        assert_eq!(clone.get("hello"), None);
+        clone.rebuild_index();
+        assert_eq!(clone.get("hello"), Some(Sym(0)));
+    }
+}

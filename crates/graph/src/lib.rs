@@ -1,0 +1,43 @@
+//! # gpv-graph — data-graph substrate
+//!
+//! Directed, node-labeled and node-attributed graphs as defined in Section II-A
+//! of *Answering Graph Pattern Queries Using Views* (Fan, Wang, Wu — ICDE 2014):
+//! a data graph is `G = (V, E, L)` where `L(v)` is a set of labels drawn from an
+//! alphabet, extended here (as the paper explicitly allows) with typed node
+//! attributes so that pattern nodes can carry Boolean search conditions such as
+//! `C = "Music" && V >= 10000` (paper Fig. 7).
+//!
+//! The crate provides:
+//!
+//! * [`DataGraph`] — an immutable CSR (compressed sparse row) representation
+//!   with both out- and in-adjacency, interned labels, attribute names and
+//!   string attribute values;
+//! * [`GraphBuilder`] — the mutable construction API;
+//! * [`traverse`] — BFS, bounded BFS (`k`-hop neighbourhoods with distances)
+//!   and reachability, the primitives behind bounded simulation;
+//! * [`scc`] — iterative Tarjan SCC, condensation DAG and the *rank* function
+//!   of Section III used by the bottom-up `MatchJoin` optimization;
+//! * [`bitset`] — a dense fixed-size bitset used as the workhorse visited /
+//!   candidate-set structure throughout the workspace;
+//! * [`io`] — a line-oriented text format for graphs;
+//! * [`stats`] — degree / label statistics used by the generators and benches.
+
+pub mod bitset;
+pub mod builder;
+pub mod graph;
+pub mod interner;
+pub mod io;
+pub mod scc;
+pub mod stats;
+pub mod traverse;
+pub mod value;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use graph::{DataGraph, EdgeIter, NodeId};
+pub use interner::{Interner, Sym};
+pub use scc::{Condensation, SccInfo};
+pub use value::{AttrId, LabelId, Value, ValueRef};
+
+/// Convenience alias used across the workspace for `(source, target)` edges.
+pub type Edge = (NodeId, NodeId);

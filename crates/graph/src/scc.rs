@@ -1,0 +1,345 @@
+//! Strongly connected components, condensation and the paper's *rank*
+//! function.
+//!
+//! Section III of the paper defines, for a pattern `Qs`, the SCC graph
+//! `G_SCC` obtained by collapsing each strongly connected component into one
+//! node, and ranks:
+//!
+//! * `r(u) = 0` if `s(u)` is a leaf (no outgoing edges) of `G_SCC`;
+//! * `r(u) = max { 1 + r(u') | (s(u), s(u')) ∈ E_SCC }` otherwise;
+//! * the rank of an edge `e = (u', u)` is `r(u)`.
+//!
+//! The optimized `MatchJoin` drains its worklist bottom-up in ascending edge
+//! rank (Lemma 2). The implementation is an iterative Tarjan (no recursion,
+//! safe for large patterns/graphs) generic over any adjacency oracle, so both
+//! `DataGraph`s and patterns can use it.
+
+use crate::graph::{DataGraph, NodeId};
+
+/// Result of SCC decomposition over `n` nodes.
+#[derive(Clone, Debug)]
+pub struct SccInfo {
+    /// Component id of each node. Component ids are in *reverse topological*
+    /// order of the condensation (sinks get low ids), the order Tarjan emits.
+    pub comp_of: Vec<u32>,
+    /// Number of components.
+    pub comp_count: usize,
+    /// Members of each component.
+    pub members: Vec<Vec<u32>>,
+}
+
+impl SccInfo {
+    /// Whether component `c` is a single node without a self-loop (a
+    /// "singleton SCC" in the paper's terminology).
+    pub fn is_trivial(&self, c: u32, has_self_loop: impl Fn(u32) -> bool) -> bool {
+        let m = &self.members[c as usize];
+        m.len() == 1 && !has_self_loop(m[0])
+    }
+}
+
+/// Iterative Tarjan SCC over an arbitrary successor oracle.
+///
+/// `succ(v)` must yield the successors of node `v` (any order, duplicates
+/// allowed). Runs in `O(n + m)`.
+pub fn tarjan_scc<I, F>(n: usize, succ: F) -> SccInfo
+where
+    F: Fn(u32) -> I,
+    I: IntoIterator<Item = u32>,
+{
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp_of = vec![UNSET; n];
+    let mut comp_count = 0usize;
+    let mut next_index = 0u32;
+
+    // Explicit DFS stack: (node, iterator over successors).
+    enum Frame<It> {
+        Enter(u32),
+        Resume(u32, It),
+    }
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        let mut call: Vec<Frame<<I as IntoIterator>::IntoIter>> = vec![Frame::Enter(root)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    call.push(Frame::Resume(v, succ(v).into_iter()));
+                }
+                Frame::Resume(v, mut it) => {
+                    let mut descended = false;
+                    while let Some(w) = it.next() {
+                        if index[w as usize] == UNSET {
+                            call.push(Frame::Resume(v, it));
+                            call.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w as usize] {
+                            lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v as usize] == index[v as usize] {
+                        // v is the root of a component.
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = comp_count as u32;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                    // Propagate lowlink to parent (the frame below, if any).
+                    if let Some(Frame::Resume(p, _)) = call.last() {
+                        let p = *p;
+                        lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut members = vec![Vec::new(); comp_count];
+    for v in 0..n as u32 {
+        members[comp_of[v as usize] as usize].push(v);
+    }
+    SccInfo {
+        comp_of,
+        comp_count,
+        members,
+    }
+}
+
+/// The condensation (SCC DAG) plus node/edge ranks per the paper.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Underlying SCC decomposition.
+    pub scc: SccInfo,
+    /// Deduplicated condensation edges `(comp, comp)`, excluding self-loops.
+    pub edges: Vec<(u32, u32)>,
+    /// Rank of each component.
+    pub comp_rank: Vec<u32>,
+    /// Rank of each node: `r(u) = comp_rank[comp_of(u)]`.
+    pub node_rank: Vec<u32>,
+}
+
+impl Condensation {
+    /// Builds the condensation and ranks from an SCC decomposition and the
+    /// original successor oracle.
+    pub fn build<I, F>(n: usize, succ: F, scc: SccInfo) -> Self
+    where
+        F: Fn(u32) -> I,
+        I: IntoIterator<Item = u32>,
+    {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for v in 0..n as u32 {
+            let cv = scc.comp_of[v as usize];
+            for w in succ(v) {
+                let cw = scc.comp_of[w as usize];
+                if cv != cw {
+                    edges.push((cv, cw));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        // Tarjan emits components in reverse topological order: every
+        // successor component of c has an id < c. So a single ascending pass
+        // computes ranks bottom-up.
+        let mut comp_rank = vec![0u32; scc.comp_count];
+        let mut out_of: Vec<Vec<u32>> = vec![Vec::new(); scc.comp_count];
+        for &(a, b) in &edges {
+            debug_assert!(b < a, "condensation edge must point to lower (earlier) comp id");
+            out_of[a as usize].push(b);
+        }
+        for c in 0..scc.comp_count {
+            comp_rank[c] = out_of[c]
+                .iter()
+                .map(|&s| comp_rank[s as usize] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+
+        let node_rank = (0..n)
+            .map(|v| comp_rank[scc.comp_of[v] as usize])
+            .collect();
+        Condensation {
+            scc,
+            edges,
+            comp_rank,
+            node_rank,
+        }
+    }
+
+    /// Rank of node `u`.
+    #[inline]
+    pub fn rank(&self, u: u32) -> u32 {
+        self.node_rank[u as usize]
+    }
+
+    /// The paper's edge rank: for `e = (u', u)`, `r(e) = r(u)` (rank of the
+    /// target).
+    #[inline]
+    pub fn edge_rank(&self, _src: u32, dst: u32) -> u32 {
+        self.node_rank[dst as usize]
+    }
+}
+
+/// SCC decomposition of a [`DataGraph`].
+pub fn scc_of_graph(g: &DataGraph) -> SccInfo {
+    tarjan_scc(g.node_count(), |v| {
+        g.out_neighbors(NodeId(v)).iter().map(|n| n.0)
+    })
+}
+
+/// Condensation + ranks of a [`DataGraph`].
+pub fn condensation_of_graph(g: &DataGraph) -> Condensation {
+    let scc = scc_of_graph(g);
+    Condensation::build(
+        g.node_count(),
+        |v| g.out_neighbors(NodeId(v)).iter().map(|n| n.0),
+        scc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn adj(edges: &[(u32, u32)], n: usize) -> Vec<Vec<u32>> {
+        let mut a = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            a[u as usize].push(v);
+        }
+        a
+    }
+
+    #[test]
+    fn dag_is_all_singletons() {
+        let a = adj(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let scc = tarjan_scc(4, |v| a[v as usize].iter().copied());
+        assert_eq!(scc.comp_count, 4);
+        // Distinct components for all.
+        let mut ids = scc.comp_of.clone();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let a = adj(&[(0, 1), (1, 2), (2, 0), (2, 3)], 4);
+        let scc = tarjan_scc(4, |v| a[v as usize].iter().copied());
+        assert_eq!(scc.comp_count, 2);
+        assert_eq!(scc.comp_of[0], scc.comp_of[1]);
+        assert_eq!(scc.comp_of[1], scc.comp_of[2]);
+        assert_ne!(scc.comp_of[0], scc.comp_of[3]);
+    }
+
+    #[test]
+    fn reverse_topological_ids() {
+        // 0 -> 1 -> 2 (chain): sink 2 must get the smallest comp id.
+        let a = adj(&[(0, 1), (1, 2)], 3);
+        let scc = tarjan_scc(3, |v| a[v as usize].iter().copied());
+        assert!(scc.comp_of[2] < scc.comp_of[1]);
+        assert!(scc.comp_of[1] < scc.comp_of[0]);
+    }
+
+    #[test]
+    fn ranks_on_dag() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3 (diamond): r(3)=0, r(1)=r(2)=1, r(0)=2.
+        let a = adj(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let edges = a.clone();
+        let scc = tarjan_scc(4, |v| a[v as usize].iter().copied());
+        let c = Condensation::build(4, |v| edges[v as usize].iter().copied(), scc);
+        assert_eq!(c.rank(3), 0);
+        assert_eq!(c.rank(1), 1);
+        assert_eq!(c.rank(2), 1);
+        assert_eq!(c.rank(0), 2);
+        assert_eq!(c.edge_rank(0, 1), 1);
+        assert_eq!(c.edge_rank(1, 3), 0);
+    }
+
+    #[test]
+    fn ranks_with_cycle() {
+        // Paper-style: PM -> DBA <-> PRG (2-cycle). Cycle comp is a leaf of
+        // GSCC (rank 0), PM gets rank 1.
+        let a = adj(&[(0, 1), (1, 2), (2, 1)], 3);
+        let edges = a.clone();
+        let scc = tarjan_scc(3, |v| a[v as usize].iter().copied());
+        assert_eq!(scc.comp_count, 2);
+        let c = Condensation::build(3, |v| edges[v as usize].iter().copied(), scc);
+        assert_eq!(c.rank(1), 0);
+        assert_eq!(c.rank(2), 0);
+        assert_eq!(c.rank(0), 1);
+    }
+
+    #[test]
+    fn longest_path_rank() {
+        // Chain 0->1->2->3 plus shortcut 0->3: rank(0) = 3 (max, not min).
+        let a = adj(&[(0, 1), (1, 2), (2, 3), (0, 3)], 4);
+        let edges = a.clone();
+        let scc = tarjan_scc(4, |v| a[v as usize].iter().copied());
+        let c = Condensation::build(4, |v| edges[v as usize].iter().copied(), scc);
+        assert_eq!(c.rank(0), 3);
+    }
+
+    #[test]
+    fn trivial_vs_self_loop() {
+        let a = adj(&[(0, 0), (1, 2)], 3);
+        let scc = tarjan_scc(3, |v| a[v as usize].iter().copied());
+        assert_eq!(scc.comp_count, 3);
+        let has_loop = |v: u32| v == 0;
+        let c0 = scc.comp_of[0];
+        let c1 = scc.comp_of[1];
+        assert!(!scc.is_trivial(c0, has_loop), "self-loop is non-trivial");
+        assert!(scc.is_trivial(c1, has_loop));
+    }
+
+    #[test]
+    fn graph_wrappers() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_unlabeled_node()).collect();
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        b.add_edge(n[2], n[1]);
+        b.add_edge(n[2], n[3]);
+        let g = b.build();
+        let c = condensation_of_graph(&g);
+        assert_eq!(c.scc.comp_count, 3);
+        assert_eq!(c.rank(3), 0);
+        assert_eq!(c.rank(1), 1);
+        assert_eq!(c.rank(2), 1);
+        assert_eq!(c.rank(0), 2);
+    }
+
+    #[test]
+    fn deep_graph_no_stack_overflow() {
+        // A 200k-node chain would blow a recursive Tarjan.
+        let n = 200_000u32;
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..n).map(|_| b.add_unlabeled_node()).collect();
+        for i in 0..(n - 1) as usize {
+            b.add_edge(nodes[i], nodes[i + 1]);
+        }
+        let g = b.build();
+        let scc = scc_of_graph(&g);
+        assert_eq!(scc.comp_count, n as usize);
+    }
+}

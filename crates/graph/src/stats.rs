@@ -1,0 +1,117 @@
+//! Graph statistics used by the generators and the benchmark harness.
+
+use crate::graph::DataGraph;
+use std::collections::HashMap;
+
+/// Summary statistics of a [`DataGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Average out-degree.
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Number of distinct labels in use.
+    pub labels: usize,
+    /// Densification exponent `α` such that `|E| = |V|^α` (0 for empty).
+    pub alpha: f64,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn stats(g: &DataGraph) -> GraphStats {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let max_out = g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0);
+    let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap_or(0);
+    let alpha = if n > 1 && m > 0 {
+        (m as f64).ln() / (n as f64).ln()
+    } else {
+        0.0
+    };
+    GraphStats {
+        nodes: n,
+        edges: m,
+        avg_out_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        labels: g.label_alphabet_size(),
+        alpha,
+    }
+}
+
+/// Histogram of node counts per label name.
+pub fn label_histogram(g: &DataGraph) -> HashMap<String, usize> {
+    let mut h = HashMap::new();
+    for v in g.nodes() {
+        for &l in g.labels_of(v) {
+            *h.entry(g.label_name(l).to_string()).or_insert(0) += 1;
+        }
+    }
+    h
+}
+
+/// Out-degree distribution: `dist[d]` = number of nodes with out-degree `d`.
+pub fn out_degree_distribution(g: &DataGraph) -> Vec<usize> {
+    let max = g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0);
+    let mut dist = vec![0usize; max + 1];
+    for v in g.nodes() {
+        dist[g.out_degree(v)] += 1;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let c = b.add_node(["B"]);
+        let d = b.add_node(["B"]);
+        b.add_edge(a, c);
+        b.add_edge(a, d);
+        b.add_edge(c, d);
+        b.build()
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = stats(&sample());
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.labels, 2);
+        assert!((s.avg_out_degree - 1.0).abs() < 1e-9);
+        assert!((s.alpha - 1.0).abs() < 1e-9, "|E| = |V|^1 here");
+    }
+
+    #[test]
+    fn histogram() {
+        let h = label_histogram(&sample());
+        assert_eq!(h["A"], 1);
+        assert_eq!(h["B"], 2);
+    }
+
+    #[test]
+    fn degree_distribution() {
+        let d = out_degree_distribution(&sample());
+        assert_eq!(d, vec![1, 1, 1]); // one sink, one deg-1, one deg-2
+    }
+
+    #[test]
+    fn empty() {
+        let g = GraphBuilder::new().build();
+        let s = stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.alpha, 0.0);
+        assert!(out_degree_distribution(&g).len() == 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! BFS primitives: bounded `k`-hop exploration, shortest hop-distances and
+//! reachability.
+//!
+//! These are the building blocks of bounded simulation (paper Section VI):
+//! a bounded pattern edge `fe(u, u') = k` maps to a *nonempty* path of length
+//! at most `k`, so all traversals here measure paths of length ≥ 1 — the
+//! source itself is reported only if it lies on a cycle.
+
+use crate::graph::{DataGraph, NodeId};
+
+/// Which adjacency to follow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (descendants).
+    Out,
+    /// Follow in-edges (ancestors).
+    In,
+}
+
+/// Reusable scratch space for BFS so repeated traversals do not reallocate.
+#[derive(Clone, Debug, Default)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    epoch: Vec<u32>,
+    current_epoch: u32,
+    queue: std::collections::VecDeque<NodeId>,
+    /// `(node, distance)` pairs discovered by the last traversal, distance ≥ 1.
+    pub visited: Vec<(NodeId, u32)>,
+}
+
+impl BfsScratch {
+    /// Creates scratch space for graphs with up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            dist: vec![0; n],
+            epoch: vec![0; n],
+            current_epoch: 0,
+            queue: std::collections::VecDeque::new(),
+            visited: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, 0);
+            self.epoch.resize(n, 0);
+        }
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+        if self.current_epoch == 0 {
+            // Epoch counter wrapped: hard-reset to stay sound.
+            self.epoch.iter_mut().for_each(|e| *e = 0);
+            self.current_epoch = 1;
+        }
+        self.queue.clear();
+        self.visited.clear();
+    }
+
+    #[inline]
+    fn is_seen(&self, v: NodeId) -> bool {
+        self.epoch[v.index()] == self.current_epoch
+    }
+
+    #[inline]
+    fn mark(&mut self, v: NodeId, d: u32) {
+        self.epoch[v.index()] = self.current_epoch;
+        self.dist[v.index()] = d;
+    }
+
+    /// Distance of `v` recorded by the last traversal, if visited.
+    pub fn distance_of(&self, v: NodeId) -> Option<u32> {
+        if self.is_seen(v) {
+            Some(self.dist[v.index()])
+        } else {
+            None
+        }
+    }
+}
+
+/// Explores all nodes reachable from `src` by a nonempty path of at most
+/// `bound` hops, following `dir` edges. Results (node, hop-distance) land in
+/// `scratch.visited`; distances are exact shortest nonempty-path lengths.
+///
+/// `bound = u32::MAX` means unbounded (plain reachability with distances).
+pub fn bounded_bfs(
+    g: &DataGraph,
+    src: NodeId,
+    bound: u32,
+    dir: Direction,
+    scratch: &mut BfsScratch,
+) {
+    scratch.begin(g.node_count());
+    if bound == 0 {
+        return;
+    }
+    // Seed with src's neighbours at distance 1; src itself is *not* marked,
+    // so it can be discovered again through a cycle (nonempty path).
+    let first: &[NodeId] = match dir {
+        Direction::Out => g.out_neighbors(src),
+        Direction::In => g.in_neighbors(src),
+    };
+    for &n in first {
+        if !scratch.is_seen(n) {
+            scratch.mark(n, 1);
+            scratch.visited.push((n, 1));
+            scratch.queue.push_back(n);
+        }
+    }
+    while let Some(v) = scratch.queue.pop_front() {
+        let d = scratch.dist[v.index()];
+        if d >= bound {
+            continue;
+        }
+        let next: &[NodeId] = match dir {
+            Direction::Out => g.out_neighbors(v),
+            Direction::In => g.in_neighbors(v),
+        };
+        for &n in next {
+            if !scratch.is_seen(n) {
+                scratch.mark(n, d + 1);
+                scratch.visited.push((n, d + 1));
+                scratch.queue.push_back(n);
+            }
+        }
+    }
+}
+
+/// Shortest nonempty-path hop distance from `u` to `v`, capped at `bound`
+/// (`None` if unreachable within the bound). `u == v` requires a cycle.
+pub fn bounded_distance(
+    g: &DataGraph,
+    u: NodeId,
+    v: NodeId,
+    bound: u32,
+    scratch: &mut BfsScratch,
+) -> Option<u32> {
+    scratch.begin(g.node_count());
+    if bound == 0 {
+        return None;
+    }
+    for &n in g.out_neighbors(u) {
+        if n == v {
+            return Some(1);
+        }
+        if !scratch.is_seen(n) {
+            scratch.mark(n, 1);
+            scratch.queue.push_back(n);
+        }
+    }
+    while let Some(w) = scratch.queue.pop_front() {
+        let d = scratch.dist[w.index()];
+        if d >= bound {
+            continue;
+        }
+        for &n in g.out_neighbors(w) {
+            if n == v {
+                return Some(d + 1);
+            }
+            if !scratch.is_seen(n) {
+                scratch.mark(n, d + 1);
+                scratch.queue.push_back(n);
+            }
+        }
+    }
+    None
+}
+
+/// Convenience wrapper: all `(node, dist)` within `bound` hops from `src`
+/// following out-edges, as an owned vector.
+pub fn descendants_within(g: &DataGraph, src: NodeId, bound: u32) -> Vec<(NodeId, u32)> {
+    let mut s = BfsScratch::new(g.node_count());
+    bounded_bfs(g, src, bound, Direction::Out, &mut s);
+    s.visited
+}
+
+/// Convenience wrapper: all `(node, dist)` that reach `src` within `bound`
+/// hops (in-edges).
+pub fn ancestors_within(g: &DataGraph, src: NodeId, bound: u32) -> Vec<(NodeId, u32)> {
+    let mut s = BfsScratch::new(g.node_count());
+    bounded_bfs(g, src, bound, Direction::In, &mut s);
+    s.visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0 -> 1 -> 2 -> 3 -> 1 (cycle 1-2-3), 0 -> 4
+    fn cyclic() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<_> = (0..5).map(|_| b.add_unlabeled_node()).collect();
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        b.add_edge(n[2], n[3]);
+        b.add_edge(n[3], n[1]);
+        b.add_edge(n[0], n[4]);
+        b.build()
+    }
+
+    #[test]
+    fn bounded_bfs_distances() {
+        let g = cyclic();
+        let d = descendants_within(&g, NodeId(0), 2);
+        let mut d: Vec<_> = d.into_iter().map(|(n, k)| (n.0, k)).collect();
+        d.sort();
+        assert_eq!(d, vec![(1, 1), (2, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn source_on_cycle_is_rediscovered() {
+        let g = cyclic();
+        let d = descendants_within(&g, NodeId(1), 3);
+        assert!(
+            d.contains(&(NodeId(1), 3)),
+            "node 1 reaches itself via the 3-cycle: {d:?}"
+        );
+    }
+
+    #[test]
+    fn source_not_on_cycle_absent() {
+        let g = cyclic();
+        let d = descendants_within(&g, NodeId(0), 10);
+        assert!(d.iter().all(|&(n, _)| n != NodeId(0)));
+    }
+
+    #[test]
+    fn unbounded_reaches_everything() {
+        let g = cyclic();
+        let d = descendants_within(&g, NodeId(0), u32::MAX);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn ancestors() {
+        let g = cyclic();
+        let a = ancestors_within(&g, NodeId(4), 1);
+        assert_eq!(a, vec![(NodeId(0), 1)]);
+        let a = ancestors_within(&g, NodeId(1), 2);
+        let mut a: Vec<_> = a.into_iter().map(|(n, k)| (n.0, k)).collect();
+        a.sort();
+        // preds of 1: 0 (d1), 3 (d1); preds of 3: 2 (d2)
+        assert_eq!(a, vec![(0, 1), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn bounded_distance_pairs() {
+        let g = cyclic();
+        let mut s = BfsScratch::new(g.node_count());
+        assert_eq!(bounded_distance(&g, NodeId(0), NodeId(3), 3, &mut s), Some(3));
+        assert_eq!(bounded_distance(&g, NodeId(0), NodeId(3), 2, &mut s), None);
+        assert_eq!(bounded_distance(&g, NodeId(1), NodeId(1), 3, &mut s), Some(3));
+        assert_eq!(bounded_distance(&g, NodeId(4), NodeId(0), 10, &mut s), None);
+        assert_eq!(bounded_distance(&g, NodeId(0), NodeId(1), 0, &mut s), None);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g = cyclic();
+        let mut s = BfsScratch::new(g.node_count());
+        bounded_bfs(&g, NodeId(0), 1, Direction::Out, &mut s);
+        assert_eq!(s.visited.len(), 2);
+        bounded_bfs(&g, NodeId(4), 5, Direction::Out, &mut s);
+        assert!(s.visited.is_empty(), "node 4 has no out-edges");
+        assert_eq!(s.distance_of(NodeId(1)), None);
+    }
+
+    #[test]
+    fn zero_bound_is_empty() {
+        let g = cyclic();
+        assert!(descendants_within(&g, NodeId(0), 0).is_empty());
+    }
+}

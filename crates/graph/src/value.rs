@@ -1,0 +1,136 @@
+//! Typed identifiers and attribute values.
+
+use crate::interner::Sym;
+use serde::{Deserialize, Serialize};
+
+/// A node label, interned in a graph's label table.
+///
+/// The paper's data model gives every node a *set* of labels `L(v)` from an
+/// alphabet Σ; a pattern node's condition `fv(u) ∈ L(v)` then reduces to a
+/// `LabelId` membership test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LabelId(pub u32);
+
+/// An attribute name, interned in a graph's attribute-name table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub u32);
+
+impl From<Sym> for LabelId {
+    fn from(s: Sym) -> Self {
+        LabelId(s.0)
+    }
+}
+
+impl From<Sym> for AttrId {
+    fn from(s: Sym) -> Self {
+        AttrId(s.0)
+    }
+}
+
+impl From<LabelId> for Sym {
+    fn from(l: LabelId) -> Self {
+        Sym(l.0)
+    }
+}
+
+impl From<AttrId> for Sym {
+    fn from(a: AttrId) -> Self {
+        Sym(a.0)
+    }
+}
+
+/// An owned attribute value, used when *building* graphs and in pattern
+/// predicates (paper Fig. 7: `age`, `rate`, `visits`, `category`, ...).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer (covers counts, years, ranks, rates).
+    Int(i64),
+    /// UTF-8 string (categories, titles, venues, job titles).
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// A borrowed view of a stored attribute value, as returned by
+/// [`DataGraph::attr`](crate::DataGraph::attr).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueRef<'a> {
+    /// Integer value.
+    Int(i64),
+    /// String value (resolved from the graph's value interner).
+    Str(&'a str),
+}
+
+impl ValueRef<'_> {
+    /// Converts to an owned [`Value`].
+    pub fn to_owned_value(self) -> Value {
+        match self {
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Str(s) => Value::Str(s.to_string()),
+        }
+    }
+}
+
+/// Internal storage form of an attribute value: string payloads are interned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum StoredValue {
+    Int(i64),
+    Sym(Sym),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::str("y"), Value::Str("y".into()));
+        assert_eq!(Value::int(-1), Value::Int(-1));
+    }
+
+    #[test]
+    fn value_ref_roundtrip() {
+        assert_eq!(ValueRef::Int(7).to_owned_value(), Value::Int(7));
+        assert_eq!(ValueRef::Str("a").to_owned_value(), Value::str("a"));
+    }
+
+    #[test]
+    fn id_sym_roundtrip() {
+        let l = LabelId(5);
+        let s: Sym = l.into();
+        assert_eq!(LabelId::from(s), l);
+        let a = AttrId(9);
+        let s: Sym = a.into();
+        assert_eq!(AttrId::from(s), a);
+    }
+}

@@ -1,0 +1,213 @@
+//! Bounded pattern-on-pattern simulation: evaluating a bounded view `V` over
+//! a bounded query `Qb` treated as a *weighted* data graph (paper Section
+//! VI-B).
+//!
+//! "We treat Qb as a weighted data graph in which each edge e has a weight
+//! fe(e). The distance from node u to u' in Qb is given by the minimum sum of
+//! the edge weights on shortest paths from u to u'." A view edge
+//! `eV = (x, x')` with bound `k` is witnessed by a query node pair `(u, u')`
+//! whose weighted distance is ≤ k; a `*` view edge is witnessed by
+//! reachability. Node conditions compare by predicate equivalence, exactly
+//! as in the unweighted case.
+
+use gpv_pattern::{BoundedPattern, EdgeBound, PatternNodeId};
+
+/// The maximum bounded simulation of view `v` into weighted query `qb`, as
+/// boolean candidate rows (`cand[x][u]`), or `None` when some view node has
+/// no query match.
+pub fn simulate_bounded_pattern(
+    v: &BoundedPattern,
+    qb: &BoundedPattern,
+) -> Option<Vec<Vec<bool>>> {
+    let vp = v.pattern();
+    let qp = qb.pattern();
+    let nv = vp.node_count();
+    let nq = qp.node_count();
+
+    // Precompute weighted distances / reachability between all query-node
+    // pairs (patterns are small; |Vp|² Dijkstras are cheap).
+    let mut wdist = vec![vec![None; nq]; nq];
+    let mut reach = vec![vec![false; nq]; nq];
+    for a in qp.nodes() {
+        for b in qp.nodes() {
+            wdist[a.index()][b.index()] = qb.weighted_distance(a, b);
+            reach[a.index()][b.index()] = qb.reaches(a, b);
+        }
+    }
+    let witnesses = |bound: EdgeBound, a: usize, b: usize| -> bool {
+        match bound {
+            EdgeBound::Hop(k) => wdist[a][b].is_some_and(|d| d <= k as u64),
+            EdgeBound::Unbounded => reach[a][b],
+        }
+    };
+
+    let mut cand: Vec<Vec<bool>> = Vec::with_capacity(nv);
+    for x in vp.nodes() {
+        let row: Vec<bool> = qp
+            .nodes()
+            .map(|u| vp.pred(x).equivalent(qp.pred(u)))
+            .collect();
+        if row.iter().all(|&b| !b) {
+            return None;
+        }
+        cand.push(row);
+    }
+
+    loop {
+        let mut changed = false;
+        for x in vp.nodes() {
+            for u in 0..nq {
+                if !cand[x.index()][u] {
+                    continue;
+                }
+                let ok = vp.out_edges(x).iter().all(|&(x2, ev)| {
+                    let bound = v.bound(ev);
+                    (0..nq).any(|u2| cand[x2.index()][u2] && witnesses(bound, u, u2))
+                });
+                if !ok {
+                    cand[x.index()][u] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if cand.iter().any(|row| row.iter().all(|&b| !b)) {
+        return None;
+    }
+    Some(cand)
+}
+
+/// Sorted node-match lists derived from [`simulate_bounded_pattern`].
+pub fn bounded_node_matches(
+    v: &BoundedPattern,
+    qb: &BoundedPattern,
+) -> Option<Vec<Vec<PatternNodeId>>> {
+    let cand = simulate_bounded_pattern(v, qb)?;
+    Some(
+        cand.iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b)
+                    .map(|(i, _)| PatternNodeId(i as u32))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_pattern::PatternBuilder;
+
+    /// Query: A -\[3\]-> B -\[2\]-> C.
+    fn qb() -> BoundedPattern {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let bb = b.node_labeled("B");
+        let c = b.node_labeled("C");
+        b.edge_bounded(a, bb, 3);
+        b.edge_bounded(bb, c, 2);
+        b.build_bounded().unwrap()
+    }
+
+    #[test]
+    fn view_with_looser_bounds_matches() {
+        // View: A -[5]-> B. Weighted dist A->B in Qb is 3 ≤ 5.
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("A");
+        let y = vb.node_labeled("B");
+        vb.edge_bounded(x, y, 5);
+        let v = vb.build_bounded().unwrap();
+        let cand = simulate_bounded_pattern(&v, &qb()).expect("matches");
+        assert!(cand[0][0] && cand[1][1]);
+    }
+
+    #[test]
+    fn view_with_tighter_bounds_fails() {
+        // View: A -[2]-> B. dist A->B in Qb is 3 > 2: A-node has no witness.
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("A");
+        let y = vb.node_labeled("B");
+        vb.edge_bounded(x, y, 2);
+        let v = vb.build_bounded().unwrap();
+        assert!(simulate_bounded_pattern(&v, &qb()).is_none());
+    }
+
+    #[test]
+    fn view_edge_spanning_path() {
+        // View: A -[5]-> C. dist A->C = 3 + 2 = 5 ≤ 5 via B.
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("A");
+        let y = vb.node_labeled("C");
+        vb.edge_bounded(x, y, 5);
+        let v = vb.build_bounded().unwrap();
+        assert!(simulate_bounded_pattern(&v, &qb()).is_some());
+        // But 4 is too tight.
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("A");
+        let y = vb.node_labeled("C");
+        vb.edge_bounded(x, y, 4);
+        let v = vb.build_bounded().unwrap();
+        assert!(simulate_bounded_pattern(&v, &qb()).is_none());
+    }
+
+    #[test]
+    fn star_view_edge_uses_reachability() {
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("A");
+        let y = vb.node_labeled("C");
+        vb.edge_unbounded(x, y);
+        let v = vb.build_bounded().unwrap();
+        assert!(simulate_bounded_pattern(&v, &qb()).is_some());
+        // Reversed direction is unreachable.
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("C");
+        let y = vb.node_labeled("A");
+        vb.edge_unbounded(x, y);
+        let v = vb.build_bounded().unwrap();
+        assert!(simulate_bounded_pattern(&v, &qb()).is_none());
+    }
+
+    #[test]
+    fn star_query_edge_blocks_bounded_view_edge() {
+        // Query: A -[*]-> B. View: A -[9]-> B. The only witness distance is
+        // unbounded (∞ > 9), so the view cannot simulate in.
+        let mut qbuilder = PatternBuilder::new();
+        let a = qbuilder.node_labeled("A");
+        let b = qbuilder.node_labeled("B");
+        qbuilder.edge_unbounded(a, b);
+        let q = qbuilder.build_bounded().unwrap();
+
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("A");
+        let y = vb.node_labeled("B");
+        vb.edge_bounded(x, y, 9);
+        let v = vb.build_bounded().unwrap();
+        assert!(simulate_bounded_pattern(&v, &q).is_none());
+
+        // A * view edge does cover it.
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("A");
+        let y = vb.node_labeled("B");
+        vb.edge_unbounded(x, y);
+        let v = vb.build_bounded().unwrap();
+        assert!(simulate_bounded_pattern(&v, &q).is_some());
+    }
+
+    #[test]
+    fn node_match_lists() {
+        let mut vb = PatternBuilder::new();
+        let x = vb.node_labeled("B");
+        let y = vb.node_labeled("C");
+        vb.edge_bounded(x, y, 2);
+        let v = vb.build_bounded().unwrap();
+        let m = bounded_node_matches(&v, &qb()).unwrap();
+        assert_eq!(m[0], vec![PatternNodeId(1)]);
+        assert_eq!(m[1], vec![PatternNodeId(2)]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Dual simulation — extension per the paper's Section VIII pointer to
+//! *Capturing Topology in Graph Pattern Matching* (Ma et al., VLDB 2011).
+//!
+//! Dual simulation strengthens graph simulation with *backward* edge
+//! preservation: `(u, v) ∈ S` additionally requires that for every pattern
+//! edge `(u'', u)` there is a graph edge `(v'', v)` with `(u'', v'') ∈ S`.
+//! The paper notes its view-based techniques "can be readily extended to
+//! revisions of simulation such as dual and strong simulation ... retaining
+//! the same complexity"; this module provides the dual-simulation engine
+//! those extensions build on.
+
+use crate::result::MatchResult;
+use gpv_graph::{BitSet, DataGraph, NodeId};
+use gpv_pattern::{Pattern, PatternNodeId};
+
+/// Computes the maximum dual-simulation relation, or `None` when empty.
+pub fn dual_simulation_relation(q: &Pattern, g: &DataGraph) -> Option<Vec<BitSet>> {
+    let n = g.node_count();
+    let np = q.node_count();
+
+    let mut cand: Vec<BitSet> = Vec::with_capacity(np);
+    for u in q.nodes() {
+        let resolved = q.pred(u).resolve(g);
+        let mut set = BitSet::new(n);
+        for v in g.nodes() {
+            if resolved.satisfied_by(g, v) {
+                set.insert(v.index());
+            }
+        }
+        if set.is_empty() {
+            return None;
+        }
+        cand.push(set);
+    }
+
+    // Forward counters per edge (source side) and backward counters per edge
+    // (target side).
+    let ne = q.edge_count();
+    let mut fwd: Vec<Vec<u32>> = vec![vec![0; n]; ne];
+    let mut bwd: Vec<Vec<u32>> = vec![vec![0; n]; ne];
+    let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+    let mut scheduled = vec![BitSet::new(n); np];
+
+    for (ei, &(u, t)) in q.edges().iter().enumerate() {
+        let (cu, ct) = (cand[u.index()].clone(), cand[t.index()].clone());
+        for v in cu.iter() {
+            let cnt = g
+                .out_neighbors(NodeId(v as u32))
+                .iter()
+                .filter(|w| ct.contains(w.index()))
+                .count() as u32;
+            fwd[ei][v] = cnt;
+            if cnt == 0 && scheduled[u.index()].insert(v) {
+                worklist.push((u, NodeId(v as u32)));
+            }
+        }
+        for v in ct.iter() {
+            let cnt = g
+                .in_neighbors(NodeId(v as u32))
+                .iter()
+                .filter(|w| cu.contains(w.index()))
+                .count() as u32;
+            bwd[ei][v] = cnt;
+            if cnt == 0 && scheduled[t.index()].insert(v) {
+                worklist.push((t, NodeId(v as u32)));
+            }
+        }
+    }
+
+    let mut head = 0;
+    while head < worklist.len() {
+        let (u, v) = worklist[head];
+        head += 1;
+        if !cand[u.index()].remove(v.index()) {
+            continue;
+        }
+        if cand[u.index()].is_empty() {
+            return None;
+        }
+        // Forward propagation: predecessors lose a witness.
+        for &(u0, e0) in q.in_edges(u) {
+            for &w in g.in_neighbors(v) {
+                if cand[u0.index()].contains(w.index())
+                    && !scheduled[u0.index()].contains(w.index())
+                {
+                    let s = &mut fwd[e0.index()][w.index()];
+                    *s = s.saturating_sub(1);
+                    if *s == 0 {
+                        scheduled[u0.index()].insert(w.index());
+                        worklist.push((u0, w));
+                    }
+                }
+            }
+        }
+        // Backward propagation: successors lose a witness.
+        for &(t2, e2) in q.out_edges(u) {
+            for &w in g.out_neighbors(v) {
+                if cand[t2.index()].contains(w.index())
+                    && !scheduled[t2.index()].contains(w.index())
+                {
+                    let s = &mut bwd[e2.index()][w.index()];
+                    *s = s.saturating_sub(1);
+                    if *s == 0 {
+                        scheduled[t2.index()].insert(w.index());
+                        worklist.push((t2, w));
+                    }
+                }
+            }
+        }
+    }
+    Some(cand)
+}
+
+/// Computes the dual-simulation result of `q` over `g` (edge match sets
+/// derived exactly as for plain simulation).
+pub fn dual_match_pattern(q: &Pattern, g: &DataGraph) -> MatchResult {
+    let Some(cand) = dual_simulation_relation(q, g) else {
+        return MatchResult::empty();
+    };
+    let mut edge_matches = Vec::with_capacity(q.edge_count());
+    for &(u, t) in q.edges() {
+        let (cu, ct) = (&cand[u.index()], &cand[t.index()]);
+        let mut set = Vec::new();
+        for v in cu.iter() {
+            let v = NodeId(v as u32);
+            for &w in g.out_neighbors(v) {
+                if ct.contains(w.index()) {
+                    set.push((v, w));
+                }
+            }
+        }
+        if set.is_empty() {
+            return MatchResult::empty();
+        }
+        edge_matches.push(set);
+    }
+    let node_matches = cand
+        .iter()
+        .map(|s| s.iter().map(|i| NodeId(i as u32)).collect())
+        .collect();
+    MatchResult::new(q, node_matches, edge_matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::simulation_relation;
+    use gpv_graph::GraphBuilder;
+    use gpv_pattern::PatternBuilder;
+
+    /// G where plain and dual simulation differ:
+    /// A1 -> B1, A1 -> B2, C1 -> B2  vs pattern A -> B <- C.
+    /// Plain sim: B1 matches B (no backward check). Dual sim: B1 fails —
+    /// it has no C predecessor.
+    fn setup() -> (DataGraph, Pattern, NodeId, NodeId) {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node(["A"]);
+        let b1 = b.add_node(["B"]);
+        let b2 = b.add_node(["B"]);
+        let c1 = b.add_node(["C"]);
+        b.add_edge(a1, b1);
+        b.add_edge(a1, b2);
+        b.add_edge(c1, b2);
+        let g = b.build();
+
+        let mut pb = PatternBuilder::new();
+        let ua = pb.node_labeled("A");
+        let ub = pb.node_labeled("B");
+        let uc = pb.node_labeled("C");
+        pb.edge(ua, ub);
+        pb.edge(uc, ub);
+        let q = pb.build().unwrap();
+        (g, q, b1, b2)
+    }
+
+    #[test]
+    fn dual_is_stricter_than_plain() {
+        let (g, q, b1, b2) = setup();
+        let plain = simulation_relation(&q, &g).unwrap();
+        let dual = dual_simulation_relation(&q, &g).unwrap();
+        let ub = 1usize; // pattern node B index
+        assert!(plain[ub].contains(b1.index()), "plain admits B1");
+        assert!(!dual[ub].contains(b1.index()), "dual rejects B1");
+        assert!(dual[ub].contains(b2.index()));
+        // Dual ⊆ plain on every pattern node.
+        for u in 0..q.node_count() {
+            assert!(dual[u].is_subset(&plain[u]));
+        }
+    }
+
+    #[test]
+    fn dual_match_sets() {
+        let (g, q, _, b2) = setup();
+        let r = dual_match_pattern(&q, &g);
+        assert!(!r.is_empty());
+        // Every edge match targets b2 now.
+        for set in &r.edge_matches {
+            for &(_, t) in set {
+                assert_eq!(t, b2);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_empty_when_backward_unsatisfiable() {
+        // G: A -> B only; Q: A -> B <- C with no C in G at all.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let bb = b.add_node(["B"]);
+        b.add_edge(a, bb);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let ua = pb.node_labeled("A");
+        let ub = pb.node_labeled("B");
+        let uc = pb.node_labeled("C");
+        pb.edge(ua, ub);
+        pb.edge(uc, ub);
+        let q = pb.build().unwrap();
+        assert!(dual_simulation_relation(&q, &g).is_none());
+        assert!(dual_match_pattern(&q, &g).is_empty());
+    }
+
+    #[test]
+    fn dual_equals_plain_on_symmetric_instance() {
+        // When every match also has the needed predecessors, dual == plain.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let bb = b.add_node(["B"]);
+        b.add_edge(a, bb);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let ua = pb.node_labeled("A");
+        let ub = pb.node_labeled("B");
+        pb.edge(ua, ub);
+        let q = pb.build().unwrap();
+        let plain = simulation_relation(&q, &g).unwrap();
+        let dual = dual_simulation_relation(&q, &g).unwrap();
+        for u in 0..q.node_count() {
+            assert_eq!(
+                plain[u].iter().collect::<Vec<_>>(),
+                dual[u].iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn cascade_through_both_directions() {
+        // Chain pattern A -> B -> C; graph where removing the C-match of one
+        // branch kills B (forward), which kills its A (forward), and
+        // backward constraints kill an orphan B with no A predecessor.
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node(["A"]);
+        let b1 = b.add_node(["B"]);
+        let c1 = b.add_node(["C"]);
+        let b_orphan = b.add_node(["B"]);
+        let c2 = b.add_node(["C"]);
+        b.add_edge(a1, b1);
+        b.add_edge(b1, c1);
+        b.add_edge(b_orphan, c2);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let ua = pb.node_labeled("A");
+        let ub = pb.node_labeled("B");
+        let uc = pb.node_labeled("C");
+        pb.edge(ua, ub);
+        pb.edge(ub, uc);
+        let q = pb.build().unwrap();
+        let dual = dual_simulation_relation(&q, &g).unwrap();
+        assert!(!dual[1].contains(b_orphan.index()), "orphan B lacks an A pred");
+        assert!(!dual[2].contains(c2.index()), "c2's only path is via orphan");
+        assert!(dual[1].contains(b1.index()));
+    }
+}

@@ -1,0 +1,426 @@
+//! Graph-simulation matching — the paper's `Match` baseline (\[16\], \[21\]).
+//!
+//! Computes the unique *maximum* match relation `S ⊆ Vp × V` such that
+//!
+//! 1. every pattern node has at least one match, and
+//! 2. for each `(u, v) ∈ S`: `v` satisfies `fv(u)`, and for every pattern
+//!    edge `(u, u')` there is a graph edge `(v, v')` with `(u', v') ∈ S`.
+//!
+//! The implementation is the standard counter-based refinement (in the
+//! spirit of Henzinger-Henzinger-Kopke): a support counter per (pattern
+//! edge, candidate source) tracks how many witnessing successors remain;
+//! when it hits zero the candidate is removed and the removal propagates to
+//! its predecessors through a worklist. Runs in
+//! `O(|Vp||V| + |Ep||E|)` time — within the paper's
+//! `O(|Qs|² + |Qs||G| + |G|²)` bound.
+
+use crate::result::MatchResult;
+use gpv_graph::{BitSet, DataGraph, NodeId};
+use gpv_pattern::{Pattern, PatternNodeId};
+
+/// Computes `Qs(G)` by graph simulation (the `Match` baseline).
+pub fn match_pattern(q: &Pattern, g: &DataGraph) -> MatchResult {
+    match simulation_relation(q, g) {
+        Some(cand) => build_result(q, g, &cand),
+        None => MatchResult::empty(),
+    }
+}
+
+/// Computes only the maximum simulation relation as per-pattern-node
+/// candidate bitsets, or `None` if some pattern node has no match.
+pub fn simulation_relation(q: &Pattern, g: &DataGraph) -> Option<Vec<BitSet>> {
+    let n = g.node_count();
+    let np = q.node_count();
+
+    // Candidate sets from node conditions.
+    let mut cand: Vec<BitSet> = Vec::with_capacity(np);
+    for u in q.nodes() {
+        let resolved = q.pred(u).resolve(g);
+        let mut set = BitSet::new(n);
+        for v in g.nodes() {
+            if resolved.satisfied_by(g, v) {
+                set.insert(v.index());
+            }
+        }
+        if set.is_empty() {
+            return None;
+        }
+        cand.push(set);
+    }
+
+    // Support counters: support[e][v] = |post(v) ∩ cand(target(e))| for v a
+    // candidate of source(e). Dense per edge; `u32::MAX` marks non-candidates.
+    let ne = q.edge_count();
+    let mut support: Vec<Vec<u32>> = vec![vec![0; n]; ne];
+    let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+    // in_worklist guards against duplicate scheduling of the same removal.
+    for (ei, &(u, t)) in q.edges().iter().enumerate() {
+        let (cu, ct) = (&cand[u.index()], &cand[t.index()]);
+        for v in cu.iter() {
+            let cnt = g
+                .out_neighbors(NodeId(v as u32))
+                .iter()
+                .filter(|w| ct.contains(w.index()))
+                .count() as u32;
+            support[ei][v] = cnt;
+            if cnt == 0 {
+                worklist.push((u, NodeId(v as u32)));
+            }
+        }
+    }
+
+    // Refinement: remove unsupported candidates and propagate.
+    let mut removed = vec![BitSet::new(n); np];
+    for &(u, v) in &worklist {
+        removed[u.index()].insert(v.index());
+    }
+    let mut head = 0;
+    while head < worklist.len() {
+        let (u, v) = worklist[head];
+        head += 1;
+        if !cand[u.index()].remove(v.index()) {
+            continue;
+        }
+        if cand[u.index()].is_empty() {
+            return None;
+        }
+        // v no longer matches u: every in-pattern-edge e0 = (u0, u) loses the
+        // witness v for each in-neighbor w of v that is a candidate of u0.
+        for &(u0, e0) in q.in_edges(u) {
+            let ei = e0.index();
+            for &w in g.in_neighbors(v) {
+                if cand[u0.index()].contains(w.index()) && !removed[u0.index()].contains(w.index())
+                {
+                    let s = &mut support[ei][w.index()];
+                    debug_assert!(*s > 0, "support underflow");
+                    *s -= 1;
+                    if *s == 0 {
+                        removed[u0.index()].insert(w.index());
+                        worklist.push((u0, w));
+                    }
+                }
+            }
+        }
+    }
+    Some(cand)
+}
+
+/// Derives the edge match sets `{(e, Se)}` from a simulation relation.
+fn build_result(q: &Pattern, g: &DataGraph, cand: &[BitSet]) -> MatchResult {
+    let mut edge_matches = Vec::with_capacity(q.edge_count());
+    for &(u, t) in q.edges() {
+        let (cu, ct) = (&cand[u.index()], &cand[t.index()]);
+        let mut set = Vec::new();
+        for v in cu.iter() {
+            let v = NodeId(v as u32);
+            for &w in g.out_neighbors(v) {
+                if ct.contains(w.index()) {
+                    set.push((v, w));
+                }
+            }
+        }
+        debug_assert!(!set.is_empty(), "maximum simulation has nonempty Se");
+        edge_matches.push(set);
+    }
+    let node_matches = cand
+        .iter()
+        .map(|s| s.iter().map(|i| NodeId(i as u32)).collect())
+        .collect();
+    MatchResult::new(q, node_matches, edge_matches)
+}
+
+/// Checks `Qs ⊴sim G` without materializing edge match sets.
+pub fn matches(q: &Pattern, g: &DataGraph) -> bool {
+    simulation_relation(q, g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_graph::GraphBuilder;
+    use gpv_pattern::PatternBuilder;
+
+    /// The paper's Fig. 1(a) recommendation network.
+    ///
+    /// Nodes: Bob(PM)=0, Walt(PM)=1, Mat(DBA)=2, Fred(DBA)=3, Mary(DBA)=4,
+    /// Dan(PRG)=5, Pat(PRG)=6, Bill(PRG)=7, Jean(BA)=8, Emmy(ST)=9.
+    pub(crate) fn fig1a() -> (DataGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let bob = b.add_node(["PM"]);
+        let walt = b.add_node(["PM"]);
+        let mat = b.add_node(["DBA"]);
+        let fred = b.add_node(["DBA"]);
+        let mary = b.add_node(["DBA"]);
+        let dan = b.add_node(["PRG"]);
+        let pat = b.add_node(["PRG"]);
+        let bill = b.add_node(["PRG"]);
+        let jean = b.add_node(["BA"]);
+        let emmy = b.add_node(["ST"]);
+        // Edges per Fig. 1(a) / Example 2's expected result:
+        // (PM,DBA1): Bob->Mat, Walt->Mat
+        b.add_edge(bob, mat);
+        b.add_edge(walt, mat);
+        // (PM,PRG2): Bob->Dan, Walt->Bill
+        b.add_edge(bob, dan);
+        b.add_edge(walt, bill);
+        // (DBA,PRG): Fred->Pat, Mat->Pat, Mary->Bill
+        b.add_edge(fred, pat);
+        b.add_edge(mat, pat);
+        b.add_edge(mary, bill);
+        // (PRG,DBA): Dan->Fred, Pat->Mary, Pat->Mat, Bill->Mat
+        b.add_edge(dan, fred);
+        b.add_edge(pat, mary);
+        b.add_edge(pat, mat);
+        b.add_edge(bill, mat);
+        // Context nodes (not matched by Qs): Jean, Emmy.
+        b.add_edge(bob, jean);
+        b.add_edge(jean, emmy);
+        let g = b.build();
+        (
+            g,
+            vec![bob, walt, mat, fred, mary, dan, pat, bill, jean, emmy],
+        )
+    }
+
+    /// The paper's Fig. 1(c) pattern Qs.
+    pub(crate) fn fig1c() -> Pattern {
+        let mut b = PatternBuilder::new();
+        let pm = b.node_labeled("PM");
+        let dba1 = b.node_labeled("DBA");
+        let prg1 = b.node_labeled("PRG");
+        let dba2 = b.node_labeled("DBA");
+        let prg2 = b.node_labeled("PRG");
+        b.edge(pm, dba1);
+        b.edge(pm, prg2);
+        b.edge(dba1, prg1);
+        b.edge(prg1, dba2);
+        b.edge(dba2, prg2);
+        b.edge(prg2, dba1);
+        b.build().unwrap()
+    }
+
+    fn pairs(r: &MatchResult, q: &Pattern, u: u32, v: u32) -> Vec<(u32, u32)> {
+        let e = q
+            .edge_id(PatternNodeId(u), PatternNodeId(v))
+            .expect("edge exists");
+        r.edge_set(e).iter().map(|&(a, b)| (a.0, b.0)).collect()
+    }
+
+    #[test]
+    fn paper_example_2() {
+        let (g, n) = fig1a();
+        let q = fig1c();
+        let r = match_pattern(&q, &g);
+        assert!(!r.is_empty());
+        let id = |v: NodeId| v.0;
+        let (bob, walt, mat, fred, mary, dan, pat, bill) = (
+            id(n[0]),
+            id(n[1]),
+            id(n[2]),
+            id(n[3]),
+            id(n[4]),
+            id(n[5]),
+            id(n[6]),
+            id(n[7]),
+        );
+        // (PM, DBA1) = {(Bob,Mat), (Walt,Mat)}
+        assert_eq!(pairs(&r, &q, 0, 1), vec![(bob, mat), (walt, mat)]);
+        // (PM, PRG2) = {(Bob,Dan), (Walt,Bill)}
+        assert_eq!(pairs(&r, &q, 0, 4), vec![(bob, dan), (walt, bill)]);
+        // (DBA1, PRG1) = {(Fred,Pat), (Mat,Pat), (Mary,Bill)} — sorted by id
+        let mut expect = vec![(fred, pat), (mat, pat), (mary, bill)];
+        expect.sort();
+        assert_eq!(pairs(&r, &q, 1, 2), expect);
+        // (DBA2, PRG2) identical
+        assert_eq!(pairs(&r, &q, 3, 4), expect);
+        // (PRG1, DBA2) = {(Dan,Fred), (Pat,Mary), (Pat,Mat), (Bill,Mat)}
+        let mut expect2 = vec![(dan, fred), (pat, mary), (pat, mat), (bill, mat)];
+        expect2.sort();
+        assert_eq!(pairs(&r, &q, 2, 3), expect2);
+        assert_eq!(pairs(&r, &q, 4, 1), expect2);
+        // Node matches.
+        assert_eq!(
+            r.node_set(PatternNodeId(0)),
+            &[NodeId(bob), NodeId(walt)]
+        );
+    }
+
+    #[test]
+    fn no_match_when_label_missing() {
+        let (g, _) = fig1a();
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled("CEO");
+        let y = b.node_labeled("PM");
+        b.edge(x, y);
+        let q = b.build().unwrap();
+        assert!(match_pattern(&q, &g).is_empty());
+        assert!(!matches(&q, &g));
+    }
+
+    #[test]
+    fn no_match_when_structure_missing() {
+        // G: A -> B; Q: B -> A.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let c = b.add_node(["B"]);
+        b.add_edge(a, c);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let x = pb.node_labeled("B");
+        let y = pb.node_labeled("A");
+        pb.edge(x, y);
+        let q = pb.build().unwrap();
+        assert!(match_pattern(&q, &g).is_empty());
+    }
+
+    #[test]
+    fn cascading_removal() {
+        // G: A1 -> B1 (B1 has no C successor), A2 -> B2 -> C1.
+        // Q: A -> B -> C. Only (A2,B2,C1) chain survives.
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node(["A"]);
+        let b1 = b.add_node(["B"]);
+        let a2 = b.add_node(["A"]);
+        let b2 = b.add_node(["B"]);
+        let c1 = b.add_node(["C"]);
+        b.add_edge(a1, b1);
+        b.add_edge(a2, b2);
+        b.add_edge(b2, c1);
+        let g = b.build();
+
+        let mut pb = PatternBuilder::new();
+        let x = pb.node_labeled("A");
+        let y = pb.node_labeled("B");
+        let z = pb.node_labeled("C");
+        pb.edge(x, y);
+        pb.edge(y, z);
+        let q = pb.build().unwrap();
+        let r = match_pattern(&q, &g);
+        assert_eq!(r.node_set(x), &[a2]);
+        assert_eq!(r.node_set(y), &[b2]);
+        assert_eq!(r.node_set(z), &[c1]);
+        assert_eq!(r.size(), 2);
+    }
+
+    #[test]
+    fn cyclic_pattern_on_cyclic_graph() {
+        // G: x(A) <-> y(B); Q: A <-> B. Both directions match.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["A"]);
+        let y = b.add_node(["B"]);
+        b.add_edge(x, y);
+        b.add_edge(y, x);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let ua = pb.node_labeled("A");
+        let ub = pb.node_labeled("B");
+        pb.edge(ua, ub);
+        pb.edge(ub, ua);
+        let q = pb.build().unwrap();
+        let r = match_pattern(&q, &g);
+        assert_eq!(r.size(), 2);
+    }
+
+    #[test]
+    fn cyclic_pattern_fails_on_dag() {
+        // G: x(A) -> y(B), no back edge; Q: A <-> B.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["A"]);
+        let y = b.add_node(["B"]);
+        b.add_edge(x, y);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let ua = pb.node_labeled("A");
+        let ub = pb.node_labeled("B");
+        pb.edge(ua, ub);
+        pb.edge(ub, ua);
+        let q = pb.build().unwrap();
+        assert!(match_pattern(&q, &g).is_empty());
+    }
+
+    #[test]
+    fn simulation_is_maximal() {
+        // Every pair (u, v) where v could consistently simulate u must be in
+        // the relation: check against brute-force greatest fixpoint.
+        let (g, _) = fig1a();
+        let q = fig1c();
+        let cand = simulation_relation(&q, &g).unwrap();
+        // Brute force: start from label-satisfying sets, iterate removal.
+        let mut brute: Vec<Vec<bool>> = q
+            .nodes()
+            .map(|u| {
+                let rp = q.pred(u).resolve(&g);
+                g.nodes().map(|v| rp.satisfied_by(&g, v)).collect()
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for u in q.nodes() {
+                for v in g.nodes() {
+                    if !brute[u.index()][v.index()] {
+                        continue;
+                    }
+                    let ok = q.out_edges(u).iter().all(|&(t, _)| {
+                        g.out_neighbors(v)
+                            .iter()
+                            .any(|w| brute[t.index()][w.index()])
+                    });
+                    if !ok {
+                        brute[u.index()][v.index()] = false;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for u in q.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    cand[u.index()].contains(v.index()),
+                    brute[u.index()][v.index()],
+                    "disagreement at ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_pattern() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["A"]);
+        let y = b.add_node(["A"]);
+        b.add_edge(x, x);
+        b.add_edge(x, y);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let u = pb.node_labeled("A");
+        pb.edge(u, u);
+        let q = pb.build().unwrap();
+        let r = match_pattern(&q, &g);
+        // Only x has a self-loop... but simulation allows x->x and also any
+        // node whose successor simulates A-with-loop: y has no out-edge, so
+        // only x survives.
+        assert_eq!(r.node_set(u), &[x]);
+        assert_eq!(r.edge_set(gpv_pattern::PatternEdgeId(0)), &[(x, x)]);
+    }
+
+    #[test]
+    fn wildcard_node_matches_everything_with_structure() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["A"]);
+        let y = b.add_node(["B"]);
+        b.add_edge(x, y);
+        let g = b.build();
+        let mut pb = PatternBuilder::new();
+        let u = pb.node_any();
+        let w = pb.node_any();
+        pb.edge(u, w);
+        let q = pb.build().unwrap();
+        let r = match_pattern(&q, &g);
+        // u matches x (has successor); w matches both.
+        assert_eq!(r.node_set(u), &[x]);
+        assert_eq!(r.node_set(w), &[x, y]);
+    }
+}

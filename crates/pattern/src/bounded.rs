@@ -1,0 +1,327 @@
+//! Bounded pattern queries `Qb = (Vp, Ep, fv, fe)` (paper Section VI).
+//!
+//! A bounded pattern extends a plain pattern with a function `fe` mapping
+//! each edge to a hop bound: a positive integer `k` ("a nonempty path of
+//! length ≤ k") or `*` ("any nonempty path"). Plain patterns are the special
+//! case `fe(e) = 1` everywhere.
+//!
+//! For bounded containment analysis (Section VI-B), `Qb` is treated as a
+//! *weighted* graph whose edge weights are the bounds; [`BoundedPattern`]
+//! therefore also provides weighted shortest distances and reachability.
+
+use crate::pattern::{Pattern, PatternEdgeId, PatternError, PatternNodeId};
+use serde::{Deserialize, Serialize};
+
+/// The bound `fe(e)` on a bounded-pattern edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeBound {
+    /// A nonempty path of at most `k` hops (`k ≥ 1`).
+    Hop(u32),
+    /// `*`: a nonempty path of any length.
+    Unbounded,
+}
+
+impl EdgeBound {
+    /// Whether a path of hop-length `d ≥ 1` satisfies this bound.
+    #[inline]
+    pub fn admits(self, d: u32) -> bool {
+        match self {
+            EdgeBound::Hop(k) => d <= k,
+            EdgeBound::Unbounded => true,
+        }
+    }
+
+    /// Whether every path admitted by `self` is admitted by `other`
+    /// (bound subsumption: `self ≤ other`).
+    #[inline]
+    pub fn within(self, other: EdgeBound) -> bool {
+        match (self, other) {
+            (_, EdgeBound::Unbounded) => true,
+            (EdgeBound::Unbounded, EdgeBound::Hop(_)) => false,
+            (EdgeBound::Hop(a), EdgeBound::Hop(b)) => a <= b,
+        }
+    }
+
+    /// The numeric bound, `None` for `*`.
+    #[inline]
+    pub fn hops(self) -> Option<u32> {
+        match self {
+            EdgeBound::Hop(k) => Some(k),
+            EdgeBound::Unbounded => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeBound::Hop(k) => write!(f, "{k}"),
+            EdgeBound::Unbounded => write!(f, "*"),
+        }
+    }
+}
+
+/// A weighted distance inside a bounded pattern: finite hop total, infinite
+/// (a path exists but uses a `*` edge or no path exists distinguishes via
+/// [`BoundedPattern::reaches`]).
+pub type WeightedDist = Option<u64>;
+
+/// A bounded pattern query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoundedPattern {
+    pattern: Pattern,
+    bounds: Vec<EdgeBound>,
+}
+
+impl BoundedPattern {
+    /// Wraps a pattern with per-edge bounds (in [`PatternEdgeId`] order).
+    pub fn new(pattern: Pattern, bounds: Vec<EdgeBound>) -> Result<Self, PatternError> {
+        assert_eq!(
+            bounds.len(),
+            pattern.edge_count(),
+            "one bound per pattern edge"
+        );
+        Ok(BoundedPattern { pattern, bounds })
+    }
+
+    /// Lifts a plain pattern: every edge gets bound 1 (the paper's
+    /// correspondence between `Qs` and `Qb`).
+    pub fn from_pattern(pattern: Pattern) -> Self {
+        let bounds = vec![EdgeBound::Hop(1); pattern.edge_count()];
+        BoundedPattern { pattern, bounds }
+    }
+
+    /// Lifts a plain pattern with a uniform bound `k` on every edge, as used
+    /// throughout the paper's experiments (e.g. `fe(e) = 2` on Amazon).
+    pub fn with_uniform_bound(pattern: Pattern, k: u32) -> Self {
+        let bounds = vec![EdgeBound::Hop(k); pattern.edge_count()];
+        BoundedPattern { pattern, bounds }
+    }
+
+    /// The underlying pattern `(Vp, Ep, fv)`.
+    #[inline]
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// `fe(e)`.
+    #[inline]
+    pub fn bound(&self, e: PatternEdgeId) -> EdgeBound {
+        self.bounds[e.index()]
+    }
+
+    /// All bounds in edge-id order.
+    #[inline]
+    pub fn bounds(&self) -> &[EdgeBound] {
+        &self.bounds
+    }
+
+    /// The paper's `|Qb|` (nodes + edges).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.pattern.size()
+    }
+
+    /// Whether every bound is `Hop(1)`, i.e. the query is a plain pattern.
+    pub fn is_plain(&self) -> bool {
+        self.bounds.iter().all(|&b| b == EdgeBound::Hop(1))
+    }
+
+    /// Weighted shortest distance from `u` to `v` over *bounded* edges only
+    /// (edge weight = its hop bound), for nonempty paths. `*` edges are
+    /// excluded (they contribute unbounded weight). Used by bounded view
+    /// matches: "treat Qb as a weighted data graph in which each edge e has
+    /// weight fe(e)".
+    ///
+    /// `u == v` requires a cycle. Dijkstra over the (small) pattern.
+    pub fn weighted_distance(&self, u: PatternNodeId, v: PatternNodeId) -> WeightedDist {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.pattern.node_count();
+        let mut dist: Vec<u64> = vec![u64::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        // Nonempty-path semantics: relax u's out-edges without finalizing u.
+        for &(w, e) in self.pattern.out_edges(u) {
+            if let EdgeBound::Hop(k) = self.bounds[e.index()] {
+                let d = k as u64;
+                if d < dist[w.index()] {
+                    dist[w.index()] = d;
+                    heap.push(Reverse((d, w.0)));
+                }
+            }
+        }
+        while let Some(Reverse((d, x))) = heap.pop() {
+            if x == v.0 {
+                return Some(d);
+            }
+            if d > dist[x as usize] {
+                continue;
+            }
+            for &(w, e) in self.pattern.out_edges(PatternNodeId(x)) {
+                if let EdgeBound::Hop(k) = self.bounds[e.index()] {
+                    let nd = d + k as u64;
+                    if nd < dist[w.index()] {
+                        dist[w.index()] = nd;
+                        heap.push(Reverse((nd, w.0)));
+                    }
+                }
+            }
+        }
+        if dist[v.index()] != u64::MAX {
+            Some(dist[v.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Whether `v` is reachable from `u` by a nonempty path over *all* edges
+    /// (including `*` edges).
+    pub fn reaches(&self, u: PatternNodeId, v: PatternNodeId) -> bool {
+        let n = self.pattern.node_count();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<PatternNodeId> =
+            self.pattern.out_edges(u).iter().map(|&(w, _)| w).collect();
+        while let Some(x) = stack.pop() {
+            if x == v {
+                return true;
+            }
+            if std::mem::replace(&mut seen[x.index()], true) {
+                continue;
+            }
+            stack.extend(self.pattern.out_edges(x).iter().map(|&(w, _)| w));
+        }
+        false
+    }
+}
+
+impl From<Pattern> for BoundedPattern {
+    fn from(p: Pattern) -> Self {
+        BoundedPattern::from_pattern(p)
+    }
+}
+
+impl std::fmt::Display for BoundedPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "bounded pattern ({} nodes, {} edges)",
+            self.pattern.node_count(),
+            self.pattern.edge_count()
+        )?;
+        for u in self.pattern.nodes() {
+            writeln!(f, "  {u}: {}", self.pattern.pred(u))?;
+        }
+        for (i, &(u, v)) in self.pattern.edges().iter().enumerate() {
+            writeln!(f, "  {u} -[{}]-> {v}", self.bounds[i])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PatternBuilder;
+
+    fn chain_with_bounds() -> BoundedPattern {
+        // A -[2]-> B -[3]-> C, plus A -[7]-> C and C -[*]-> A.
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let c = b.node_labeled("B");
+        let d = b.node_labeled("C");
+        b.edge_bounded(a, c, 2);
+        b.edge_bounded(c, d, 3);
+        b.edge_bounded(a, d, 7);
+        b.edge_unbounded(d, a);
+        b.build_bounded().unwrap()
+    }
+
+    #[test]
+    fn bound_admits() {
+        assert!(EdgeBound::Hop(3).admits(1));
+        assert!(EdgeBound::Hop(3).admits(3));
+        assert!(!EdgeBound::Hop(3).admits(4));
+        assert!(EdgeBound::Unbounded.admits(1_000_000));
+    }
+
+    #[test]
+    fn bound_within() {
+        assert!(EdgeBound::Hop(2).within(EdgeBound::Hop(3)));
+        assert!(EdgeBound::Hop(3).within(EdgeBound::Hop(3)));
+        assert!(!EdgeBound::Hop(4).within(EdgeBound::Hop(3)));
+        assert!(EdgeBound::Hop(9).within(EdgeBound::Unbounded));
+        assert!(EdgeBound::Unbounded.within(EdgeBound::Unbounded));
+        assert!(!EdgeBound::Unbounded.within(EdgeBound::Hop(100)));
+    }
+
+    #[test]
+    fn weighted_distance_prefers_shorter_sum() {
+        let q = chain_with_bounds();
+        let (a, c) = (PatternNodeId(0), PatternNodeId(2));
+        // A->B->C sums to 5, beating the direct 7-weight edge.
+        assert_eq!(q.weighted_distance(a, c), Some(5));
+    }
+
+    #[test]
+    fn weighted_distance_excludes_star_edges() {
+        let q = chain_with_bounds();
+        let (c, a) = (PatternNodeId(2), PatternNodeId(0));
+        // Only route C -> A is the * edge, which carries no finite weight.
+        assert_eq!(q.weighted_distance(c, a), None);
+        assert!(q.reaches(c, a));
+    }
+
+    #[test]
+    fn nonempty_path_semantics() {
+        let q = chain_with_bounds();
+        let a = PatternNodeId(0);
+        // A reaches itself via A->...->C->(*)->A, so reaches() is true, but
+        // no all-bounded cycle exists.
+        assert!(q.reaches(a, a));
+        assert_eq!(q.weighted_distance(a, a), None);
+    }
+
+    #[test]
+    fn bounded_cycle_self_distance() {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let c = b.node_labeled("B");
+        b.edge_bounded(a, c, 2);
+        b.edge_bounded(c, a, 3);
+        let q = b.build_bounded().unwrap();
+        assert_eq!(q.weighted_distance(a, a), Some(5));
+    }
+
+    #[test]
+    fn from_pattern_all_ones() {
+        let q = chain_with_bounds();
+        let plain = BoundedPattern::from_pattern(q.pattern().clone());
+        assert!(plain.is_plain());
+        assert!(!q.is_plain());
+    }
+
+    #[test]
+    fn uniform_bound() {
+        let q = chain_with_bounds();
+        let u = BoundedPattern::with_uniform_bound(q.pattern().clone(), 4);
+        assert!(u.bounds().iter().all(|&b| b == EdgeBound::Hop(4)));
+    }
+
+    #[test]
+    fn display_shows_bounds() {
+        let s = format!("{}", chain_with_bounds());
+        assert!(s.contains("-[2]->"));
+        assert!(s.contains("-[*]->"));
+    }
+
+    #[test]
+    fn unreachable_distance() {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let c = b.node_labeled("B");
+        b.edge_bounded(a, c, 1);
+        let q = b.build_bounded().unwrap();
+        assert_eq!(q.weighted_distance(c, a), None);
+        assert!(!q.reaches(c, a));
+    }
+}

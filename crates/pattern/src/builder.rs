@@ -1,0 +1,207 @@
+//! Fluent construction of (bounded) patterns.
+
+use crate::bounded::{BoundedPattern, EdgeBound};
+use crate::pattern::{Pattern, PatternError, PatternNodeId};
+use crate::predicate::Predicate;
+
+/// Builds [`Pattern`]s and [`BoundedPattern`]s.
+///
+/// ```
+/// use gpv_pattern::{PatternBuilder, Predicate, CmpOp};
+///
+/// let mut b = PatternBuilder::new();
+/// let pm = b.node_labeled("PM");
+/// let dba = b.node(Predicate::label("DBA").and(Predicate::cmp("exp", CmpOp::Ge, 5i64)));
+/// b.edge(pm, dba);
+/// let q = b.build().unwrap();
+/// assert_eq!(q.node_count(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PatternBuilder {
+    preds: Vec<Predicate>,
+    edges: Vec<(u32, u32)>,
+    bounds: Vec<EdgeBound>,
+}
+
+impl PatternBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with an arbitrary predicate.
+    pub fn node(&mut self, pred: Predicate) -> PatternNodeId {
+        let id = PatternNodeId(self.preds.len() as u32);
+        self.preds.push(pred);
+        id
+    }
+
+    /// Adds a node with a single-label condition (the paper's `fv(u)`).
+    pub fn node_labeled(&mut self, label: &str) -> PatternNodeId {
+        self.node(Predicate::label(label))
+    }
+
+    /// Adds a wildcard node (matches any data node).
+    pub fn node_any(&mut self) -> PatternNodeId {
+        self.node(Predicate::any())
+    }
+
+    /// Adds an edge with bound 1 (a plain pattern edge).
+    pub fn edge(&mut self, u: PatternNodeId, v: PatternNodeId) {
+        self.edges.push((u.0, v.0));
+        self.bounds.push(EdgeBound::Hop(1));
+    }
+
+    /// Adds an edge with hop bound `k` (`fe(e) = k`).
+    pub fn edge_bounded(&mut self, u: PatternNodeId, v: PatternNodeId, k: u32) {
+        assert!(k >= 1, "hop bound must be positive");
+        self.edges.push((u.0, v.0));
+        self.bounds.push(EdgeBound::Hop(k));
+    }
+
+    /// Adds an unbounded edge (`fe(e) = *`).
+    pub fn edge_unbounded(&mut self, u: PatternNodeId, v: PatternNodeId) {
+        self.edges.push((u.0, v.0));
+        self.bounds.push(EdgeBound::Unbounded);
+    }
+
+    /// Number of nodes so far.
+    pub fn node_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Finishes a plain [`Pattern`]; edge bounds other than 1 are rejected
+    /// (use [`build_bounded`](Self::build_bounded)).
+    pub fn build(self) -> Result<Pattern, PatternError> {
+        assert!(
+            self.bounds.iter().all(|&b| b == EdgeBound::Hop(1)),
+            "pattern has non-unit bounds; call build_bounded()"
+        );
+        Pattern::from_parts(self.preds, self.edges)
+    }
+
+    /// Finishes a [`BoundedPattern`].
+    ///
+    /// Note: [`Pattern::from_parts`] deduplicates edges; bounds are carried
+    /// through that mapping, and for duplicate edges the *loosest* bound
+    /// wins (the duplicates describe the same edge; keeping the loosest is
+    /// the only choice consistent with every duplicate individually).
+    pub fn build_bounded(self) -> Result<BoundedPattern, PatternError> {
+        // Pair each edge with its bound, sort like from_parts does, and fold
+        // duplicates by taking the loosest bound.
+        let mut pairs: Vec<((u32, u32), EdgeBound)> =
+            self.edges.iter().copied().zip(self.bounds).collect();
+        pairs.sort_by_key(|&(e, _)| e);
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+        let mut bounds: Vec<EdgeBound> = Vec::with_capacity(pairs.len());
+        for (e, b) in pairs {
+            if edges.last() == Some(&e) {
+                let last = bounds.last_mut().expect("parallel arrays");
+                if !b.within(*last) {
+                    *last = b;
+                }
+            } else {
+                edges.push(e);
+                bounds.push(b);
+            }
+        }
+        let pattern = Pattern::from_parts(self.preds, edges)?;
+        BoundedPattern::new(pattern, bounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    #[test]
+    fn build_plain() {
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled("A");
+        let y = b.node_any();
+        b.edge(x, y);
+        let q = b.build().unwrap();
+        assert_eq!(q.node_count(), 2);
+        assert!(q.pred(y).is_any());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-unit bounds")]
+    fn build_plain_rejects_bounds() {
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled("A");
+        let y = b.node_labeled("B");
+        b.edge_bounded(x, y, 3);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn build_bounded_keeps_bounds_aligned() {
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled("A");
+        let y = b.node_labeled("B");
+        let z = b.node_labeled("C");
+        // Insert out of sorted order to exercise the sort-carry.
+        b.edge_bounded(y, z, 5);
+        b.edge_bounded(x, y, 2);
+        b.edge_unbounded(x, z);
+        let q = b.build_bounded().unwrap();
+        let exy = q.pattern().edge_id(x, y).unwrap();
+        let eyz = q.pattern().edge_id(y, z).unwrap();
+        let exz = q.pattern().edge_id(x, z).unwrap();
+        assert_eq!(q.bound(exy), EdgeBound::Hop(2));
+        assert_eq!(q.bound(eyz), EdgeBound::Hop(5));
+        assert_eq!(q.bound(exz), EdgeBound::Unbounded);
+    }
+
+    #[test]
+    fn duplicate_edges_take_loosest_bound() {
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled("A");
+        let y = b.node_labeled("B");
+        b.edge_bounded(x, y, 2);
+        b.edge_bounded(x, y, 4);
+        b.edge_bounded(x, y, 3);
+        let q = b.build_bounded().unwrap();
+        assert_eq!(q.pattern().edge_count(), 1);
+        let e = q.pattern().edge_id(x, y).unwrap();
+        assert_eq!(q.bound(e), EdgeBound::Hop(4));
+    }
+
+    #[test]
+    fn duplicate_with_star_wins() {
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled("A");
+        let y = b.node_labeled("B");
+        b.edge_bounded(x, y, 2);
+        b.edge_unbounded(x, y);
+        let q = b.build_bounded().unwrap();
+        let e = q.pattern().edge_id(x, y).unwrap();
+        assert_eq!(q.bound(e), EdgeBound::Unbounded);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_rejected() {
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled("A");
+        let y = b.node_labeled("B");
+        b.edge_bounded(x, y, 0);
+    }
+
+    #[test]
+    fn predicate_nodes() {
+        let mut b = PatternBuilder::new();
+        let v = b.node(
+            Predicate::cmp("category", CmpOp::Eq, "Music")
+                .and(Predicate::cmp("visits", CmpOp::Ge, 10_000i64)),
+        );
+        let q = {
+            let w = b.node_any();
+            b.edge(v, w);
+            b.build().unwrap()
+        };
+        assert_eq!(q.pred(v).atoms().len(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! # gpv-pattern — graph pattern queries
+//!
+//! Pattern queries `Qs = (Vp, Ep, fv)` and bounded pattern queries
+//! `Qb = (Vp, Ep, fv, fe)` from *Answering Graph Pattern Queries Using Views*
+//! (Fan, Wang, Wu — ICDE 2014), Sections II-A and VI.
+//!
+//! * [`Predicate`] — node search conditions: single labels (`fv(u)`) or
+//!   Boolean conjunctions of attribute comparisons (paper Fig. 7), with
+//!   satisfaction, implication and equivalence;
+//! * [`Pattern`] — the directed pattern graph, with SCC condensation and the
+//!   paper's rank function for the bottom-up `MatchJoin` optimization;
+//! * [`BoundedPattern`] / [`EdgeBound`] — hop bounds `fe(e) ∈ {k, *}` plus
+//!   the weighted-distance view of `Qb` used by bounded containment;
+//! * [`PatternBuilder`] — fluent construction.
+
+pub mod bounded;
+pub mod builder;
+pub mod parse;
+pub mod pattern;
+pub mod predicate;
+
+pub use bounded::{BoundedPattern, EdgeBound};
+pub use builder::PatternBuilder;
+pub use parse::{parse_bounded_pattern, parse_pattern, parse_predicate, write_bounded_pattern, write_pattern};
+pub use pattern::{Pattern, PatternEdgeId, PatternError, PatternNodeId};
+pub use predicate::{Atom, CmpOp, Predicate, ResolvedPredicate};

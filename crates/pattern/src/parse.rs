@@ -1,0 +1,365 @@
+//! Text format for (bounded) patterns.
+//!
+//! Line-oriented, mirroring the graph format of `gpv-graph::io`:
+//!
+//! ```text
+//! # a bounded pattern
+//! node pm PM
+//! node dba DBA & exp>=5
+//! node any *
+//! edge pm dba
+//! edge dba any 3
+//! edge any pm *
+//! ```
+//!
+//! * `node <name> <condition>` — condition is `*` (any), a label, or a
+//!   `&`-conjunction of atoms; atoms are labels or comparisons
+//!   `attr OP value` with `OP ∈ {=, !=, <, <=, >, >=}` and value an integer
+//!   or a (optionally `"`-quoted) string.
+//! * `edge <src> <dst> [bound]` — bound is a positive integer or `*`;
+//!   omitted means 1 (a plain pattern edge).
+
+use crate::bounded::{BoundedPattern, EdgeBound};
+use crate::builder::PatternBuilder;
+use crate::pattern::Pattern;
+use crate::predicate::{Atom, CmpOp, Predicate};
+use gpv_graph::Value;
+use std::collections::HashMap;
+
+/// Errors from the pattern parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unknown record kind.
+    UnknownRecord(usize, String),
+    /// Malformed record.
+    Malformed(usize, String),
+    /// Duplicate node name.
+    DuplicateNode(usize, String),
+    /// Edge references an undeclared node.
+    UnknownNode(usize, String),
+    /// The final pattern is invalid (e.g. empty).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownRecord(l, s) => write!(f, "line {l}: unknown record `{s}`"),
+            ParseError::Malformed(l, s) => write!(f, "line {l}: malformed: {s}"),
+            ParseError::DuplicateNode(l, s) => write!(f, "line {l}: duplicate node `{s}`"),
+            ParseError::UnknownNode(l, s) => write!(f, "line {l}: unknown node `{s}`"),
+            ParseError::Invalid(s) => write!(f, "invalid pattern: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a single atom: `label`, or `attr OP value`.
+fn parse_atom(s: &str, lineno: usize) -> Result<Atom, ParseError> {
+    let s = s.trim();
+    // Find the operator (two-char ops first).
+    for op_str in ["<=", ">=", "!="] {
+        if let Some(i) = s.find(op_str) {
+            return build_cmp(s, i, op_str, lineno);
+        }
+    }
+    for op_str in ["=", "<", ">"] {
+        if let Some(i) = s.find(op_str) {
+            return build_cmp(s, i, op_str, lineno);
+        }
+    }
+    if s.is_empty() || s.contains(char::is_whitespace) {
+        return Err(ParseError::Malformed(lineno, format!("bad atom `{s}`")));
+    }
+    Ok(Atom::Label(s.to_string()))
+}
+
+fn build_cmp(s: &str, i: usize, op_str: &str, lineno: usize) -> Result<Atom, ParseError> {
+    let attr = s[..i].trim();
+    let raw = s[i + op_str.len()..].trim();
+    if attr.is_empty() || raw.is_empty() {
+        return Err(ParseError::Malformed(lineno, format!("bad comparison `{s}`")));
+    }
+    let op = match op_str {
+        "=" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        _ => unreachable!("operator list above"),
+    };
+    let value = if let Ok(i) = raw.parse::<i64>() {
+        Value::Int(i)
+    } else {
+        Value::Str(raw.trim_matches('"').to_string())
+    };
+    Ok(Atom::Cmp {
+        attr: attr.to_string(),
+        op,
+        value,
+    })
+}
+
+/// Parses a node condition: `*` or a `&`-conjunction of atoms.
+pub fn parse_predicate(s: &str) -> Result<Predicate, ParseError> {
+    parse_predicate_at(s, 0)
+}
+
+fn parse_predicate_at(s: &str, lineno: usize) -> Result<Predicate, ParseError> {
+    let s = s.trim();
+    if s == "*" {
+        return Ok(Predicate::any());
+    }
+    let mut p = Predicate::any();
+    for part in s.split('&') {
+        p.push(parse_atom(part, lineno)?);
+    }
+    Ok(p)
+}
+
+/// Parses the text format into a [`BoundedPattern`].
+pub fn parse_bounded_pattern(text: &str) -> Result<BoundedPattern, ParseError> {
+    let mut b = PatternBuilder::new();
+    let mut names: HashMap<String, crate::pattern::PatternNodeId> = HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next().unwrap_or_default() {
+            "node" => {
+                let name = tok
+                    .next()
+                    .ok_or_else(|| ParseError::Malformed(lineno, raw.into()))?
+                    .to_string();
+                if names.contains_key(&name) {
+                    return Err(ParseError::DuplicateNode(lineno, name));
+                }
+                let rest: String = tok.collect::<Vec<_>>().join(" ");
+                let pred = if rest.is_empty() {
+                    Predicate::any()
+                } else {
+                    parse_predicate_at(&rest, lineno)?
+                };
+                let id = b.node(pred);
+                names.insert(name, id);
+            }
+            "edge" => {
+                let src = tok
+                    .next()
+                    .ok_or_else(|| ParseError::Malformed(lineno, raw.into()))?;
+                let dst = tok
+                    .next()
+                    .ok_or_else(|| ParseError::Malformed(lineno, raw.into()))?;
+                let u = *names
+                    .get(src)
+                    .ok_or_else(|| ParseError::UnknownNode(lineno, src.into()))?;
+                let v = *names
+                    .get(dst)
+                    .ok_or_else(|| ParseError::UnknownNode(lineno, dst.into()))?;
+                match tok.next() {
+                    None => b.edge(u, v),
+                    Some("*") => b.edge_unbounded(u, v),
+                    Some(k) => {
+                        let k: u32 = k
+                            .parse()
+                            .map_err(|_| ParseError::Malformed(lineno, raw.into()))?;
+                        if k == 0 {
+                            return Err(ParseError::Malformed(lineno, "bound must be ≥ 1".into()));
+                        }
+                        b.edge_bounded(u, v, k);
+                    }
+                }
+            }
+            other => return Err(ParseError::UnknownRecord(lineno, other.into())),
+        }
+    }
+    b.build_bounded()
+        .map_err(|e| ParseError::Invalid(e.to_string()))
+}
+
+/// Parses the text format into a plain [`Pattern`]; rejects non-unit bounds.
+pub fn parse_pattern(text: &str) -> Result<Pattern, ParseError> {
+    let bp = parse_bounded_pattern(text)?;
+    if !bp.is_plain() {
+        return Err(ParseError::Invalid(
+            "pattern has non-unit edge bounds; use parse_bounded_pattern".into(),
+        ));
+    }
+    Ok(bp.pattern().clone())
+}
+
+/// Serializes a bounded pattern to the text format (round-trips through
+/// [`parse_bounded_pattern`] up to node naming).
+pub fn write_bounded_pattern(p: &BoundedPattern) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let q = p.pattern();
+    for u in q.nodes() {
+        let pred = q.pred(u);
+        if pred.is_any() {
+            let _ = writeln!(out, "node u{} *", u.0);
+        } else {
+            let cond = pred
+                .atoms()
+                .iter()
+                .map(|a| match a {
+                    Atom::Label(l) => l.clone(),
+                    Atom::Cmp { attr, op, value } => match value {
+                        Value::Int(i) => format!("{attr}{}{i}", op.symbol()),
+                        Value::Str(s) => format!("{attr}{}\"{s}\"", op.symbol()),
+                    },
+                })
+                .collect::<Vec<_>>()
+                .join(" & ");
+            let _ = writeln!(out, "node u{} {}", u.0, cond);
+        }
+    }
+    for (ei, &(u, v)) in q.edges().iter().enumerate() {
+        match p.bound(crate::pattern::PatternEdgeId(ei as u32)) {
+            EdgeBound::Hop(1) => {
+                let _ = writeln!(out, "edge u{} u{}", u.0, v.0);
+            }
+            EdgeBound::Hop(k) => {
+                let _ = writeln!(out, "edge u{} u{} {}", u.0, v.0, k);
+            }
+            EdgeBound::Unbounded => {
+                let _ = writeln!(out, "edge u{} u{} *", u.0, v.0);
+            }
+        }
+    }
+    out
+}
+
+/// Serializes a plain pattern.
+pub fn write_pattern(p: &Pattern) -> String {
+    write_bounded_pattern(&BoundedPattern::from_pattern(p.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternNodeId;
+
+    #[test]
+    fn parse_plain() {
+        let p = parse_pattern(
+            "# team\n\
+             node pm PM\n\
+             node dba DBA\n\
+             edge pm dba\n",
+        )
+        .unwrap();
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.edge_count(), 1);
+        assert_eq!(p.pred(PatternNodeId(0)), &Predicate::label("PM"));
+    }
+
+    #[test]
+    fn parse_conditions() {
+        let p = parse_pattern(
+            "node v video & R>=4 & C=\"Music\"\n\
+             node w *\n\
+             edge v w\n",
+        )
+        .unwrap();
+        let pred = p.pred(PatternNodeId(0));
+        assert_eq!(pred.atoms().len(), 3);
+        assert!(pred.implies(&Predicate::cmp("R", CmpOp::Ge, 4i64)));
+        assert!(pred.implies(&Predicate::cmp("C", CmpOp::Eq, "Music")));
+        assert!(p.pred(PatternNodeId(1)).is_any());
+    }
+
+    #[test]
+    fn parse_bounded() {
+        let p = parse_bounded_pattern(
+            "node a A\n\
+             node b B\n\
+             node c C\n\
+             edge a b 3\n\
+             edge b c *\n\
+             edge c a\n",
+        )
+        .unwrap();
+        let q = p.pattern();
+        let e = |u, v| q.edge_id(PatternNodeId(u), PatternNodeId(v)).unwrap();
+        assert_eq!(p.bound(e(0, 1)), EdgeBound::Hop(3));
+        assert_eq!(p.bound(e(1, 2)), EdgeBound::Unbounded);
+        assert_eq!(p.bound(e(2, 0)), EdgeBound::Hop(1));
+    }
+
+    #[test]
+    fn plain_rejects_bounds() {
+        let r = parse_pattern("node a A\nnode b B\nedge a b 2\n");
+        assert!(matches!(r, Err(ParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn operators() {
+        for (txt, op) in [
+            ("x=1", CmpOp::Eq),
+            ("x!=1", CmpOp::Ne),
+            ("x<1", CmpOp::Lt),
+            ("x<=1", CmpOp::Le),
+            ("x>1", CmpOp::Gt),
+            ("x>=1", CmpOp::Ge),
+        ] {
+            let p = parse_predicate(txt).unwrap();
+            assert_eq!(p, Predicate::cmp("x", op, 1i64), "{txt}");
+        }
+    }
+
+    #[test]
+    fn string_values() {
+        let p = parse_predicate("c=Music").unwrap();
+        assert_eq!(p, Predicate::cmp("c", CmpOp::Eq, "Music"));
+        let q = parse_predicate("c=\"Hello\"").unwrap();
+        assert_eq!(q, Predicate::cmp("c", CmpOp::Eq, "Hello"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            parse_bounded_pattern("blah x\n"),
+            Err(ParseError::UnknownRecord(1, _))
+        ));
+        assert!(matches!(
+            parse_bounded_pattern("node a A\nnode a B\n"),
+            Err(ParseError::DuplicateNode(2, _))
+        ));
+        assert!(matches!(
+            parse_bounded_pattern("node a A\nedge a z\n"),
+            Err(ParseError::UnknownNode(2, _))
+        ));
+        assert!(matches!(
+            parse_bounded_pattern("node a A\nedge a a 0\n"),
+            Err(ParseError::Malformed(2, _))
+        ));
+        assert!(matches!(
+            parse_bounded_pattern(""),
+            Err(ParseError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let text = "node u0 PM\nnode u1 DBA & exp>=5\nedge u0 u1\n";
+        let p = parse_pattern(text).unwrap();
+        let out = write_pattern(&p);
+        let p2 = parse_pattern(&out).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn roundtrip_bounded() {
+        let text = "node u0 A\nnode u1 B & c=\"X Y\"\nedge u0 u1 4\nedge u1 u0 *\n";
+        let p = parse_bounded_pattern(text).unwrap();
+        let out = write_bounded_pattern(&p);
+        let p2 = parse_bounded_pattern(&out).unwrap();
+        assert_eq!(p, p2);
+    }
+}

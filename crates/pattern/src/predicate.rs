@@ -1,0 +1,500 @@
+//! Search-condition predicates on pattern nodes.
+//!
+//! The paper's base model attaches a single label `fv(u)` to each pattern
+//! node, and remarks that `fv` "can be readily extended to specify search
+//! conditions in terms of Boolean predicates" — its experiments (Fig. 7) use
+//! conditions like `C = "Music" && V >= 10000`. We implement predicates as
+//! conjunctions of atomic comparisons over labels and typed attributes.
+//!
+//! Three relations matter:
+//!
+//! * **satisfaction** — does data-graph node `v` satisfy the predicate
+//!   (`fv(u) ∈ L(v)` generalized)? Used by `Match`/`BMatch` and view
+//!   materialization.
+//! * **implication** — `p ⇒ q`: every node satisfying `p` satisfies `q`.
+//!   Syntactic, sound, and complete for single-attribute interval reasoning
+//!   (it does not combine *multiple* atoms of `p` to derive one atom of `q`,
+//!   e.g. `x ≥ 5 ∧ x ≤ 5 ⇒ x = 5` is not derived; such predicates do not
+//!   arise from the builders).
+//! * **equivalence** — mutual implication. View matches use equivalence for
+//!   node conditions (see DESIGN.md §S3): with the paper's single-label
+//!   model, `fv(x) ∈ L(u)` where `L(u) = {fv(u)}` *is* label equality, and
+//!   anything weaker would make `MatchJoin` unsound because the join never
+//!   re-checks node conditions against `G`.
+
+use gpv_graph::{DataGraph, NodeId, Value};
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator of an atomic predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs` over integers.
+    #[inline]
+    pub fn eval_int(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Display form (`=`, `!=`, ...).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// An atomic condition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Atom {
+    /// `label ∈ L(v)` — the paper's base condition `fv(u)`.
+    Label(String),
+    /// `v.attr op value` — attribute comparison; absent attributes fail.
+    Cmp {
+        /// Attribute name (e.g. `"visits"`).
+        attr: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+}
+
+impl Atom {
+    /// Sound implication test between single atoms: does every node
+    /// satisfying `self` satisfy `other`?
+    pub fn implies(&self, other: &Atom) -> bool {
+        match (self, other) {
+            (Atom::Label(a), Atom::Label(b)) => a == b,
+            (
+                Atom::Cmp { attr: a1, op: o1, value: v1 },
+                Atom::Cmp { attr: a2, op: o2, value: v2 },
+            ) if a1 == a2 => match (v1, v2) {
+                (Value::Int(x), Value::Int(y)) => int_implies(*o1, *x, *o2, *y),
+                (Value::Str(x), Value::Str(y)) => str_implies(*o1, x, *o2, y),
+                // Mixed-type comparisons never align.
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Does `attr o1 x` imply `attr o2 y` over integers?
+fn int_implies(o1: CmpOp, x: i64, o2: CmpOp, y: i64) -> bool {
+    use CmpOp::*;
+    match o1 {
+        // attr = x: the witness set is {x}; check x against the target atom.
+        Eq => o2.eval_int(x, y),
+        // attr != x implies only attr != y with y = x.
+        Ne => o2 == Ne && x == y,
+        // attr >= x: witness set [x, ∞).
+        Ge => match o2 {
+            Ge => x >= y,
+            Gt => x > y,
+            Ne => y < x,
+            _ => false,
+        },
+        // attr > x: witness set [x+1, ∞) — use saturating to dodge overflow.
+        Gt => match o2 {
+            Ge => x.saturating_add(1) >= y,
+            Gt => x >= y,
+            Ne => y <= x,
+            _ => false,
+        },
+        // attr <= x: witness set (-∞, x].
+        Le => match o2 {
+            Le => x <= y,
+            Lt => x < y,
+            Ne => y > x,
+            _ => false,
+        },
+        // attr < x: witness set (-∞, x-1].
+        Lt => match o2 {
+            Le => x.saturating_sub(1) <= y,
+            Lt => x <= y,
+            Ne => y >= x,
+            _ => false,
+        },
+    }
+}
+
+/// Does `attr o1 x` imply `attr o2 y` over strings? Only equality logic.
+fn str_implies(o1: CmpOp, x: &str, o2: CmpOp, y: &str) -> bool {
+    use CmpOp::*;
+    match (o1, o2) {
+        (Eq, Eq) => x == y,
+        (Eq, Ne) => x != y,
+        (Ne, Ne) => x == y,
+        _ => false,
+    }
+}
+
+/// A conjunction of [`Atom`]s. An empty predicate is `true` (matches every
+/// node); the paper's plain pattern node with label `l` is
+/// `Predicate::label(l)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Predicate {
+    atoms: Vec<Atom>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn any() -> Self {
+        Predicate::default()
+    }
+
+    /// Single-label predicate — the paper's `fv(u)`.
+    pub fn label(l: impl Into<String>) -> Self {
+        Predicate {
+            atoms: vec![Atom::Label(l.into())],
+        }
+    }
+
+    /// Single-comparison predicate.
+    pub fn cmp(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate {
+            atoms: vec![Atom::Cmp {
+                attr: attr.into(),
+                op,
+                value: value.into(),
+            }],
+        }
+    }
+
+    /// Conjunction: `self ∧ other`.
+    pub fn and(mut self, other: Predicate) -> Self {
+        self.atoms.extend(other.atoms);
+        self.normalize();
+        self
+    }
+
+    /// Adds an atom in place.
+    pub fn push(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+        self.normalize();
+    }
+
+    /// The atoms of the conjunction.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Whether this is the trivial (always-true) predicate.
+    pub fn is_any(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        // Deduplicate syntactically identical atoms; order is irrelevant to
+        // semantics, so sort by debug form for a canonical layout.
+        self.atoms.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        self.atoms.dedup();
+    }
+
+    /// Sound implication: `self ⇒ other` if every atom of `other` is implied
+    /// by some atom of `self` (atom-wise; see module docs for completeness
+    /// caveats).
+    pub fn implies(&self, other: &Predicate) -> bool {
+        other
+            .atoms
+            .iter()
+            .all(|b| self.atoms.iter().any(|a| a.implies(b)))
+    }
+
+    /// Semantic equivalence via mutual implication.
+    pub fn equivalent(&self, other: &Predicate) -> bool {
+        self.implies(other) && other.implies(self)
+    }
+
+    /// Resolves the predicate against a graph's interners for fast repeated
+    /// evaluation (hot path of candidate-set initialization).
+    pub fn resolve(&self, g: &DataGraph) -> ResolvedPredicate {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| match a {
+                Atom::Label(l) => match g.lookup_label(l) {
+                    Some(id) => ResolvedAtom::Label(id),
+                    None => ResolvedAtom::Never,
+                },
+                Atom::Cmp { attr, op, value } => {
+                    let Some(aid) = g.lookup_attr(attr) else {
+                        return ResolvedAtom::Never;
+                    };
+                    match value {
+                        Value::Int(i) => ResolvedAtom::CmpInt(aid, *op, *i),
+                        Value::Str(s) => match (g.lookup_value(s), op) {
+                            (Some(sym), CmpOp::Eq) => ResolvedAtom::StrEq(aid, sym),
+                            (Some(sym), CmpOp::Ne) => ResolvedAtom::StrNe(aid, sym),
+                            // The literal never occurs in the graph:
+                            // = can never hold; != holds whenever the
+                            // attribute is a present string.
+                            (None, CmpOp::Eq) => ResolvedAtom::Never,
+                            (None, CmpOp::Ne) => ResolvedAtom::StrPresent(aid),
+                            // Ordered comparisons on strings are unsupported
+                            // and never hold.
+                            _ => ResolvedAtom::Never,
+                        },
+                    }
+                }
+            })
+            .collect();
+        ResolvedPredicate { atoms }
+    }
+
+    /// One-off satisfaction check (resolves first; prefer
+    /// [`resolve`](Self::resolve) + [`ResolvedPredicate::satisfied_by`] in
+    /// loops).
+    pub fn satisfied_by(&self, g: &DataGraph, v: NodeId) -> bool {
+        self.resolve(g).satisfied_by(g, v)
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            match a {
+                Atom::Label(l) => write!(f, "{l}")?,
+                Atom::Cmp { attr, op, value } => match value {
+                    Value::Int(x) => write!(f, "{attr}{}{x}", op.symbol())?,
+                    Value::Str(s) => write!(f, "{attr}{}\"{s}\"", op.symbol())?,
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A predicate pre-resolved against one graph's interners.
+#[derive(Clone, Debug)]
+pub struct ResolvedPredicate {
+    atoms: Vec<ResolvedAtom>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ResolvedAtom {
+    Label(gpv_graph::LabelId),
+    CmpInt(gpv_graph::AttrId, CmpOp, i64),
+    StrEq(gpv_graph::AttrId, gpv_graph::Sym),
+    StrNe(gpv_graph::AttrId, gpv_graph::Sym),
+    /// `attr != <literal not in graph>`: true iff the attribute exists and is
+    /// a string.
+    StrPresent(gpv_graph::AttrId),
+    /// Unsatisfiable in this graph.
+    Never,
+}
+
+impl ResolvedPredicate {
+    /// Whether node `v` of the resolution graph satisfies all atoms.
+    #[inline]
+    pub fn satisfied_by(&self, g: &DataGraph, v: NodeId) -> bool {
+        self.atoms.iter().all(|a| match *a {
+            ResolvedAtom::Label(l) => g.has_label(v, l),
+            ResolvedAtom::CmpInt(aid, op, rhs) => {
+                g.attr_int(v, aid).is_some_and(|x| op.eval_int(x, rhs))
+            }
+            ResolvedAtom::StrEq(aid, sym) => g.attr_str_eq(v, aid, sym) == Some(true),
+            ResolvedAtom::StrNe(aid, sym) => g.attr_str_eq(v, aid, sym) == Some(false),
+            ResolvedAtom::StrPresent(aid) => g.attr_str_eq(v, aid, gpv_graph::Sym(u32::MAX))
+                .is_some(),
+            ResolvedAtom::Never => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_graph::GraphBuilder;
+
+    #[test]
+    fn label_satisfaction() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(["PM"]);
+        let w = b.add_node(["DBA"]);
+        let g = b.build();
+        let p = Predicate::label("PM");
+        assert!(p.satisfied_by(&g, v));
+        assert!(!p.satisfied_by(&g, w));
+    }
+
+    #[test]
+    fn unknown_label_never_matches() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(["PM"]);
+        let g = b.build();
+        assert!(!Predicate::label("CEO").satisfied_by(&g, v));
+    }
+
+    #[test]
+    fn int_cmp_satisfaction() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(["video"]);
+        b.set_attr(v, "visits", Value::int(12_000));
+        let g = b.build();
+        assert!(Predicate::cmp("visits", CmpOp::Ge, 10_000i64).satisfied_by(&g, v));
+        assert!(!Predicate::cmp("visits", CmpOp::Lt, 10_000i64).satisfied_by(&g, v));
+        // Missing attribute fails.
+        assert!(!Predicate::cmp("rate", CmpOp::Ge, 4i64).satisfied_by(&g, v));
+    }
+
+    #[test]
+    fn str_cmp_satisfaction() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(["video"]);
+        b.set_attr(v, "category", Value::str("Music"));
+        let g = b.build();
+        assert!(Predicate::cmp("category", CmpOp::Eq, "Music").satisfied_by(&g, v));
+        assert!(!Predicate::cmp("category", CmpOp::Eq, "Sports").satisfied_by(&g, v));
+        assert!(Predicate::cmp("category", CmpOp::Ne, "Sports").satisfied_by(&g, v));
+        assert!(!Predicate::cmp("category", CmpOp::Ne, "Music").satisfied_by(&g, v));
+        // Ne against a literal absent from the whole graph: attribute present.
+        assert!(Predicate::cmp("category", CmpOp::Ne, "Nonexistent").satisfied_by(&g, v));
+    }
+
+    #[test]
+    fn conjunction() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(["video"]);
+        b.set_attr(v, "category", Value::str("Music"));
+        b.set_attr(v, "visits", Value::int(12_000));
+        let g = b.build();
+        let p = Predicate::cmp("category", CmpOp::Eq, "Music")
+            .and(Predicate::cmp("visits", CmpOp::Ge, 10_000i64));
+        assert!(p.satisfied_by(&g, v));
+        let q = p.clone().and(Predicate::cmp("visits", CmpOp::Ge, 20_000i64));
+        assert!(!q.satisfied_by(&g, v));
+    }
+
+    #[test]
+    fn implication_labels() {
+        let pm = Predicate::label("PM");
+        assert!(pm.implies(&pm));
+        assert!(!pm.implies(&Predicate::label("DBA")));
+        assert!(pm.implies(&Predicate::any()));
+        assert!(!Predicate::any().implies(&pm));
+    }
+
+    #[test]
+    fn implication_int_intervals() {
+        let ge20 = Predicate::cmp("v", CmpOp::Ge, 20i64);
+        let ge10 = Predicate::cmp("v", CmpOp::Ge, 10i64);
+        let gt9 = Predicate::cmp("v", CmpOp::Gt, 9i64);
+        let gt10 = Predicate::cmp("v", CmpOp::Gt, 10i64);
+        let le5 = Predicate::cmp("v", CmpOp::Le, 5i64);
+        let lt6 = Predicate::cmp("v", CmpOp::Lt, 6i64);
+        let eq7 = Predicate::cmp("v", CmpOp::Eq, 7i64);
+        let ne0 = Predicate::cmp("v", CmpOp::Ne, 0i64);
+
+        assert!(ge20.implies(&ge10));
+        assert!(!ge10.implies(&ge20));
+        assert!(ge10.implies(&gt9));
+        assert!(!ge10.implies(&gt10));
+        assert!(gt9.implies(&ge10), "x > 9 over ints is x >= 10");
+        assert!(lt6.implies(&le5), "x < 6 over ints is x <= 5");
+        assert!(le5.implies(&lt6));
+        assert!(!eq7.implies(&ge10));
+        assert!(eq7.implies(&Predicate::cmp("v", CmpOp::Ge, 7i64)));
+        assert!(eq7.implies(&Predicate::cmp("v", CmpOp::Le, 7i64)));
+        assert!(eq7.implies(&ne0));
+        assert!(ge10.implies(&ne0));
+        assert!(!ge10.implies(&Predicate::cmp("v", CmpOp::Ne, 15i64)));
+        // Different attributes never imply.
+        assert!(!ge20.implies(&Predicate::cmp("w", CmpOp::Ge, 10i64)));
+    }
+
+    #[test]
+    fn implication_strings() {
+        let music = Predicate::cmp("c", CmpOp::Eq, "Music");
+        let not_sports = Predicate::cmp("c", CmpOp::Ne, "Sports");
+        assert!(music.implies(&music));
+        assert!(music.implies(&not_sports));
+        assert!(!music.implies(&Predicate::cmp("c", CmpOp::Eq, "Sports")));
+        assert!(not_sports.implies(&not_sports));
+        assert!(!not_sports.implies(&music));
+    }
+
+    #[test]
+    fn equivalence() {
+        let a = Predicate::label("PM").and(Predicate::cmp("v", CmpOp::Ge, 10i64));
+        let b = Predicate::cmp("v", CmpOp::Ge, 10i64).and(Predicate::label("PM"));
+        assert!(a.equivalent(&b), "order does not matter");
+        // Gt 9 and Ge 10 are semantically equal over ints.
+        let c = Predicate::label("PM").and(Predicate::cmp("v", CmpOp::Gt, 9i64));
+        assert!(a.equivalent(&c));
+        assert!(!a.equivalent(&Predicate::label("PM")));
+    }
+
+    #[test]
+    fn implication_is_preorder() {
+        let preds = [
+            Predicate::any(),
+            Predicate::label("A"),
+            Predicate::label("A").and(Predicate::cmp("x", CmpOp::Ge, 5i64)),
+            Predicate::cmp("x", CmpOp::Ge, 5i64),
+            Predicate::cmp("x", CmpOp::Ge, 10i64),
+        ];
+        // Reflexive.
+        for p in &preds {
+            assert!(p.implies(p));
+        }
+        // Transitive on this sample.
+        for a in &preds {
+            for b in &preds {
+                for c in &preds {
+                    if a.implies(b) && b.implies(c) {
+                        assert!(a.implies(c), "{a} => {b} => {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        let p = Predicate::label("PM").and(Predicate::cmp("age", CmpOp::Le, 100i64));
+        let s = format!("{p}");
+        assert!(s.contains("PM") && s.contains("age<=100"), "{s}");
+        assert_eq!(format!("{}", Predicate::any()), "true");
+        let q = Predicate::cmp("c", CmpOp::Eq, "Music");
+        assert_eq!(format!("{q}"), "c=\"Music\"");
+    }
+
+    #[test]
+    fn dedup_atoms() {
+        let p = Predicate::label("A").and(Predicate::label("A"));
+        assert_eq!(p.atoms().len(), 1);
+    }
+}

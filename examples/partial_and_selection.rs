@@ -1,0 +1,105 @@
+//! The paper's future-work items in action: answering a query the cached
+//! views only *partially* cover (hybrid evaluation), and choosing which
+//! views to cache for a whole workload under a budget.
+//!
+//! ```sh
+//! cargo run --example partial_and_selection
+//! ```
+
+use graph_views::prelude::*;
+use graph_views::views::{
+    hybrid_match_join, partial_contain, select_views_for_workload, ViewDef, ViewSet,
+};
+
+fn single(x: &str, y: &str) -> Pattern {
+    let mut b = PatternBuilder::new();
+    let u = b.node_labeled(x);
+    let v = b.node_labeled(y);
+    b.edge(u, v);
+    b.build().unwrap()
+}
+
+fn chain(labels: &[&str]) -> Pattern {
+    let mut b = PatternBuilder::new();
+    let ids: Vec<_> = labels.iter().map(|l| b.node_labeled(l)).collect();
+    for w in ids.windows(2) {
+        b.edge(w[0], w[1]);
+    }
+    b.build().unwrap()
+}
+
+fn main() {
+    // A small supply-chain graph.
+    let mut b = GraphBuilder::new();
+    let s1 = b.add_node(["Supplier"]);
+    let f1 = b.add_node(["Factory"]);
+    let w1 = b.add_node(["Warehouse"]);
+    let t1 = b.add_node(["Store"]);
+    let s2 = b.add_node(["Supplier"]);
+    let f2 = b.add_node(["Factory"]);
+    b.add_edge(s1, f1);
+    b.add_edge(f1, w1);
+    b.add_edge(w1, t1);
+    b.add_edge(s2, f2); // f2 has no warehouse: will be pruned
+    let g = b.build();
+
+    // Only one view is cached: Supplier -> Factory.
+    let views = ViewSet::new(vec![ViewDef::new("sf", single("Supplier", "Factory"))]);
+    let ext = materialize(&views, &g);
+
+    // The query needs more: Supplier -> Factory -> Warehouse -> Store.
+    let q = chain(&["Supplier", "Factory", "Warehouse", "Store"]);
+
+    // Classic containment fails...
+    assert!(contain(&q, &views).is_none());
+    println!("contain: query NOT contained in the cached views (as expected)");
+
+    // ...but partial containment tells us exactly what is missing, and the
+    // hybrid evaluator reads G only for the uncovered edges.
+    let partial = partial_contain(&q, &views);
+    println!(
+        "partial coverage: {}/{} edges from views, {} require G access",
+        q.edge_count() - partial.uncovered.len(),
+        q.edge_count(),
+        partial.uncovered.len()
+    );
+    let (r, stats) = hybrid_match_join(&q, &partial, &ext, &g).unwrap();
+    assert_eq!(r, match_pattern(&q, &g));
+    println!(
+        "hybrid result == Match(G) ✓  ({} pairs, merged {} candidates)",
+        r.size(),
+        stats.merged_pairs
+    );
+    // The s2/f2 chain is pruned: only s1's chain survives.
+    assert_eq!(r.node_set(PatternNodeId(0)), &[s1]);
+
+    // --- Workload-driven view selection -------------------------------
+    let workload = vec![
+        chain(&["Supplier", "Factory"]),
+        chain(&["Supplier", "Factory", "Warehouse"]),
+        chain(&["Factory", "Warehouse", "Store"]),
+    ];
+    let catalogue = ViewSet::new(vec![
+        ViewDef::new("sf", single("Supplier", "Factory")),
+        ViewDef::new("fw", single("Factory", "Warehouse")),
+        ViewDef::new("ws", single("Warehouse", "Store")),
+        ViewDef::new("decoy", single("Store", "Supplier")),
+    ]);
+    let sel = select_views_for_workload(&workload, &catalogue, 2, None);
+    let names: Vec<&str> = sel.views.iter().map(|&i| catalogue.get(i).name.as_str()).collect();
+    println!(
+        "\nbudget 2 over a 4-view catalogue: cache {:?} -> {}/{} workload queries fully answerable",
+        names,
+        sel.answered.iter().filter(|&&a| a).count(),
+        workload.len()
+    );
+    let sel3 = select_views_for_workload(&workload, &catalogue, 3, None);
+    println!(
+        "budget 3: {}/{} answerable (the decoy view is never picked)",
+        sel3.answered.iter().filter(|&&a| a).count(),
+        workload.len()
+    );
+    assert!(!sel3.views.contains(&3));
+}
+
+use graph_views::pattern::PatternNodeId;

@@ -1,0 +1,143 @@
+//! The paper's running example (Fig. 1, Examples 1–7): an HR manager builds
+//! a team by issuing a graph pattern query over a recommendation network,
+//! answered from cached views; then `minimal` and `minimum` pick which views
+//! to use.
+//!
+//! ```sh
+//! cargo run --example team_recommendation
+//! ```
+
+use graph_views::prelude::*;
+use graph_views::views::{ViewDef, ViewSet};
+
+/// Fig. 1(a): the recommendation network.
+fn recommendation_network() -> (DataGraph, Vec<&'static str>) {
+    let names = vec![
+        "Bob", "Walt", "Mat", "Fred", "Mary", "Dan", "Pat", "Bill", "Jean", "Emmy",
+    ];
+    let mut b = GraphBuilder::new();
+    let bob = b.add_node(["PM"]);
+    let walt = b.add_node(["PM"]);
+    let mat = b.add_node(["DBA"]);
+    let fred = b.add_node(["DBA"]);
+    let mary = b.add_node(["DBA"]);
+    let dan = b.add_node(["PRG"]);
+    let pat = b.add_node(["PRG"]);
+    let bill = b.add_node(["PRG"]);
+    let jean = b.add_node(["BA"]);
+    let emmy = b.add_node(["ST"]);
+    for (src, dst) in [
+        (bob, mat),
+        (walt, mat),
+        (bob, dan),
+        (walt, bill),
+        (fred, pat),
+        (mat, pat),
+        (mary, bill),
+        (dan, fred),
+        (pat, mary),
+        (pat, mat),
+        (bill, mat),
+        (bob, jean),
+        (jean, emmy),
+    ] {
+        b.add_edge(src, dst);
+    }
+    (b.build(), names)
+}
+
+/// Fig. 1(c): the team pattern — a PM with a DBA and PRG sub-team where each
+/// PRG was supervised by a DBA and vice versa (a collaboration cycle).
+fn team_query() -> Pattern {
+    let mut b = PatternBuilder::new();
+    let pm = b.node_labeled("PM");
+    let dba1 = b.node_labeled("DBA");
+    let prg1 = b.node_labeled("PRG");
+    let dba2 = b.node_labeled("DBA");
+    let prg2 = b.node_labeled("PRG");
+    b.edge(pm, dba1);
+    b.edge(pm, prg2);
+    b.edge(dba1, prg1);
+    b.edge(prg1, dba2);
+    b.edge(dba2, prg2);
+    b.edge(prg2, dba1);
+    b.build().unwrap()
+}
+
+/// Fig. 1(b): the cached views V1 (PM fan) and V2 (DBA/PRG cycle).
+fn cached_views() -> ViewSet {
+    let mut v1 = PatternBuilder::new();
+    let pm = v1.node_labeled("PM");
+    let dba = v1.node_labeled("DBA");
+    let prg = v1.node_labeled("PRG");
+    v1.edge(pm, dba);
+    v1.edge(pm, prg);
+    let mut v2 = PatternBuilder::new();
+    let dba = v2.node_labeled("DBA");
+    let prg = v2.node_labeled("PRG");
+    v2.edge(dba, prg);
+    v2.edge(prg, dba);
+    ViewSet::new(vec![
+        ViewDef::new("V1", v1.build().unwrap()),
+        ViewDef::new("V2", v2.build().unwrap()),
+    ])
+}
+
+fn main() {
+    let (g, names) = recommendation_network();
+    let q = team_query();
+    let views = cached_views();
+    let qlabels = ["PM", "DBA1", "PRG1", "DBA2", "PRG2"];
+
+    println!("The HR manager's team pattern (paper Fig. 1(c)):\n{q}");
+
+    // Example 2: direct evaluation.
+    let direct = match_pattern(&q, &g);
+    println!("Example 2 — direct Match(Qs, G):");
+    for (ei, &(u, v)) in q.edges().iter().enumerate() {
+        let pairs: Vec<String> = direct.edge_matches[ei]
+            .iter()
+            .map(|&(a, b)| format!("({},{})", names[a.index()], names[b.index()]))
+            .collect();
+        println!(
+            "  ({:>4},{:<4}) = {{{}}}",
+            qlabels[u.index()],
+            qlabels[v.index()],
+            pairs.join(", ")
+        );
+    }
+
+    // Example 3: the query is contained in the views.
+    let plan = contain(&q, &views).expect("Qs ⊑ {V1, V2}");
+    println!("\nExample 3 — Qs ⊑ {{V1, V2}} holds; used views: {:?}", plan.used_views);
+
+    // Example 4: answer from the views, never touching G.
+    let ext = materialize(&views, &g);
+    let joined = match_join(&q, &plan, &ext).expect("valid plan");
+    assert_eq!(joined, direct);
+    println!(
+        "Example 4 — MatchJoin over V(G) ({} cached pairs) reproduces Match over G ✓",
+        ext.size()
+    );
+
+    // Examples 6-7 live on a richer view catalogue: add redundant views and
+    // watch minimal / minimum trim them.
+    let mut catalogue = views.views().to_vec();
+    let mut extra = PatternBuilder::new();
+    let pm = extra.node_labeled("PM");
+    let dba = extra.node_labeled("DBA");
+    extra.edge(pm, dba);
+    catalogue.push(ViewDef::new("V3-redundant", extra.build().unwrap()));
+    let catalogue = ViewSet::new(catalogue);
+
+    let mnl = minimal(&q, &catalogue).expect("still contained");
+    let min = minimum(&q, &catalogue).expect("still contained");
+    let pick = |sel: &[usize]| -> Vec<&str> {
+        sel.iter().map(|&i| catalogue.get(i).name.as_str()).collect()
+    };
+    println!("\nview selection over {{V1, V2, V3-redundant}}:");
+    println!("  minimal  -> {:?}", pick(&mnl.views));
+    println!("  minimum  -> {:?}", pick(&min.views));
+    assert!(mnl.views.len() <= 2 && min.views.len() <= 2, "V3 never needed");
+    println!("\nthe redundant view is never selected ✓");
+}

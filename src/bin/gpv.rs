@@ -1,0 +1,296 @@
+//! `gpv` — command-line front end for graph pattern matching using views.
+//!
+//! ```text
+//! gpv stats    --graph G.txt
+//! gpv match    --graph G.txt --pattern Q.txt [--bounded] [--dual]
+//! gpv contain  --pattern Q.txt --view V1.txt --view V2.txt [--bounded]
+//! gpv minimal  --pattern Q.txt --view V1.txt ... (also: minimum)
+//! gpv answer   --graph G.txt --pattern Q.txt --view V1.txt ... [--bounded] [--select minimal|minimum]
+//! gpv minimize --pattern Q.txt
+//! ```
+//!
+//! Graphs use the `gpv-graph` text format (`node <id> <labels> [k=v ...]` /
+//! `edge <src> <dst>`); patterns use the `gpv-pattern` format
+//! (`node <name> <condition>` / `edge <src> <dst> [bound]`).
+
+use gpv_core as core;
+use gpv_graph::io::parse_graph;
+use gpv_pattern::{parse_bounded_pattern, BoundedPattern};
+use std::process::ExitCode;
+
+struct Args {
+    graph: Option<String>,
+    pattern: Option<String>,
+    views: Vec<String>,
+    bounded: bool,
+    dual: bool,
+    select: String,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gpv <stats|match|contain|minimal|minimum|answer|minimize> \
+         [--graph F] [--pattern F] [--view F]... [--bounded] [--dual] [--select minimal|minimum]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(rest: &[String]) -> Result<Args, String> {
+    let mut a = Args {
+        graph: None,
+        pattern: None,
+        views: Vec::new(),
+        bounded: false,
+        dual: false,
+        select: "all".into(),
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--graph" => {
+                a.graph = Some(rest.get(i + 1).ok_or("--graph needs a file")?.clone());
+                i += 2;
+            }
+            "--pattern" => {
+                a.pattern = Some(rest.get(i + 1).ok_or("--pattern needs a file")?.clone());
+                i += 2;
+            }
+            "--view" => {
+                a.views
+                    .push(rest.get(i + 1).ok_or("--view needs a file")?.clone());
+                i += 2;
+            }
+            "--select" => {
+                a.select = rest.get(i + 1).ok_or("--select needs a mode")?.clone();
+                i += 2;
+            }
+            "--bounded" => {
+                a.bounded = true;
+                i += 1;
+            }
+            "--dual" => {
+                a.dual = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(a)
+}
+
+fn load_graph(a: &Args) -> Result<gpv_graph::DataGraph, String> {
+    let path = a.graph.as_ref().ok_or("missing --graph")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_graph(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_pattern(path: &str) -> Result<BoundedPattern, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_bounded_pattern(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_query(a: &Args) -> Result<BoundedPattern, String> {
+    load_pattern(a.pattern.as_ref().ok_or("missing --pattern")?)
+}
+
+fn load_views(a: &Args) -> Result<Vec<(String, BoundedPattern)>, String> {
+    if a.views.is_empty() {
+        return Err("missing --view".into());
+    }
+    a.views
+        .iter()
+        .map(|p| load_pattern(p).map(|b| (p.clone(), b)))
+        .collect()
+}
+
+fn require_plain(q: &BoundedPattern, what: &str) -> Result<gpv_pattern::Pattern, String> {
+    if !q.is_plain() {
+        return Err(format!("{what} has non-unit bounds; pass --bounded"));
+    }
+    Ok(q.pattern().clone())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err("no command".into());
+    };
+    let a = parse_args(&argv[1..])?;
+
+    match cmd.as_str() {
+        "stats" => {
+            let g = load_graph(&a)?;
+            let s = gpv_graph::stats::stats(&g);
+            println!(
+                "nodes={} edges={} labels={} avg_out_degree={:.3} max_out={} max_in={} alpha={:.3}",
+                s.nodes, s.edges, s.labels, s.avg_out_degree, s.max_out_degree, s.max_in_degree,
+                s.alpha
+            );
+        }
+        "match" => {
+            let g = load_graph(&a)?;
+            let qb = load_query(&a)?;
+            if a.bounded {
+                let r = gpv_matching::bounded::bmatch_pattern(&qb, &g);
+                print_bounded_result(qb.pattern(), &r);
+            } else if a.dual {
+                let q = require_plain(&qb, "pattern")?;
+                let r = gpv_matching::dual::dual_match_pattern(&q, &g);
+                print_result(&q, &r);
+            } else {
+                let q = require_plain(&qb, "pattern")?;
+                let r = gpv_matching::simulation::match_pattern(&q, &g);
+                print_result(&q, &r);
+            }
+        }
+        "contain" | "minimal" | "minimum" => {
+            let qb = load_query(&a)?;
+            let views = load_views(&a)?;
+            if a.bounded {
+                let vs = core::BoundedViewSet::new(
+                    views
+                        .iter()
+                        .map(|(n, p)| core::BoundedViewDef::new(n.clone(), p.clone()))
+                        .collect(),
+                );
+                let sel: Option<Vec<usize>> = match cmd.as_str() {
+                    "contain" => core::bcontain(&qb, &vs).map(|p| p.used_views),
+                    "minimal" => core::bminimal(&qb, &vs).map(|s| s.views),
+                    _ => core::bminimum(&qb, &vs).map(|s| s.views),
+                };
+                report_selection(sel, &views)?;
+            } else {
+                let q = require_plain(&qb, "pattern")?;
+                let vs = plain_view_set(&views)?;
+                let sel: Option<Vec<usize>> = match cmd.as_str() {
+                    "contain" => core::contain(&q, &vs).map(|p| p.used_views),
+                    "minimal" => core::minimal(&q, &vs).map(|s| s.views),
+                    _ => core::minimum(&q, &vs).map(|s| s.views),
+                };
+                report_selection(sel, &views)?;
+            }
+        }
+        "answer" => {
+            let g = load_graph(&a)?;
+            let qb = load_query(&a)?;
+            let views = load_views(&a)?;
+            if a.bounded {
+                let vs = core::BoundedViewSet::new(
+                    views
+                        .iter()
+                        .map(|(n, p)| core::BoundedViewDef::new(n.clone(), p.clone()))
+                        .collect(),
+                );
+                let sel = match a.select.as_str() {
+                    "minimal" => core::bminimal(&qb, &vs).map(|s| s.plan),
+                    "minimum" => core::bminimum(&qb, &vs).map(|s| s.plan),
+                    _ => core::bcontain(&qb, &vs),
+                }
+                .ok_or("query is NOT contained in the views")?;
+                let ext = core::bmaterialize(&vs, &g);
+                let r = core::bmatch_join(&qb, &sel, &ext).map_err(|e| e.to_string())?;
+                print_bounded_result(qb.pattern(), &r);
+            } else {
+                let q = require_plain(&qb, "pattern")?;
+                let vs = plain_view_set(&views)?;
+                let sel = match a.select.as_str() {
+                    "minimal" => core::minimal(&q, &vs).map(|s| s.plan),
+                    "minimum" => core::minimum(&q, &vs).map(|s| s.plan),
+                    _ => core::contain(&q, &vs),
+                }
+                .ok_or("query is NOT contained in the views")?;
+                let ext = core::materialize(&vs, &g);
+                let r = core::match_join(&q, &sel, &ext).map_err(|e| e.to_string())?;
+                print_result(&q, &r);
+            }
+        }
+        "minimize" => {
+            let qb = load_query(&a)?;
+            let q = require_plain(&qb, "pattern")?;
+            let m = core::minimize(&q);
+            println!(
+                "# minimized {} -> {} nodes, {} -> {} edges",
+                q.node_count(),
+                m.pattern.node_count(),
+                q.edge_count(),
+                m.pattern.edge_count()
+            );
+            print!("{}", gpv_pattern::write_pattern(&m.pattern));
+        }
+        _ => return Err(format!("unknown command `{cmd}`")),
+    }
+    Ok(())
+}
+
+fn plain_view_set(views: &[(String, BoundedPattern)]) -> Result<core::ViewSet, String> {
+    let mut out = Vec::new();
+    for (n, p) in views {
+        if !p.is_plain() {
+            return Err(format!("view {n} has non-unit bounds; pass --bounded"));
+        }
+        out.push(core::ViewDef::new(n.clone(), p.pattern().clone()));
+    }
+    Ok(core::ViewSet::new(out))
+}
+
+fn report_selection(
+    sel: Option<Vec<usize>>,
+    views: &[(String, BoundedPattern)],
+) -> Result<(), String> {
+    match sel {
+        Some(ids) => {
+            println!("contained=true");
+            for i in ids {
+                println!("view {}", views[i].0);
+            }
+            Ok(())
+        }
+        None => {
+            println!("contained=false");
+            Err("query is NOT contained in the views".into())
+        }
+    }
+}
+
+fn print_result(q: &gpv_pattern::Pattern, r: &gpv_matching::result::MatchResult) {
+    if r.is_empty() {
+        println!("result=empty");
+        return;
+    }
+    println!("result={} pairs", r.size());
+    for (ei, &(u, v)) in q.edges().iter().enumerate() {
+        let pairs: Vec<String> = r.edge_matches[ei]
+            .iter()
+            .map(|&(a, b)| format!("({},{})", a.0, b.0))
+            .collect();
+        println!("S({u}->{v}) = {}", pairs.join(" "));
+    }
+}
+
+fn print_bounded_result(q: &gpv_pattern::Pattern, r: &gpv_matching::result::BoundedMatchResult) {
+    if r.is_empty() {
+        println!("result=empty");
+        return;
+    }
+    println!("result={} pairs", r.size());
+    for (ei, &(u, v)) in q.edges().iter().enumerate() {
+        let pairs: Vec<String> = r.edge_matches[ei]
+            .iter()
+            .map(|&(a, b, d)| format!("({},{},d{})", a.0, b.0, d))
+            .collect();
+        println!("S({u}->{v}) = {}", pairs.join(" "));
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if e == "no command" {
+                return usage();
+            }
+            eprintln!("gpv: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

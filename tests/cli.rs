@@ -1,0 +1,192 @@
+//! Integration tests for the `gpv` CLI binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn gpv() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpv"))
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("gpv-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const GRAPH: &str = "\
+node 0 PM\n\
+node 1 DBA\n\
+node 2 PRG\n\
+edge 0 1\n\
+edge 1 2\n\
+edge 2 1\n";
+
+const QUERY: &str = "\
+node pm PM\n\
+node dba DBA\n\
+node prg PRG\n\
+edge pm dba\n\
+edge dba prg\n\
+edge prg dba\n";
+
+const VIEW1: &str = "node pm PM\nnode dba DBA\nedge pm dba\n";
+const VIEW2: &str = "node dba DBA\nnode prg PRG\nedge dba prg\nedge prg dba\n";
+
+#[test]
+fn stats() {
+    let g = write_tmp("stats-g.txt", GRAPH);
+    let out = gpv()
+        .args(["stats", "--graph", g.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("nodes=3"), "{s}");
+    assert!(s.contains("edges=3"), "{s}");
+}
+
+#[test]
+fn match_direct() {
+    let g = write_tmp("match-g.txt", GRAPH);
+    let q = write_tmp("match-q.txt", QUERY);
+    let out = gpv()
+        .args([
+            "match",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("result=3 pairs"), "{s}");
+    assert!(s.contains("S(u0->u1) = (0,1)"), "{s}");
+}
+
+#[test]
+fn contain_and_answer_via_views() {
+    let g = write_tmp("ans-g.txt", GRAPH);
+    let q = write_tmp("ans-q.txt", QUERY);
+    let v1 = write_tmp("ans-v1.txt", VIEW1);
+    let v2 = write_tmp("ans-v2.txt", VIEW2);
+
+    let out = gpv()
+        .args([
+            "contain",
+            "--pattern",
+            q.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("contained=true"));
+
+    // Answering through views equals direct matching.
+    let direct = gpv()
+        .args([
+            "match",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let via = gpv()
+        .args([
+            "answer",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--select",
+            "minimum",
+        ])
+        .output()
+        .unwrap();
+    assert!(via.status.success(), "{}", String::from_utf8_lossy(&via.stderr));
+    assert_eq!(direct.stdout, via.stdout);
+}
+
+#[test]
+fn not_contained_fails() {
+    let q = write_tmp("nc-q.txt", QUERY);
+    let v1 = write_tmp("nc-v1.txt", VIEW1); // V1 alone misses the cycle
+    let out = gpv()
+        .args([
+            "contain",
+            "--pattern",
+            q.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("contained=false"));
+}
+
+#[test]
+fn bounded_answer() {
+    let g = write_tmp("b-g.txt", GRAPH);
+    let q = write_tmp(
+        "b-q.txt",
+        "node pm PM\nnode prg PRG\nedge pm prg 2\n",
+    );
+    let v = write_tmp(
+        "b-v.txt",
+        "node pm PM\nnode prg PRG\nedge pm prg 2\n",
+    );
+    let out = gpv()
+        .args([
+            "answer",
+            "--bounded",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--view",
+            v.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("(0,2,d2)"), "PM reaches PRG in 2 hops: {s}");
+}
+
+#[test]
+fn minimize_command() {
+    let q = write_tmp(
+        "min-q.txt",
+        "node a A\nnode b1 B\nnode b2 B\nedge a b1\nedge a b2\n",
+    );
+    let out = gpv()
+        .args(["minimize", "--pattern", q.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("3 -> 2 nodes"), "{s}");
+}
+
+#[test]
+fn bad_usage() {
+    let out = gpv().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = gpv().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}

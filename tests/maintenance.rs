@@ -1,0 +1,86 @@
+//! Property tests for incremental view maintenance: after any script of
+//! edge deletions and insertions, the incrementally maintained extension
+//! equals recomputation from scratch.
+
+use graph_views::prelude::*;
+use graph_views::views::IncrementalView;
+use gpv_generator::{random_graph, random_pattern, PatternShape};
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["A", "B", "C"];
+
+/// Rebuilds a graph applying an edit script to the original edge set.
+fn apply_script(g0: &DataGraph, script: &[(bool, u32, u32)]) -> DataGraph {
+    use std::collections::BTreeSet;
+    let mut edges: BTreeSet<(u32, u32)> = g0.edges().map(|(u, v)| (u.0, v.0)).collect();
+    for &(insert, a, b) in script {
+        if insert {
+            edges.insert((a, b));
+        } else {
+            edges.remove(&(a, b));
+        }
+    }
+    let mut b = GraphBuilder::new();
+    for v in g0.nodes() {
+        let labels: Vec<&str> = g0.labels_of(v).iter().map(|&l| g0.label_name(l)).collect();
+        b.add_node(labels.iter().copied());
+    }
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_equals_recompute(
+        gseed in any::<u64>(),
+        qseed in any::<u64>(),
+        raw_script in proptest::collection::vec((any::<bool>(), 0u32..20, 0u32..20), 0..25),
+    ) {
+        let g = random_graph(20, 40, &LABELS, gseed);
+        let q = random_pattern(3, 3, &LABELS, PatternShape::Any, qseed);
+        let mut inc = IncrementalView::new(q.clone(), &g);
+
+        // Normalize the script: drop self-referential no-ops that the
+        // builder would dedup anyway (self-loops are fine).
+        let mut applied: Vec<(bool, u32, u32)> = Vec::new();
+        for (insert, a, b) in raw_script {
+            if insert {
+                inc.insert_edge(NodeId(a), NodeId(b));
+            } else {
+                inc.delete_edge(NodeId(a), NodeId(b));
+            }
+            applied.push((insert, a, b));
+            // Check after *every* step, not just at the end, so ordering
+            // bugs can't cancel out.
+            let oracle_graph = apply_script(&g, &applied);
+            let expect = match_pattern(&q, &oracle_graph);
+            prop_assert_eq!(
+                inc.result(),
+                expect,
+                "divergence after {} ops",
+                applied.len()
+            );
+        }
+    }
+
+    /// Deleting every edge empties the view; re-inserting restores it.
+    #[test]
+    fn full_teardown_and_rebuild(gseed in any::<u64>(), qseed in any::<u64>()) {
+        let g = random_graph(15, 30, &LABELS, gseed);
+        let q = random_pattern(2, 2, &LABELS, PatternShape::Any, qseed);
+        let mut inc = IncrementalView::new(q.clone(), &g);
+        let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+        for &(u, v) in &edges {
+            inc.delete_edge(u, v);
+        }
+        prop_assert!(inc.result().is_empty() || q.edge_count() == 0);
+        for &(u, v) in &edges {
+            inc.insert_edge(u, v);
+        }
+        prop_assert_eq!(inc.result(), match_pattern(&q, &g));
+    }
+}

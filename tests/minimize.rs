@@ -1,0 +1,64 @@
+//! Property tests for pattern minimization: the simulation-equivalence
+//! quotient is a genuinely equivalent query — per-edge match sets transfer
+//! through the edge map on every graph.
+
+use graph_views::prelude::*;
+use graph_views::views::{minimize, query_contained};
+use gpv_generator::{random_graph, random_pattern, PatternShape};
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["A", "B", "C"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn quotient_preserves_match_sets(
+        qseed in any::<u64>(),
+        gseed in any::<u64>(),
+        nv in 2usize..6,
+        ne in 1usize..8,
+    ) {
+        let q = random_pattern(nv, ne, &LABELS, PatternShape::Any, qseed);
+        let m = minimize(&q);
+        prop_assert!(m.pattern.size() <= q.size());
+        prop_assert!(query_contained(&q, &m.pattern));
+        prop_assert!(query_contained(&m.pattern, &q));
+
+        let g = random_graph(25, 70, &LABELS, gseed);
+        let r1 = match_pattern(&q, &g);
+        let r2 = match_pattern(&m.pattern, &g);
+        prop_assert_eq!(r1.is_empty(), r2.is_empty());
+        if !r1.is_empty() {
+            for (ei, set) in r1.edge_matches.iter().enumerate() {
+                let qe = m.edge_map[ei];
+                prop_assert_eq!(set, &r2.edge_matches[qe.index()], "edge {}", ei);
+            }
+        }
+    }
+
+    /// Minimization is idempotent: minimizing a quotient changes nothing.
+    #[test]
+    fn minimization_idempotent(qseed in any::<u64>()) {
+        let q = random_pattern(5, 7, &LABELS, PatternShape::Any, qseed);
+        let m1 = minimize(&q);
+        let m2 = minimize(&m1.pattern);
+        prop_assert_eq!(&m2.pattern, &m1.pattern);
+    }
+
+    /// Minimizing before containment checking gives the same verdict.
+    #[test]
+    fn containment_invariant_under_minimization(
+        qseed in any::<u64>(),
+        vseed in any::<u64>(),
+    ) {
+        use gpv_generator::covering_views;
+        let q = random_pattern(4, 6, &LABELS, PatternShape::Any, qseed);
+        let views = covering_views(std::slice::from_ref(&q), 2, vseed);
+        let m = minimize(&q);
+        prop_assert_eq!(
+            contain(&q, &views).is_some(),
+            contain(&m.pattern, &views).is_some()
+        );
+    }
+}

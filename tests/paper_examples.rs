@@ -1,0 +1,255 @@
+//! End-to-end reproduction of the paper's worked examples (Figs. 1, 3, 4),
+//! exercising the whole stack across crates.
+
+use graph_views::prelude::*;
+use graph_views::views::{ViewDef, ViewSet};
+
+/// Fig. 1(a) — recommendation network G.
+fn fig1a() -> (DataGraph, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let bob = b.add_node(["PM"]);
+    let walt = b.add_node(["PM"]);
+    let mat = b.add_node(["DBA"]);
+    let fred = b.add_node(["DBA"]);
+    let mary = b.add_node(["DBA"]);
+    let dan = b.add_node(["PRG"]);
+    let pat = b.add_node(["PRG"]);
+    let bill = b.add_node(["PRG"]);
+    let jean = b.add_node(["BA"]);
+    let emmy = b.add_node(["ST"]);
+    for (s, t) in [
+        (bob, mat),
+        (walt, mat),
+        (bob, dan),
+        (walt, bill),
+        (fred, pat),
+        (mat, pat),
+        (mary, bill),
+        (dan, fred),
+        (pat, mary),
+        (pat, mat),
+        (bill, mat),
+        (bob, jean),
+        (jean, emmy),
+    ] {
+        b.add_edge(s, t);
+    }
+    (
+        b.build(),
+        vec![bob, walt, mat, fred, mary, dan, pat, bill, jean, emmy],
+    )
+}
+
+/// Fig. 1(c) — the team pattern Qs.
+fn fig1c() -> Pattern {
+    let mut b = PatternBuilder::new();
+    let pm = b.node_labeled("PM");
+    let dba1 = b.node_labeled("DBA");
+    let prg1 = b.node_labeled("PRG");
+    let dba2 = b.node_labeled("DBA");
+    let prg2 = b.node_labeled("PRG");
+    b.edge(pm, dba1);
+    b.edge(pm, prg2);
+    b.edge(dba1, prg1);
+    b.edge(prg1, dba2);
+    b.edge(dba2, prg2);
+    b.edge(prg2, dba1);
+    b.build().unwrap()
+}
+
+/// Fig. 1(b) — views V1, V2.
+fn fig1_views() -> ViewSet {
+    let mut b = PatternBuilder::new();
+    let pm = b.node_labeled("PM");
+    let dba = b.node_labeled("DBA");
+    let prg = b.node_labeled("PRG");
+    b.edge(pm, dba);
+    b.edge(pm, prg);
+    let v1 = b.build().unwrap();
+    let mut b = PatternBuilder::new();
+    let dba = b.node_labeled("DBA");
+    let prg = b.node_labeled("PRG");
+    b.edge(dba, prg);
+    b.edge(prg, dba);
+    let v2 = b.build().unwrap();
+    ViewSet::new(vec![ViewDef::new("V1", v1), ViewDef::new("V2", v2)])
+}
+
+#[test]
+fn example_1_2_direct_match() {
+    let (g, n) = fig1a();
+    let q = fig1c();
+    let r = match_pattern(&q, &g);
+    assert!(!r.is_empty());
+    // Example 2's table (spot checks).
+    let e_pm_dba1 = q
+        .edge_id(PatternNodeId(0), PatternNodeId(1))
+        .unwrap();
+    assert_eq!(
+        r.edge_matches[e_pm_dba1.index()],
+        vec![(n[0], n[2]), (n[1], n[2])],
+        "(PM,DBA1) = {{(Bob,Mat),(Walt,Mat)}}"
+    );
+    // Jean (BA) and Emmy (ST) never appear.
+    for set in &r.edge_matches {
+        for &(a, b) in set {
+            assert!(a != n[8] && b != n[8] && a != n[9] && b != n[9]);
+        }
+    }
+    // |Qs(G)| per the paper's table: 2 + 2 + 3 + 4 + 3 + 4.
+    assert_eq!(r.size(), 18);
+}
+
+#[test]
+fn example_3_4_answering_via_views() {
+    let (g, _) = fig1a();
+    let q = fig1c();
+    let views = fig1_views();
+    let plan = contain(&q, &views).expect("Example 3: Qs ⊑ V");
+    let ext = materialize(&views, &g);
+    // V(G) is a small fraction of G — the premise of the paper.
+    assert!(ext.size() > 0);
+    let joined = match_join(&q, &plan, &ext).unwrap();
+    assert_eq!(joined, match_pattern(&q, &g), "Theorem 1");
+}
+
+#[test]
+fn examples_5_6_7_fig4_selection() {
+    // Fig. 4's query and seven views; minimal = {V2,V3,V4}, minimum = {V5,V6}.
+    let mut b = PatternBuilder::new();
+    let a = b.node_labeled("A");
+    let bb = b.node_labeled("B");
+    let c = b.node_labeled("C");
+    let d = b.node_labeled("D");
+    let e = b.node_labeled("E");
+    b.edge(a, bb);
+    b.edge(a, c);
+    b.edge(bb, d);
+    b.edge(c, d);
+    b.edge(bb, e);
+    let q = b.build().unwrap();
+
+    let single = |x: &str, y: &str| {
+        let mut b = PatternBuilder::new();
+        let u = b.node_labeled(x);
+        let v = b.node_labeled(y);
+        b.edge(u, v);
+        b.build().unwrap()
+    };
+    let multi = |edges: &[(&str, &str)]| {
+        let mut b = PatternBuilder::new();
+        let mut ids = std::collections::HashMap::new();
+        for &(x, y) in edges {
+            ids.entry(x.to_string()).or_insert_with(|| b.node_labeled(x));
+            ids.entry(y.to_string()).or_insert_with(|| b.node_labeled(y));
+        }
+        for &(x, y) in edges {
+            b.edge(ids[x], ids[y]);
+        }
+        b.build().unwrap()
+    };
+    let views = ViewSet::new(vec![
+        ViewDef::new("V1", single("C", "D")),
+        ViewDef::new("V2", single("B", "E")),
+        ViewDef::new("V3", multi(&[("A", "B"), ("A", "C")])),
+        ViewDef::new("V4", multi(&[("B", "D"), ("C", "D")])),
+        ViewDef::new("V5", multi(&[("B", "D"), ("B", "E")])),
+        ViewDef::new("V6", multi(&[("A", "B"), ("A", "C"), ("C", "D")])),
+        ViewDef::new("V7", multi(&[("A", "B"), ("A", "C"), ("B", "D")])),
+    ]);
+    assert!(contain(&q, &views).is_some(), "Example 5");
+    let mnl = minimal(&q, &views).unwrap();
+    assert_eq!(mnl.views, vec![1, 2, 3], "Example 6: {{V2,V3,V4}}");
+    let min = minimum(&q, &views).unwrap();
+    assert_eq!(min.views, vec![4, 5], "Example 7: {{V5,V6}}");
+
+    // Both selections answer the query identically on Fig. 1's graph shape.
+    let (g, _) = fig1a();
+    let ext = materialize(&views, &g);
+    let a = match_join(&q, &mnl.plan, &ext).unwrap();
+    let b2 = match_join(&q, &min.plan, &ext).unwrap();
+    assert_eq!(a, b2);
+    assert!(a.is_empty(), "no A/B/C/D/E labels in Fig. 1's graph");
+}
+
+#[test]
+fn fig3_example_4_bounded_example_8() {
+    use graph_views::views::bview::{bmaterialize, BoundedViewDef, BoundedViewSet};
+
+    // Fig. 3(a) (reconstruction consistent with Examples 4 and 8).
+    let mut b = GraphBuilder::new();
+    let pm1 = b.add_node(["PM"]);
+    let ai1 = b.add_node(["AI"]);
+    let ai2 = b.add_node(["AI"]);
+    let bio1 = b.add_node(["Bio"]);
+    let se1 = b.add_node(["SE"]);
+    let se2 = b.add_node(["SE"]);
+    let db1 = b.add_node(["DB"]);
+    let db2 = b.add_node(["DB"]);
+    for (s, t) in [
+        (pm1, ai1),
+        (pm1, ai2),
+        (ai2, bio1),
+        (db1, ai2),
+        (db2, ai1),
+        (ai1, se1),
+        (ai2, se2),
+        (se1, db2),
+        (se2, db1),
+        (se1, bio1),
+    ] {
+        b.add_edge(s, t);
+    }
+    let g = b.build();
+
+    // Example 8's bounded query: fe(AI,Bio) = 2, others 1.
+    let mut pb = PatternBuilder::new();
+    let pm = pb.node_labeled("PM");
+    let ai = pb.node_labeled("AI");
+    let bio = pb.node_labeled("Bio");
+    let db = pb.node_labeled("DB");
+    let se = pb.node_labeled("SE");
+    pb.edge_bounded(pm, ai, 1);
+    pb.edge_bounded(ai, bio, 2);
+    pb.edge_bounded(db, ai, 1);
+    pb.edge_bounded(ai, se, 1);
+    pb.edge_bounded(se, db, 1);
+    let qb = pb.build_bounded().unwrap();
+
+    let direct = bmatch_pattern(&qb, &g);
+    assert!(!direct.is_empty());
+    // Example 8: (AI,Bio) includes (AI1,Bio1) at distance 2 via SE1.
+    let e_ai_bio = qb
+        .pattern()
+        .edge_id(PatternNodeId(1), PatternNodeId(2))
+        .unwrap();
+    assert!(direct
+        .edge_set(e_ai_bio)
+        .iter()
+        .any(|&(a, b2, d)| a == ai1 && b2 == bio1 && d == 2));
+
+    // Bounded views covering it; Theorem 8 equivalence.
+    let mut vb = PatternBuilder::new();
+    let ai = vb.node_labeled("AI");
+    let bio = vb.node_labeled("Bio");
+    let pm = vb.node_labeled("PM");
+    vb.edge_bounded(ai, bio, 2);
+    vb.edge_bounded(pm, ai, 1);
+    let v1 = vb.build_bounded().unwrap();
+    let mut vb = PatternBuilder::new();
+    let db = vb.node_labeled("DB");
+    let ai = vb.node_labeled("AI");
+    let se = vb.node_labeled("SE");
+    vb.edge_bounded(db, ai, 1);
+    vb.edge_bounded(ai, se, 1);
+    vb.edge_bounded(se, db, 1);
+    let v2 = vb.build_bounded().unwrap();
+    let views = BoundedViewSet::new(vec![
+        BoundedViewDef::new("BV1", v1),
+        BoundedViewDef::new("BV2", v2),
+    ]);
+    let plan = bcontain(&qb, &views).expect("Qb ⊑ V");
+    let ext = bmaterialize(&views, &g);
+    let joined = bmatch_join(&qb, &plan, &ext).unwrap();
+    assert_eq!(joined, direct, "Theorem 8");
+}

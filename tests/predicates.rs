@@ -1,0 +1,138 @@
+//! Property tests for the predicate algebra: implication must be *sound*
+//! with respect to satisfaction — if `p ⇒ q` syntactically, then every data
+//! node satisfying `p` satisfies `q`.
+
+use graph_views::graph::{GraphBuilder, Value};
+use graph_views::pattern::{Atom, CmpOp, Predicate};
+use proptest::prelude::*;
+
+const ATTRS: [&str; 2] = ["x", "y"];
+const STRS: [&str; 3] = ["red", "green", "blue"];
+const LABELS: [&str; 2] = ["A", "B"];
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (0usize..LABELS.len()).prop_map(|i| Atom::Label(LABELS[i].to_string())),
+        (0usize..ATTRS.len(), arb_op(), -5i64..5).prop_map(|(a, op, v)| Atom::Cmp {
+            attr: ATTRS[a].to_string(),
+            op,
+            value: Value::Int(v),
+        }),
+        (0usize..ATTRS.len(), prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Ne)], 0usize..STRS.len())
+            .prop_map(|(a, op, s)| Atom::Cmp {
+                attr: ATTRS[a].to_string(),
+                op,
+                value: Value::Str(STRS[s].to_string()),
+            }),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    proptest::collection::vec(arb_atom(), 0..3).prop_map(|atoms| {
+        let mut p = Predicate::any();
+        for a in atoms {
+            p.push(a);
+        }
+        p
+    })
+}
+
+/// A random node: labels plus int/str attribute assignments.
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    labels: Vec<&'static str>,
+    ints: Vec<(usize, i64)>,
+    strs: Vec<(usize, usize)>,
+}
+
+fn arb_node() -> impl Strategy<Value = NodeSpec> {
+    (
+        proptest::collection::vec(0usize..LABELS.len(), 0..2),
+        proptest::collection::vec((0usize..ATTRS.len(), -5i64..5), 0..2),
+        proptest::collection::vec((0usize..ATTRS.len(), 0usize..STRS.len()), 0..2),
+    )
+        .prop_map(|(ls, ints, strs)| NodeSpec {
+            labels: ls.into_iter().map(|i| LABELS[i]).collect(),
+            ints,
+            strs,
+        })
+}
+
+fn build_graph_with(node: &NodeSpec) -> (graph_views::graph::DataGraph, graph_views::graph::NodeId)
+{
+    let mut b = GraphBuilder::new();
+    let v = b.add_node(node.labels.iter().copied());
+    // Int attrs first, then strings (strings overwrite ints on collision,
+    // which is fine — the node is still a consistent assignment).
+    for &(a, x) in &node.ints {
+        b.set_attr(v, ATTRS[a], Value::Int(x));
+    }
+    for &(a, s) in &node.strs {
+        b.set_attr(v, ATTRS[a], Value::str(STRS[s]));
+    }
+    // A second node interning all string constants so `Ne` against an
+    // interned-but-unequal literal is exercised.
+    let w = b.add_node(["A"]);
+    for (i, s) in STRS.iter().enumerate() {
+        b.set_attr(w, "z", Value::str(*s));
+        let _ = i;
+    }
+    (b.build(), v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: p ⇒ q implies sat(p) ⊆ sat(q) on arbitrary nodes.
+    #[test]
+    fn implication_sound(p in arb_pred(), q in arb_pred(), node in arb_node()) {
+        if p.implies(&q) {
+            let (g, v) = build_graph_with(&node);
+            if p.satisfied_by(&g, v) {
+                prop_assert!(
+                    q.satisfied_by(&g, v),
+                    "p={p} implies q={q} but node {node:?} satisfies only p"
+                );
+            }
+        }
+    }
+
+    /// Reflexivity and conjunction-weakening.
+    #[test]
+    fn implication_laws(p in arb_pred(), q in arb_pred()) {
+        prop_assert!(p.implies(&p));
+        let both = p.clone().and(q.clone());
+        prop_assert!(both.implies(&p));
+        prop_assert!(both.implies(&q));
+        prop_assert!(p.implies(&Predicate::any()));
+    }
+
+    /// Equivalence is symmetric and implies mutual satisfaction agreement.
+    #[test]
+    fn equivalence_laws(p in arb_pred(), q in arb_pred(), node in arb_node()) {
+        if p.equivalent(&q) {
+            prop_assert!(q.equivalent(&p));
+            let (g, v) = build_graph_with(&node);
+            prop_assert_eq!(p.satisfied_by(&g, v), q.satisfied_by(&g, v));
+        }
+    }
+
+    /// Transitivity of implication.
+    #[test]
+    fn implication_transitive(a in arb_pred(), b in arb_pred(), c in arb_pred()) {
+        if a.implies(&b) && b.implies(&c) {
+            prop_assert!(a.implies(&c));
+        }
+    }
+}

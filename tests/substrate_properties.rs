@@ -1,0 +1,192 @@
+#![allow(clippy::needless_range_loop, clippy::int_plus_one)] // oracle code favours index clarity
+
+//! Property tests for the graph substrate against brute-force oracles:
+//! bounded BFS vs Floyd–Warshall, Tarjan SCC vs mutual reachability, and
+//! BitSet vs HashSet.
+
+use graph_views::graph::scc::{tarjan_scc, Condensation};
+use graph_views::graph::traverse::{bounded_bfs, BfsScratch, Direction};
+use graph_views::graph::{BitSet, DataGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n as u32, 0..n as u32), 0..(n * 3))
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> DataGraph {
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_node(["N"]);
+    }
+    for &(u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    b.build()
+}
+
+/// Brute-force nonempty-path shortest distances (Floyd–Warshall flavour).
+fn oracle_distances(g: &DataGraph) -> Vec<Vec<Option<u32>>> {
+    let n = g.node_count();
+    let mut d: Vec<Vec<Option<u32>>> = vec![vec![None; n]; n];
+    for (u, v) in g.edges() {
+        d[u.index()][v.index()] = Some(1);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if let (Some(a), Some(b)) = (d[i][k], d[k][j]) {
+                    let via = a + b;
+                    if d[i][j].is_none_or(|cur| via < cur) {
+                        d[i][j] = Some(via);
+                    }
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bfs_matches_floyd_warshall(n in 2usize..15, edges in arb_edges(14)) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(u, v)| (u as usize) < n && (v as usize) < n).collect();
+        let g = build(n, &edges);
+        let oracle = oracle_distances(&g);
+        let mut scratch = BfsScratch::new(n);
+        for s in 0..n {
+            bounded_bfs(&g, NodeId(s as u32), u32::MAX, Direction::Out, &mut scratch);
+            let mut got: Vec<Option<u32>> = vec![None; n];
+            for &(v, dist) in &scratch.visited {
+                got[v.index()] = Some(dist);
+            }
+            prop_assert_eq!(&got, &oracle[s], "source {}", s);
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_is_truncation(n in 2usize..12, edges in arb_edges(11), k in 1u32..4) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(u, v)| (u as usize) < n && (v as usize) < n).collect();
+        let g = build(n, &edges);
+        let mut s1 = BfsScratch::new(n);
+        let mut s2 = BfsScratch::new(n);
+        for s in 0..n {
+            bounded_bfs(&g, NodeId(s as u32), k, Direction::Out, &mut s1);
+            bounded_bfs(&g, NodeId(s as u32), u32::MAX, Direction::Out, &mut s2);
+            let full: std::collections::HashMap<NodeId, u32> =
+                s2.visited.iter().copied().collect();
+            // Bounded = exactly the full-BFS entries with distance ≤ k.
+            let bounded: std::collections::HashMap<NodeId, u32> =
+                s1.visited.iter().copied().collect();
+            let expect: std::collections::HashMap<NodeId, u32> = full
+                .iter()
+                .filter(|&(_, &d)| d <= k)
+                .map(|(&v, &d)| (v, d))
+                .collect();
+            prop_assert_eq!(&bounded, &expect);
+        }
+    }
+
+    #[test]
+    fn in_bfs_mirrors_out_bfs(n in 2usize..12, edges in arb_edges(11)) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(u, v)| (u as usize) < n && (v as usize) < n).collect();
+        let g = build(n, &edges);
+        let mut s1 = BfsScratch::new(n);
+        let mut s2 = BfsScratch::new(n);
+        // dist_out(u, v) must equal dist_in(v, u).
+        for u in 0..n {
+            bounded_bfs(&g, NodeId(u as u32), u32::MAX, Direction::Out, &mut s1);
+            for &(v, d) in &s1.visited {
+                bounded_bfs(&g, v, u32::MAX, Direction::In, &mut s2);
+                let back = s2
+                    .visited
+                    .iter()
+                    .find(|&&(w, _)| w == NodeId(u as u32))
+                    .map(|&(_, d2)| d2);
+                prop_assert_eq!(back, Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn tarjan_matches_mutual_reachability(n in 1usize..12, edges in arb_edges(11)) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(u, v)| (u as usize) < n && (v as usize) < n).collect();
+        let g = build(n, &edges);
+        // Reflexive-transitive closure.
+        let mut reach = vec![vec![false; n]; n];
+        for i in 0..n {
+            reach[i][i] = true;
+        }
+        for (u, v) in g.edges() {
+            reach[u.index()][v.index()] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if reach[i][k] && reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+        let scc = tarjan_scc(n, |v| {
+            g.out_neighbors(NodeId(v)).iter().map(|w| w.0).collect::<Vec<_>>()
+        });
+        for i in 0..n {
+            for j in 0..n {
+                let same = scc.comp_of[i] == scc.comp_of[j];
+                prop_assert_eq!(same, reach[i][j] && reach[j][i], "{} {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_longest_paths(n in 1usize..10, edges in arb_edges(9)) {
+        let edges: Vec<_> = edges.into_iter().filter(|&(u, v)| (u as usize) < n && (v as usize) < n).collect();
+        let g = build(n, &edges);
+        let succ = |v: u32| {
+            g.out_neighbors(NodeId(v)).iter().map(|w| w.0).collect::<Vec<_>>()
+        };
+        let scc = tarjan_scc(n, succ);
+        let cond = Condensation::build(n, succ, scc);
+        // Rank must be antitone along condensation edges with slack ≥ 1 and
+        // tight for at least one successor (max semantics).
+        for &(a, b) in &cond.edges {
+            prop_assert!(cond.comp_rank[a as usize] >= cond.comp_rank[b as usize] + 1);
+        }
+        for c in 0..cond.scc.comp_count {
+            let succs: Vec<u32> = cond
+                .edges
+                .iter()
+                .filter(|&&(a, _)| a as usize == c)
+                .map(|&(_, b)| b)
+                .collect();
+            if succs.is_empty() {
+                prop_assert_eq!(cond.comp_rank[c], 0);
+            } else {
+                let best = succs.iter().map(|&s| cond.comp_rank[s as usize] + 1).max().unwrap();
+                prop_assert_eq!(cond.comp_rank[c], best);
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_matches_hashset(ops in proptest::collection::vec((any::<bool>(), 0usize..120), 0..80)) {
+        let mut bs = BitSet::new(120);
+        let mut hs = std::collections::HashSet::new();
+        for (insert, i) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(i), hs.insert(i));
+            } else {
+                prop_assert_eq!(bs.remove(i), hs.remove(&i));
+            }
+        }
+        prop_assert_eq!(bs.count(), hs.len());
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_bs.sort_unstable();
+        from_hs.sort_unstable();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+}
