@@ -19,16 +19,14 @@ fn bench(c: &mut Criterion) {
     g.bench_function("narrowed+ranked", |b| {
         b.iter(|| {
             std::hint::black_box(
-                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp)
-                    .unwrap(),
+                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp).unwrap(),
             )
         })
     });
     g.bench_function("narrowed+naive", |b| {
         b.iter(|| {
             std::hint::black_box(
-                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::NaiveFixpoint)
-                    .unwrap(),
+                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::NaiveFixpoint).unwrap(),
             )
         })
     });

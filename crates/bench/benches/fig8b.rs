@@ -10,7 +10,7 @@ use gpv_core::minimum::minimum;
 use gpv_matching::simulation::match_pattern;
 
 fn bench(c: &mut Criterion) {
-    let s = plain(Dataset::Citation, 28_000, (6,12), 42);
+    let s = plain(Dataset::Citation, 28_000, (6, 12), 42);
     let sel_mnl = minimal(&s.query, &s.views).expect("contained");
     let sel_min = minimum(&s.query, &s.views).expect("contained");
 
@@ -22,16 +22,26 @@ fn bench(c: &mut Criterion) {
     g.bench_function("MatchJoin_mnl", |b| {
         b.iter(|| {
             std::hint::black_box(
-                match_join_with(&s.query, &sel_mnl.plan, &s.ext, JoinStrategy::RankedBottomUp)
-                    .unwrap(),
+                match_join_with(
+                    &s.query,
+                    &sel_mnl.plan,
+                    &s.ext,
+                    JoinStrategy::RankedBottomUp,
+                )
+                .unwrap(),
             )
         })
     });
     g.bench_function("MatchJoin_min", |b| {
         b.iter(|| {
             std::hint::black_box(
-                match_join_with(&s.query, &sel_min.plan, &s.ext, JoinStrategy::RankedBottomUp)
-                    .unwrap(),
+                match_join_with(
+                    &s.query,
+                    &sel_min.plan,
+                    &s.ext,
+                    JoinStrategy::RankedBottomUp,
+                )
+                .unwrap(),
             )
         })
     });

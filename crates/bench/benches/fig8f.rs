@@ -15,16 +15,14 @@ fn bench(c: &mut Criterion) {
     g.bench_function("MatchJoin_nopt", |b| {
         b.iter(|| {
             std::hint::black_box(
-                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::NaiveFixpoint)
-                    .unwrap(),
+                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::NaiveFixpoint).unwrap(),
             )
         })
     });
     g.bench_function("MatchJoin_min", |b| {
         b.iter(|| {
             std::hint::black_box(
-                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp)
-                    .unwrap(),
+                match_join_with(&s.query, &sel.plan, &s.ext, JoinStrategy::RankedBottomUp).unwrap(),
             )
         })
     });

@@ -10,7 +10,7 @@ use gpv_core::matchjoin::JoinStrategy;
 use gpv_matching::bounded::bmatch_pattern;
 
 fn bench(c: &mut Criterion) {
-    let s = bounded(Dataset::Citation, 14_000, (6,12), 3, 42);
+    let s = bounded(Dataset::Citation, 14_000, (6, 12), 3, 42);
     let sel_mnl = bminimal(&s.query, &s.views).expect("contained");
     let sel_min = bminimum(&s.query, &s.views).expect("contained");
 
@@ -22,16 +22,26 @@ fn bench(c: &mut Criterion) {
     g.bench_function("BMatchJoin_mnl", |b| {
         b.iter(|| {
             std::hint::black_box(
-                bmatch_join_with(&s.query, &sel_mnl.plan, &s.ext, JoinStrategy::RankedBottomUp)
-                    .unwrap(),
+                bmatch_join_with(
+                    &s.query,
+                    &sel_mnl.plan,
+                    &s.ext,
+                    JoinStrategy::RankedBottomUp,
+                )
+                .unwrap(),
             )
         })
     });
     g.bench_function("BMatchJoin_min", |b| {
         b.iter(|| {
             std::hint::black_box(
-                bmatch_join_with(&s.query, &sel_min.plan, &s.ext, JoinStrategy::RankedBottomUp)
-                    .unwrap(),
+                bmatch_join_with(
+                    &s.query,
+                    &sel_min.plan,
+                    &s.ext,
+                    JoinStrategy::RankedBottomUp,
+                )
+                .unwrap(),
             )
         })
     });

@@ -3,10 +3,15 @@
 //! ```text
 //! repro all                 # every figure at the default scale
 //! repro fig8a fig8g         # selected figures
+//! repro engine              # QueryEngine planner/parallel-executor bench
 //! repro examples            # the paper's worked Examples 1-9
 //! repro summary             # headline claims (speedups, ratios)
 //! repro all --scale=0.05 --seed=42 --json=out.json --md=EXPERIMENTS.data.md
 //! ```
+//!
+//! Whenever the `engine` experiment runs (directly or via `all`), its
+//! result is also written to `BENCH_engine.json`, so the engine's
+//! performance trajectory is recorded per machine across revisions.
 
 use gpv_bench::experiments::{run_all, run_one, ExperimentResult, Scale};
 use gpv_bench::report::{render_markdown, render_table, to_json};
@@ -15,7 +20,7 @@ use std::io::Write as _;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|examples|summary|fig8a..fig8l>... [--scale=F] [--seed=N] [--json=PATH] [--md=PATH]");
+        eprintln!("usage: repro <all|examples|summary|engine|fig8a..fig8l>... [--scale=F] [--seed=N] [--json=PATH] [--md=PATH]");
         std::process::exit(2);
     }
     let mut scale = Scale::default_scale();
@@ -65,6 +70,13 @@ fn main() {
         }
     }
 
+    if let Some(engine_result) = results.iter().find(|r| r.id == "engine") {
+        let p = "BENCH_engine.json";
+        std::fs::write(p, to_json(std::slice::from_ref(engine_result)))
+            .expect("write BENCH_engine.json");
+        eprintln!("# wrote {p}");
+    }
+
     if let Some(p) = json_path {
         std::fs::File::create(&p)
             .and_then(|mut f| f.write_all(to_json(&results).as_bytes()))
@@ -89,12 +101,7 @@ fn print_summary(results: &[ExperimentResult]) {
         let mut num = 0.0;
         let mut den = 0.0;
         for row in &r.rows {
-            let get = |name: &str| {
-                row.series
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, v)| *v)
-            };
+            let get = |name: &str| row.series.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
             if let (Some(b), Some(o)) = (get(base), get(ours)) {
                 num += o;
                 den += b;
@@ -122,12 +129,7 @@ fn print_summary(results: &[ExperimentResult]) {
         // The optimization claim targets dense graphs ("more effective over
         // denser data graphs"): report the densest α point.
         if let Some(row) = r.rows.last() {
-            let get = |name: &str| {
-                row.series
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, v)| *v)
-            };
+            let get = |name: &str| row.series.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
             if let (Some(nopt), Some(min)) = (get("MatchJoin_nopt"), get("MatchJoin_min")) {
                 if nopt > 0.0 {
                     println!(
@@ -151,12 +153,8 @@ fn print_summary(results: &[ExperimentResult]) {
         );
     }
     if let Some(r) = results.iter().find(|r| r.id == "fig8h") {
-        let avg_r2: f64 = r
-            .rows
-            .iter()
-            .map(|row| row.series[1].1)
-            .sum::<f64>()
-            / r.rows.len() as f64;
+        let avg_r2: f64 =
+            r.rows.iter().map(|row| row.series[1].1).sum::<f64>() / r.rows.len() as f64;
         println!(
             "fig8h   avg |Minimum|/|Minimal| (R2):         {:.1}% (paper: 40-55%)",
             avg_r2 * 100.0
@@ -279,9 +277,8 @@ mod examples {
         println!("contain: Qs ⊑ V = {}", plan.is_some());
         let mnl = minimal(&q4, &v4).unwrap();
         let min = minimum(&q4, &v4).unwrap();
-        let name = |vs: &[usize]| -> Vec<String> {
-            vs.iter().map(|&i| v4.get(i).name.clone()).collect()
-        };
+        let name =
+            |vs: &[usize]| -> Vec<String> { vs.iter().map(|&i| v4.get(i).name.clone()).collect() };
         println!("minimal  -> {:?} (paper: [V2, V3, V4])", name(&mnl.views));
         println!("minimum  -> {:?} (paper: [V5, V6])", name(&min.views));
     }
@@ -311,8 +308,10 @@ mod examples {
             let mut b = PatternBuilder::new();
             let mut ids = std::collections::HashMap::new();
             for &(x, y) in edges {
-                ids.entry(x.to_string()).or_insert_with(|| b.node_labeled(x));
-                ids.entry(y.to_string()).or_insert_with(|| b.node_labeled(y));
+                ids.entry(x.to_string())
+                    .or_insert_with(|| b.node_labeled(x));
+                ids.entry(y.to_string())
+                    .or_insert_with(|| b.node_labeled(y));
             }
             for &(x, y) in edges {
                 b.edge(ids[x], ids[y]);

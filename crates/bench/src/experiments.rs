@@ -4,16 +4,17 @@ use gpv_core::bcontainment::{bcontain, bminimal, bminimum};
 use gpv_core::bmatchjoin::bmatch_join_with;
 use gpv_core::bview::{bmaterialize, BoundedViewSet};
 use gpv_core::containment::contain;
+use gpv_core::engine::{EngineConfig, QueryEngine};
 use gpv_core::matchjoin::{match_join_with, JoinStrategy};
 use gpv_core::minimal::{minimal, Selection};
 use gpv_core::minimum::minimum;
+use gpv_core::plan::{ExecStrategy, SelectionMode};
 use gpv_core::view::{materialize, ViewSet};
 use gpv_generator::{
     amazon, amazon_predicate_pool, citation, citation_predicate_pool, covering_bounded_views,
     covering_views, densification_graph, random_graph, random_pattern, random_pattern_with_preds,
     uniform_bounded_pattern, uniform_bounded_pattern_with_preds, youtube, youtube_predicate_pool,
-    PatternShape,
-    DEFAULT_ALPHABET,
+    PatternShape, DEFAULT_ALPHABET,
 };
 use gpv_graph::DataGraph;
 use gpv_matching::bounded::bmatch_pattern;
@@ -87,7 +88,10 @@ fn selective_views(queries: &[Pattern], seed: u64) -> ViewSet {
     for (i, v) in views.into_iter().enumerate() {
         if !seen.contains(&v.pattern) {
             seen.push(v.pattern.clone());
-            out.push(gpv_core::view::ViewDef::new(format!("V{}", i + 1), v.pattern));
+            out.push(gpv_core::view::ViewDef::new(
+                format!("V{}", i + 1),
+                v.pattern,
+            ));
         }
     }
     ViewSet::new(out)
@@ -114,7 +118,10 @@ fn mixed_views(queries: &[Pattern], seed: u64) -> ViewSet {
     for (i, v) in views.into_iter().enumerate() {
         if !seen.contains(&v.pattern) {
             seen.push(v.pattern.clone());
-            out.push(gpv_core::view::ViewDef::new(format!("V{}", i + 1), v.pattern));
+            out.push(gpv_core::view::ViewDef::new(
+                format!("V{}", i + 1),
+                v.pattern,
+            ));
         }
     }
     ViewSet::new(out)
@@ -155,7 +162,12 @@ fn mixed_bounded_views(queries: &[BoundedPattern], seed: u64) -> BoundedViewSet 
 }
 
 /// Builds per-size query sets: `count` patterns of each `(nv, ne)` size.
-fn query_set(sizes: &[(usize, usize)], count: usize, shape: PatternShape, seed: u64) -> Vec<Vec<Pattern>> {
+fn query_set(
+    sizes: &[(usize, usize)],
+    count: usize,
+    shape: PatternShape,
+    seed: u64,
+) -> Vec<Vec<Pattern>> {
     sizes
         .iter()
         .enumerate()
@@ -203,8 +215,23 @@ fn dataset_queries(
         .collect()
 }
 
+/// An [`EngineConfig`] pinning the figure's selection mode and the
+/// sequential ranked executor, so the fig8 series measure exactly the
+/// paper's comparison on any machine (planner auto-tuning is benched
+/// separately by [`engine_experiment`]).
+fn figure_config(selection: SelectionMode) -> EngineConfig {
+    EngineConfig {
+        force_selection: Some(selection),
+        force_exec: Some(ExecStrategy::Sequential(JoinStrategy::RankedBottomUp)),
+        ..EngineConfig::default()
+    }
+}
+
 /// The common Fig. 8(a)–(c) runner: Match vs MatchJoin_mnl vs MatchJoin_min
-/// over one dataset, varying |Qs|.
+/// over one dataset, varying |Qs|. The view paths go through the
+/// [`QueryEngine`]: planning (containment + selection) stays untimed, as in
+/// the paper's setup where views are pre-selected; the timed section is
+/// plan execution only.
 fn run_plain_dataset(
     id: &str,
     title: &str,
@@ -217,7 +244,7 @@ fn run_plain_dataset(
     // 12 views per dataset known to answer its queries).
     let all: Vec<Pattern> = queries.iter().flatten().cloned().collect();
     let views = selective_views(&all, seed);
-    let ext = materialize(&views, &g);
+    let mut engine = QueryEngine::materialize(views, &g);
 
     let mut rows = Vec::new();
     for (si, qs) in queries.iter().enumerate() {
@@ -226,17 +253,16 @@ fn run_plain_dataset(
             t_match += secs(|| {
                 std::hint::black_box(match_pattern(q, &g));
             });
-            let sel_mnl = minimal(q, &views).expect("covering views contain q");
+            engine.set_config(figure_config(SelectionMode::Minimal));
+            let plan_mnl = engine.plan(q);
+            assert!(!plan_mnl.needs_graph(), "covering views contain q");
             t_mnl += secs(|| {
-                std::hint::black_box(
-                    match_join_with(q, &sel_mnl.plan, &ext, JoinStrategy::RankedBottomUp).unwrap(),
-                );
+                std::hint::black_box(engine.execute(q, &plan_mnl, None).unwrap());
             });
-            let sel_min = minimum(q, &views).expect("covering views contain q");
+            engine.set_config(figure_config(SelectionMode::Minimum));
+            let plan_min = engine.plan(q);
             t_min += secs(|| {
-                std::hint::black_box(
-                    match_join_with(q, &sel_min.plan, &ext, JoinStrategy::RankedBottomUp).unwrap(),
-                );
+                std::hint::black_box(engine.execute(q, &plan_min, None).unwrap());
             });
         }
         let n = qs.len() as f64;
@@ -260,7 +286,17 @@ fn run_plain_dataset(
 /// Fig. 8(a): varying |Qs| on Amazon.
 pub fn fig8a(scale: Scale, seed: u64) -> ExperimentResult {
     let g = amazon(scale.nodes(548_000), seed);
-    let sizes = [(4, 4), (4, 6), (4, 8), (6, 6), (6, 9), (6, 12), (8, 8), (8, 12), (8, 16)];
+    let sizes = [
+        (4, 4),
+        (4, 6),
+        (4, 8),
+        (6, 6),
+        (6, 9),
+        (6, 12),
+        (8, 8),
+        (8, 12),
+        (8, 16),
+    ];
     let queries = dataset_queries(&amazon_predicate_pool(), &sizes, 3, seed);
     run_plain_dataset("fig8a", "Varying |Qs| (Amazon)", g, &sizes, queries, seed)
 }
@@ -293,23 +329,22 @@ pub fn fig8d(scale: Scale, seed: u64) -> ExperimentResult {
         let paper_n = 300_000 + step * 100_000;
         let n = scale.nodes(paper_n);
         let g = random_graph(n, 2 * n, &DEFAULT_ALPHABET, seed + step as u64);
-        let ext = materialize(&views, &g);
+        let mut engine = QueryEngine::materialize(views.clone(), &g);
         let (mut t_match, mut t_mnl, mut t_min) = (0.0, 0.0, 0.0);
         for q in &queries {
             t_match += secs(|| {
                 std::hint::black_box(match_pattern(q, &g));
             });
-            let sel = minimal(q, &views).unwrap();
+            engine.set_config(figure_config(SelectionMode::Minimal));
+            let plan = engine.plan(q);
+            assert!(!plan.needs_graph(), "covering views contain q");
             t_mnl += secs(|| {
-                std::hint::black_box(
-                    match_join_with(q, &sel.plan, &ext, JoinStrategy::RankedBottomUp).unwrap(),
-                );
+                std::hint::black_box(engine.execute(q, &plan, None).unwrap());
             });
-            let sel = minimum(q, &views).unwrap();
+            engine.set_config(figure_config(SelectionMode::Minimum));
+            let plan = engine.plan(q);
             t_min += secs(|| {
-                std::hint::black_box(
-                    match_join_with(q, &sel.plan, &ext, JoinStrategy::RankedBottomUp).unwrap(),
-                );
+                std::hint::black_box(engine.execute(q, &plan, None).unwrap());
             });
         }
         let c = queries.len() as f64;
@@ -338,7 +373,13 @@ pub fn fig8e(scale: Scale, seed: u64) -> ExperimentResult {
         .iter()
         .enumerate()
         .map(|(i, &(nv, ne))| {
-            random_pattern(nv, ne, &DEFAULT_ALPHABET, PatternShape::Any, seed + i as u64)
+            random_pattern(
+                nv,
+                ne,
+                &DEFAULT_ALPHABET,
+                PatternShape::Any,
+                seed + i as u64,
+            )
         })
         .collect();
     let views = covering_views(&queries, 3, seed);
@@ -399,8 +440,7 @@ pub fn fig8f(scale: Scale, seed: u64) -> ExperimentResult {
             // measured contrast is purely the worklist strategy.
             t_nopt += secs(|| {
                 std::hint::black_box(
-                    match_join_union_with(q, &sel.plan, &ext, JoinStrategy::NaiveFixpoint)
-                        .unwrap(),
+                    match_join_union_with(q, &sel.plan, &ext, JoinStrategy::NaiveFixpoint).unwrap(),
                 );
             });
             t_min += secs(|| {
@@ -438,7 +478,18 @@ fn synthetic_views_for_containment(seed: u64) -> ViewSet {
 /// Fig. 8(g): efficiency of `contain` on DAG vs cyclic patterns.
 pub fn fig8g(_scale: Scale, seed: u64) -> ExperimentResult {
     let views = synthetic_views_for_containment(seed);
-    let sizes = [(6, 6), (6, 12), (7, 7), (7, 14), (8, 8), (8, 16), (9, 9), (9, 18), (10, 10), (10, 20)];
+    let sizes = [
+        (6, 6),
+        (6, 12),
+        (7, 7),
+        (7, 14),
+        (8, 8),
+        (8, 16),
+        (9, 9),
+        (9, 18),
+        (10, 10),
+        (10, 20),
+    ];
     let dag = query_set(&sizes, 5, PatternShape::Dag, seed);
     let cyc = query_set(&sizes, 5, PatternShape::Cyclic, seed + 1000);
 
@@ -474,7 +525,18 @@ pub fn fig8g(_scale: Scale, seed: u64) -> ExperimentResult {
 /// set-size ratio) on cyclic patterns.
 pub fn fig8h(_scale: Scale, seed: u64) -> ExperimentResult {
     let views = synthetic_views_for_containment(seed);
-    let sizes = [(6, 6), (6, 12), (7, 7), (7, 14), (8, 8), (8, 16), (9, 9), (9, 18), (10, 10), (10, 20)];
+    let sizes = [
+        (6, 6),
+        (6, 12),
+        (7, 7),
+        (7, 14),
+        (8, 8),
+        (8, 16),
+        (9, 9),
+        (9, 18),
+        (10, 10),
+        (10, 20),
+    ];
     let mut rows = Vec::new();
     for &(nv, ne) in &sizes {
         // Queries drawn from view compositions so containment holds and the
@@ -514,10 +576,17 @@ pub fn fig8h(_scale: Scale, seed: u64) -> ExperimentResult {
         rows.push(Row {
             x: format!("({nv},{ne})"),
             series: vec![
-                ("R1 (Tmin/Tmnl)".into(), if t_mnl > 0.0 { t_min / t_mnl } else { 0.0 }),
+                (
+                    "R1 (Tmin/Tmnl)".into(),
+                    if t_mnl > 0.0 { t_min / t_mnl } else { 0.0 },
+                ),
                 (
                     "R2 (|Minimum|/|Minimal|)".into(),
-                    if s_mnl > 0 { s_min as f64 / s_mnl as f64 } else { 0.0 },
+                    if s_mnl > 0 {
+                        s_min as f64 / s_mnl as f64
+                    } else {
+                        0.0
+                    },
                 ),
             ],
         });
@@ -603,7 +672,17 @@ fn run_bounded_dataset(
 /// Fig. 8(i): bounded patterns on Amazon, fe(e) = 2.
 pub fn fig8i(scale: Scale, seed: u64) -> ExperimentResult {
     let g = amazon(scale.nodes(548_000), seed);
-    let sizes = [(4, 4), (4, 6), (4, 8), (6, 6), (6, 9), (6, 12), (8, 8), (8, 12), (8, 16)];
+    let sizes = [
+        (4, 4),
+        (4, 6),
+        (4, 8),
+        (6, 6),
+        (6, 9),
+        (6, 12),
+        (8, 8),
+        (8, 12),
+        (8, 16),
+    ];
     run_bounded_dataset(
         "fig8i",
         "Varying |Qb| (Amazon, fe=2)",
@@ -684,9 +763,7 @@ pub fn fig8k(scale: Scale, seed: u64) -> ExperimentResult {
 /// |V| 0.3M → 1M (scaled), |E| = 2|V|.
 pub fn fig8l(scale: Scale, seed: u64) -> ExperimentResult {
     let queries: Vec<BoundedPattern> = (0..2)
-        .map(|i| {
-            uniform_bounded_pattern(4, 6, &DEFAULT_ALPHABET, 3, PatternShape::Any, seed + i)
-        })
+        .map(|i| uniform_bounded_pattern(4, 6, &DEFAULT_ALPHABET, 3, PatternShape::Any, seed + i))
         .collect();
     let views = mixed_bounded_views(&queries, seed);
 
@@ -727,6 +804,69 @@ pub fn fig8l(scale: Scale, seed: u64) -> ExperimentResult {
     ExperimentResult {
         id: "fig8l".into(),
         title: "Bounded scalability: varying |G| (synthetic)".into(),
+        unit: "s".into(),
+        rows,
+    }
+}
+
+/// Engine bench: the unified `QueryEngine` on a fig8(d)-style synthetic
+/// workload — planner overhead, sequential `MatchJoin`, and the parallel
+/// executor at auto / 2 / 4 workers, varying |G|. The parallel series only
+/// beat the sequential one when the machine actually has spare cores
+/// (`threads=1` degrades to inline execution by design); the point of the
+/// experiment is recording that trajectory per host.
+pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
+    use gpv_core::par_match_join;
+    let queries: Vec<Pattern> = (0..3)
+        .map(|i| random_pattern(4, 6, &DEFAULT_ALPHABET, PatternShape::Any, seed + i))
+        .collect();
+    let views = selective_views(&queries, seed);
+
+    let mut rows = Vec::new();
+    for step in 0..4 {
+        let paper_n = 400_000 + step * 400_000;
+        let n = scale.nodes(paper_n);
+        let g = random_graph(n, 2 * n, &DEFAULT_ALPHABET, seed + step as u64);
+        let mut engine = QueryEngine::materialize(views.clone(), &g);
+        engine.set_config(figure_config(SelectionMode::Minimum));
+        let (mut t_plan, mut t_seq, mut t_auto, mut t_par2, mut t_par4) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for q in &queries {
+            t_plan += secs(|| {
+                std::hint::black_box(engine.plan(q));
+            });
+            let plan = engine.plan(q);
+            assert!(!plan.needs_graph(), "covering views contain q");
+            t_seq += secs(|| {
+                std::hint::black_box(engine.execute(q, &plan, None).unwrap());
+            });
+            let gpv_core::QueryPlan::ViewsOnly(vp) = &plan else {
+                unreachable!("checked above");
+            };
+            t_auto += secs(|| {
+                std::hint::black_box(par_match_join(q, &vp.plan, engine.extensions(), 0).unwrap());
+            });
+            t_par2 += secs(|| {
+                std::hint::black_box(par_match_join(q, &vp.plan, engine.extensions(), 2).unwrap());
+            });
+            t_par4 += secs(|| {
+                std::hint::black_box(par_match_join(q, &vp.plan, engine.extensions(), 4).unwrap());
+            });
+        }
+        let c = queries.len() as f64;
+        rows.push(Row {
+            x: format!("{:.1}M", paper_n as f64 / 1e6),
+            series: vec![
+                ("plan".into(), t_plan / c),
+                ("MatchJoin_seq".into(), t_seq / c),
+                ("MatchJoin_par_auto".into(), t_auto / c),
+                ("MatchJoin_par2".into(), t_par2 / c),
+                ("MatchJoin_par4".into(), t_par4 / c),
+            ],
+        });
+    }
+    ExperimentResult {
+        id: "engine".into(),
+        title: "QueryEngine: planner overhead + sequential vs parallel MatchJoin".into(),
         unit: "s".into(),
         rows,
     }
@@ -860,6 +1000,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<ExperimentResult> {
         fig8j(scale, seed),
         fig8k(scale, seed),
         fig8l(scale, seed),
+        engine_experiment(scale, seed),
     ]
 }
 
@@ -878,6 +1019,7 @@ pub fn run_one(id: &str, scale: Scale, seed: u64) -> Option<ExperimentResult> {
         "fig8j" => fig8j(scale, seed),
         "fig8k" => fig8k(scale, seed),
         "fig8l" => fig8l(scale, seed),
+        "engine" => engine_experiment(scale, seed),
         _ => return None,
     })
 }

@@ -17,7 +17,13 @@ pub fn render_table(r: &ExperimentResult) -> String {
         .iter()
         .map(|(name, _)| name.as_str())
         .collect();
-    let xw = r.rows.iter().map(|row| row.x.len()).max().unwrap_or(1).max(4);
+    let xw = r
+        .rows
+        .iter()
+        .map(|row| row.x.len())
+        .max()
+        .unwrap_or(1)
+        .max(4);
     let _ = write!(out, "{:<xw$}", "x");
     for s in &series {
         let _ = write!(out, "  {s:>18}");
@@ -40,11 +46,7 @@ pub fn render_markdown(r: &ExperimentResult) -> String {
     if r.rows.is_empty() {
         return out;
     }
-    let series: Vec<&str> = r.rows[0]
-        .series
-        .iter()
-        .map(|(n, _)| n.as_str())
-        .collect();
+    let series: Vec<&str> = r.rows[0].series.iter().map(|(n, _)| n.as_str()).collect();
     let _ = write!(out, "| x |");
     for s in &series {
         let _ = write!(out, " {s} ({}) |", r.unit);

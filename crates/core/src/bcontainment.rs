@@ -63,14 +63,15 @@ pub fn bounded_view_match(view: &BoundedPattern, qb: &BoundedPattern) -> Vec<Pat
     edges
 }
 
-/// Per-view match table shared by the three algorithms.
-struct BTable {
+/// Per-view match table shared by the three algorithms (and built once per
+/// query by the engine's bounded planner).
+pub(crate) struct BTable {
     covers: Vec<Vec<PatternEdgeId>>,
     entries: Vec<Vec<(PatternEdgeId, ViewEdgeRef)>>,
 }
 
 impl BTable {
-    fn build(qb: &BoundedPattern, views: &BoundedViewSet) -> Self {
+    pub(crate) fn build(qb: &BoundedPattern, views: &BoundedViewSet) -> Self {
         let mut covers = Vec::with_capacity(views.card());
         let mut entries = Vec::with_capacity(views.card());
         for (vi, vdef) in views.iter() {
@@ -89,8 +90,7 @@ impl BTable {
     }
 
     fn plan_for(&self, qb: &BoundedPattern, selected: &[usize]) -> Option<ContainmentPlan> {
-        let mut lambda: Vec<Vec<ViewEdgeRef>> =
-            vec![Vec::new(); qb.pattern().edge_count()];
+        let mut lambda: Vec<Vec<ViewEdgeRef>> = vec![Vec::new(); qb.pattern().edge_count()];
         for &vi in selected {
             for &(qe, r) in &self.entries[vi] {
                 lambda[qe.index()].push(r);
@@ -111,7 +111,11 @@ impl BTable {
 
 /// `Bcontain`: decides `Qb ⊑ V` (Proposition 11) and returns λ on success.
 pub fn bcontain(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<ContainmentPlan> {
-    let table = BTable::build(qb, views);
+    bcontain_from_table(qb, &BTable::build(qb, views))
+}
+
+/// [`bcontain`] over an already-built table.
+pub(crate) fn bcontain_from_table(qb: &BoundedPattern, table: &BTable) -> Option<ContainmentPlan> {
     let ne = qb.pattern().edge_count();
     let mut covered = vec![false; ne];
     for cover in &table.covers {
@@ -120,7 +124,7 @@ pub fn bcontain(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Containme
         }
     }
     if covered.iter().all(|&c| c) {
-        table.plan_for(qb, &(0..views.card()).collect::<Vec<_>>())
+        table.plan_for(qb, &(0..table.covers.len()).collect::<Vec<_>>())
     } else {
         None
     }
@@ -128,8 +132,13 @@ pub fn bcontain(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Containme
 
 /// `Bminimal`: minimal containing subset (Theorem 10(2)); mirrors `minimal`.
 pub fn bminimal(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Selection> {
-    let table = BTable::build(qb, views);
+    bminimal_from_table(qb, &BTable::build(qb, views))
+}
+
+/// [`bminimal`] over an already-built table.
+pub(crate) fn bminimal_from_table(qb: &BoundedPattern, table: &BTable) -> Option<Selection> {
     let ne = qb.pattern().edge_count();
+    let view_count = table.covers.len();
 
     let mut selected: Vec<usize> = Vec::new();
     let mut covered = vec![false; ne];
@@ -155,7 +164,7 @@ pub fn bminimal(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Selection
         return None;
     }
 
-    let mut kept = vec![true; views.card()];
+    let mut kept = vec![true; view_count];
     for &vj in selected.clone().iter() {
         let needed = table.covers[vj].iter().any(|e| {
             m[e.index()].iter().filter(|&&v| kept[v]).count() == 1
@@ -176,11 +185,15 @@ pub fn bminimal(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Selection
 /// `Bminimum`: greedy set-cover approximation of the minimum containing
 /// subset (Theorem 10(3): NP-complete exactly, `O(log |Ep|)`-approximable).
 pub fn bminimum(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Selection> {
-    let table = BTable::build(qb, views);
+    bminimum_from_table(qb, &BTable::build(qb, views))
+}
+
+/// [`bminimum`] over an already-built table.
+pub(crate) fn bminimum_from_table(qb: &BoundedPattern, table: &BTable) -> Option<Selection> {
     let ne = qb.pattern().edge_count();
     let mut covered = vec![false; ne];
     let mut covered_count = 0usize;
-    let mut available: Vec<usize> = (0..views.card()).collect();
+    let mut available: Vec<usize> = (0..table.covers.len()).collect();
     let mut selected = Vec::new();
 
     while covered_count < ne {
@@ -219,10 +232,7 @@ pub fn bminimum(qb: &BoundedPattern, views: &BoundedViewSet) -> Option<Selection
 
 /// Bounded query containment `Qb1 ⊑ Qb2` (single-view special case).
 pub fn bounded_query_contained(q1: &BoundedPattern, q2: &BoundedPattern) -> bool {
-    let vs = BoundedViewSet::new(vec![crate::bview::BoundedViewDef::new(
-        "q2",
-        q2.clone(),
-    )]);
+    let vs = BoundedViewSet::new(vec![crate::bview::BoundedViewDef::new("q2", q2.clone())]);
     bcontain(q1, &vs).is_some()
 }
 
@@ -253,8 +263,10 @@ mod tests {
         let mut b = PatternBuilder::new();
         let mut ids = std::collections::HashMap::new();
         for &(x, y, _) in edges {
-            ids.entry(x.to_string()).or_insert_with(|| b.node_labeled(x));
-            ids.entry(y.to_string()).or_insert_with(|| b.node_labeled(y));
+            ids.entry(x.to_string())
+                .or_insert_with(|| b.node_labeled(x));
+            ids.entry(y.to_string())
+                .or_insert_with(|| b.node_labeled(y));
         }
         for &(x, y, k) in edges {
             match k {
@@ -365,8 +377,10 @@ mod tests {
             let mut b = PatternBuilder::new();
             let mut ids = std::collections::HashMap::new();
             for &(x, y) in edges {
-                ids.entry(x.to_string()).or_insert_with(|| b.node_labeled(x));
-                ids.entry(y.to_string()).or_insert_with(|| b.node_labeled(y));
+                ids.entry(x.to_string())
+                    .or_insert_with(|| b.node_labeled(x));
+                ids.entry(y.to_string())
+                    .or_insert_with(|| b.node_labeled(y));
             }
             for &(x, y) in edges {
                 b.edge(ids[x], ids[y]);

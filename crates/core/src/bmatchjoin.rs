@@ -36,6 +36,19 @@ pub fn bmatch_join_with(
     ext: &BoundedViewExtensions,
     strategy: JoinStrategy,
 ) -> Result<(BoundedMatchResult, JoinStats), JoinError> {
+    bmatch_join_threaded(qb, plan, ext, strategy, 0)
+}
+
+/// Like [`bmatch_join_with`], with an explicit worker count for
+/// [`JoinStrategy::Parallel`] (`0` = auto-detect; ignored by the
+/// sequential strategies).
+pub fn bmatch_join_threaded(
+    qb: &BoundedPattern,
+    plan: &ContainmentPlan,
+    ext: &BoundedViewExtensions,
+    strategy: JoinStrategy,
+    threads: usize,
+) -> Result<(BoundedMatchResult, JoinStats), JoinError> {
     let q = qb.pattern();
     if q.edge_count() == 0 {
         return Err(JoinError::NoEdges);
@@ -81,6 +94,14 @@ pub fn bmatch_join_with(
     let sets = match strategy {
         JoinStrategy::RankedBottomUp => ranked_fixpoint(q, merged, &mut stats),
         JoinStrategy::NaiveFixpoint => naive_fixpoint(q, merged, &mut stats),
+        JoinStrategy::Parallel => {
+            let threads = if threads == 0 {
+                crate::parallel::auto_threads()
+            } else {
+                threads
+            };
+            crate::parallel::par_ranked_fixpoint(q, merged, &mut stats, threads)
+        }
     };
 
     let Some(sets) = sets else {

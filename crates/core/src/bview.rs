@@ -167,10 +167,7 @@ mod tests {
         let x = b.node_labeled("B");
         let y = b.node_labeled("A");
         b.edge_bounded(x, y, 3);
-        let vs = BoundedViewSet::new(vec![BoundedViewDef::new(
-            "VBA",
-            b.build_bounded().unwrap(),
-        )]);
+        let vs = BoundedViewSet::new(vec![BoundedViewDef::new("VBA", b.build_bounded().unwrap())]);
         let ext = bmaterialize(&vs, &g);
         assert_eq!(ext.size(), 0);
         assert_eq!(ext.edge_set(0, PatternEdgeId(0)), &[]);

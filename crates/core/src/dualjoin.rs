@@ -202,7 +202,10 @@ fn dual_fixpoint(q: &Pattern, merged: Vec<Vec<(NodeId, NodeId)>>) -> MatchResult
             let ct = &cand[t.index()];
             for v in cand[u.index()].iter() {
                 let (a, b) = (fo[v] as usize, fo[v + 1] as usize);
-                let cnt = ft[a..b].iter().filter(|&&t2| ct.contains(t2 as usize)).count() as u32;
+                let cnt = ft[a..b]
+                    .iter()
+                    .filter(|&&t2| ct.contains(t2 as usize))
+                    .count() as u32;
                 sup_f[e.index()][v] = cnt;
                 if cnt == 0 && scheduled[u.index()].insert(v) {
                     worklist.push((u.0, v as u32));
@@ -214,7 +217,10 @@ fn dual_fixpoint(q: &Pattern, merged: Vec<Vec<(NodeId, NodeId)>>) -> MatchResult
             let cs = &cand[s.index()];
             for v in cand[u.index()].iter() {
                 let (a, b) = (ro[v] as usize, ro[v + 1] as usize);
-                let cnt = rs[a..b].iter().filter(|&&s2| cs.contains(s2 as usize)).count() as u32;
+                let cnt = rs[a..b]
+                    .iter()
+                    .filter(|&&s2| cs.contains(s2 as usize))
+                    .count() as u32;
                 sup_b[e.index()][v] = cnt;
                 if cnt == 0 && scheduled[u.index()].insert(v) {
                     worklist.push((u.0, v as u32));
@@ -383,7 +389,10 @@ mod tests {
         let q = qb.build().unwrap();
 
         let views = ViewSet::new(vec![ViewDef::new("V", v)]);
-        assert!(contain(&q, &views).is_none(), "plain also fails (C unmatched)");
+        assert!(
+            contain(&q, &views).is_none(),
+            "plain also fails (C unmatched)"
+        );
         assert!(dual_contain(&q, &views).is_none());
     }
 

@@ -30,28 +30,36 @@ pub mod bcontainment;
 pub mod bmatchjoin;
 pub mod bview;
 pub mod containment;
+pub mod cost;
 pub mod dualjoin;
+pub mod engine;
 pub mod maintenance;
 pub mod matchjoin;
 pub mod minimal;
 pub mod minimize;
 pub mod minimum;
+pub mod parallel;
 pub mod partial;
+pub mod plan;
 pub mod selection;
 pub mod storage;
 pub mod view;
 
 pub use bcontainment::{bcontain, bminimal, bminimum, bounded_query_contained, bounded_view_match};
-pub use bmatchjoin::{bmatch_join, bmatch_join_with};
+pub use bmatchjoin::{bmatch_join, bmatch_join_threaded, bmatch_join_with};
 pub use bview::{bmaterialize, BoundedViewDef, BoundedViewExtensions, BoundedViewSet};
 pub use containment::{contain, query_contained, view_match, ContainmentPlan, ViewEdgeRef};
+pub use cost::{CostEstimate, CostModel};
 pub use dualjoin::{dual_contain, dual_match_join, dual_materialize};
+pub use engine::{BoundedPlan, EngineConfig, EngineError, QueryEngine};
 pub use maintenance::IncrementalView;
 pub use matchjoin::{match_join, match_join_with, JoinError, JoinStats, JoinStrategy};
 pub use minimal::{minimal, Selection};
 pub use minimize::{minimize, Minimized};
 pub use minimum::{alpha, minimum};
+pub use parallel::par_match_join;
 pub use partial::{answer_with_partial_views, hybrid_match_join, partial_contain, PartialPlan};
+pub use plan::{ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan};
 pub use selection::{select_views_for_workload, WorkloadSelection};
 pub use storage::{BoundedViewCache, CacheError, ViewCache};
 pub use view::{materialize, ViewDef, ViewExtensions, ViewSet};

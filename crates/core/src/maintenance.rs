@@ -43,10 +43,8 @@ impl IncrementalView {
     /// Materializes `pattern` over `g` and prepares maintenance state.
     pub fn new(pattern: Pattern, g: &DataGraph) -> Self {
         let n = g.node_count();
-        let out_adj: Vec<Vec<NodeId>> =
-            g.nodes().map(|v| g.out_neighbors(v).to_vec()).collect();
-        let in_adj: Vec<Vec<NodeId>> =
-            g.nodes().map(|v| g.in_neighbors(v).to_vec()).collect();
+        let out_adj: Vec<Vec<NodeId>> = g.nodes().map(|v| g.out_neighbors(v).to_vec()).collect();
+        let in_adj: Vec<Vec<NodeId>> = g.nodes().map(|v| g.in_neighbors(v).to_vec()).collect();
 
         let mut base = Vec::with_capacity(pattern.node_count());
         for u in pattern.nodes() {
@@ -187,8 +185,7 @@ impl IncrementalView {
         let mut scheduled = vec![BitSet::new(n); np];
         let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
         for (ei, &(u, t)) in self.pattern.edges().iter().enumerate() {
-            if self.cand[u.index()].contains(a.index())
-                && self.cand[t.index()].contains(b.index())
+            if self.cand[u.index()].contains(a.index()) && self.cand[t.index()].contains(b.index())
             {
                 let s = &mut self.support[ei][a.index()];
                 *s = s.saturating_sub(1);

@@ -37,6 +37,13 @@ pub enum JoinStrategy {
     /// The unoptimized Fig. 2 fixpoint (`MatchJoin_nopt`): repeatedly rescan
     /// all match sets until nothing changes.
     NaiveFixpoint,
+    /// [`RankedBottomUp`](JoinStrategy::RankedBottomUp) with the per-edge
+    /// build and support-initialization phases fanned across worker threads
+    /// (thread count = available parallelism; see [`crate::parallel`]).
+    /// Deterministic: per-edge results merge in edge order and the final
+    /// fixpoint is confluent. With one thread it runs inline and matches
+    /// the sequential strategy exactly.
+    Parallel,
 }
 
 /// Instrumentation for the Lemma 2 / Fig. 8(f) experiments.
@@ -131,6 +138,12 @@ fn run_fixpoint(
     let sets = match strategy {
         JoinStrategy::RankedBottomUp => ranked_fixpoint(q, merged, &mut stats),
         JoinStrategy::NaiveFixpoint => naive_fixpoint(q, merged, &mut stats),
+        JoinStrategy::Parallel => crate::parallel::par_ranked_fixpoint(
+            q,
+            merged,
+            &mut stats,
+            crate::parallel::auto_threads(),
+        ),
     };
     Ok((assemble(q, sets), stats))
 }
@@ -218,11 +231,9 @@ pub(crate) fn initial_candidates(
             if !outs.is_empty() {
                 let mut iter = outs.iter();
                 let &(_, e0) = iter.next().expect("nonempty");
-                let mut set: HashSet<NodeId> =
-                    merged[e0.index()].iter().map(|&(s, _)| s).collect();
+                let mut set: HashSet<NodeId> = merged[e0.index()].iter().map(|&(s, _)| s).collect();
                 for &(_, e) in iter {
-                    let srcs: HashSet<NodeId> =
-                        merged[e.index()].iter().map(|&(s, _)| s).collect();
+                    let srcs: HashSet<NodeId> = merged[e.index()].iter().map(|&(s, _)| s).collect();
                     set.retain(|v| srcs.contains(v));
                 }
                 set
@@ -236,25 +247,30 @@ pub(crate) fn initial_candidates(
         .collect()
 }
 
-/// The optimized fixpoint: support counters + rank-bucketed worklist over a
-/// *compacted* node domain — only nodes occurring in the merged sets get
-/// dense ids, so all hot-path structures are flat vectors and bitsets sized
-/// by `|V(G)|`, not `|G|`. Returns the refined per-edge sets; any empty set
-/// means `Qs(G) = ∅`.
-pub(crate) fn ranked_fixpoint(
-    q: &Pattern,
-    merged: Vec<Vec<(NodeId, NodeId)>>,
-    stats: &mut JoinStats,
-) -> Option<Vec<Vec<(NodeId, NodeId)>>> {
-    use gpv_graph::BitSet;
-    let np = q.node_count();
-    let ne = q.edge_count();
-    let cond = q.condensation();
-    let max_rank = (0..np as u32).map(|u| cond.rank(u)).max().unwrap_or(0) as usize;
+/// Per-edge compacted representation of a merged match set: dense-id pair
+/// list, endpoint presence bitsets, and forward/reverse CSR adjacency. Pure
+/// per-edge data, so both the sequential and the parallel executor build it
+/// — the latter one edge per worker (see [`crate::parallel`]).
+pub(crate) struct EdgeCsr {
+    /// Compacted `(src, tgt)` pairs, in merge order.
+    pub pairs: Vec<(u32, u32)>,
+    /// Dense ids occurring as sources.
+    pub srcs: gpv_graph::BitSet,
+    /// Dense ids occurring as targets.
+    pub tgts: gpv_graph::BitSet,
+    /// Forward CSR: offsets by source, target payloads.
+    pub fwd: (Vec<u32>, Vec<u32>),
+    /// Reverse CSR: offsets by target, source payloads.
+    pub rev: (Vec<u32>, Vec<u32>),
+}
 
-    // Compaction: dense ids for the nodes of V(G).
+/// Dense-id compaction over every node mentioned in the merged sets (first
+/// occurrence order, hence deterministic).
+pub(crate) fn compact_index(
+    merged: &[Vec<(NodeId, NodeId)>],
+) -> (HashMap<NodeId, u32>, Vec<NodeId>) {
     let mut index: HashMap<NodeId, u32> = HashMap::new();
-    for set in &merged {
+    for set in merged {
         for &(s, t) in set {
             let next = index.len() as u32;
             index.entry(s).or_insert(next);
@@ -262,47 +278,87 @@ pub(crate) fn ranked_fixpoint(
             index.entry(t).or_insert(next);
         }
     }
-    let m = index.len();
-    let mut rev_index = vec![NodeId(0); m];
+    let mut rev_index = vec![NodeId(0); index.len()];
     for (&node, &i) in &index {
         rev_index[i as usize] = node;
     }
-    // Compact pair lists + per-edge source/target presence bitsets.
-    let mut pairs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(ne);
-    let mut srcs_of: Vec<BitSet> = Vec::with_capacity(ne);
-    let mut tgts_of: Vec<BitSet> = Vec::with_capacity(ne);
-    for set in &merged {
-        stats.edge_visits += 1;
-        let mut ps = Vec::with_capacity(set.len());
-        let mut sb = BitSet::new(m);
-        let mut tb = BitSet::new(m);
-        for &(s, t) in set {
-            let (cs, ct) = (index[&s], index[&t]);
-            ps.push((cs, ct));
-            sb.insert(cs as usize);
-            tb.insert(ct as usize);
-        }
-        pairs.push(ps);
-        srcs_of.push(sb);
-        tgts_of.push(tb);
-    }
+    (index, rev_index)
+}
 
-    // Candidate sets: intersection of out-edge sources (non-sinks) or union
-    // of in-edge targets (sinks).
-    let mut cand: Vec<BitSet> = Vec::with_capacity(np);
+/// Builds one edge's [`EdgeCsr`] (pure function of that edge's set).
+pub(crate) fn build_edge_csr(
+    set: &[(NodeId, NodeId)],
+    index: &HashMap<NodeId, u32>,
+    m: usize,
+) -> EdgeCsr {
+    use gpv_graph::BitSet;
+    let mut ps = Vec::with_capacity(set.len());
+    let mut sb = BitSet::new(m);
+    let mut tb = BitSet::new(m);
+    for &(s, t) in set {
+        let (cs, ct) = (index[&s], index[&t]);
+        ps.push((cs, ct));
+        sb.insert(cs as usize);
+        tb.insert(ct as usize);
+    }
+    let mut fo = vec![0u32; m + 1];
+    for &(s, _) in &ps {
+        fo[s as usize + 1] += 1;
+    }
+    for i in 0..m {
+        fo[i + 1] += fo[i];
+    }
+    let mut cur = fo.clone();
+    let mut ft = vec![0u32; ps.len()];
+    for &(s, t) in &ps {
+        ft[cur[s as usize] as usize] = t;
+        cur[s as usize] += 1;
+    }
+    let mut ro = vec![0u32; m + 1];
+    for &(_, t) in &ps {
+        ro[t as usize + 1] += 1;
+    }
+    for i in 0..m {
+        ro[i + 1] += ro[i];
+    }
+    let mut cur = ro.clone();
+    let mut rs = vec![0u32; ps.len()];
+    for &(s, t) in &ps {
+        rs[cur[t as usize] as usize] = s;
+        cur[t as usize] += 1;
+    }
+    EdgeCsr {
+        pairs: ps,
+        srcs: sb,
+        tgts: tb,
+        fwd: (fo, ft),
+        rev: (ro, rs),
+    }
+}
+
+/// Candidate sets per pattern node: intersection of out-edge sources
+/// (non-sinks) or union of in-edge targets (sinks). `None` when a node has
+/// no candidates (`Qs(G) = ∅`).
+pub(crate) fn build_candidates(
+    q: &Pattern,
+    csrs: &[EdgeCsr],
+    m: usize,
+) -> Option<Vec<gpv_graph::BitSet>> {
+    use gpv_graph::BitSet;
+    let mut cand: Vec<BitSet> = Vec::with_capacity(q.node_count());
     for u in q.nodes() {
         let outs = q.out_edges(u);
         let set = if !outs.is_empty() {
             let mut it = outs.iter();
-            let mut set = srcs_of[it.next().expect("nonempty").1.index()].clone();
+            let mut set = csrs[it.next().expect("nonempty").1.index()].srcs.clone();
             for &(_, e) in it {
-                set.intersect_with(&srcs_of[e.index()]);
+                set.intersect_with(&csrs[e.index()].srcs);
             }
             set
         } else {
             let mut set = BitSet::new(m);
             for &(_, e) in q.in_edges(u) {
-                set.union_with(&tgts_of[e.index()]);
+                set.union_with(&csrs[e.index()].tgts);
             }
             set
         };
@@ -311,59 +367,65 @@ pub(crate) fn ranked_fixpoint(
         }
         cand.push(set);
     }
+    Some(cand)
+}
 
-    // Per-edge CSR adjacency over compact ids (forward by source, reverse by
-    // target).
-    let mut fwd: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(ne);
-    let mut rev: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(ne);
-    for ps in &pairs {
-        let mut fo = vec![0u32; m + 1];
-        for &(s, _) in ps {
-            fo[s as usize + 1] += 1;
+/// Initial support counters for one pattern edge `e = (u, t)`: for each
+/// candidate `v` of `u`, how many of `v`'s CSR successors are candidates of
+/// `t`. Returns the counter vector plus the zero-support seeds (candidates
+/// of `u` with no witness). Pure per-edge data.
+pub(crate) fn edge_support(
+    csr: &EdgeCsr,
+    cand_u: &gpv_graph::BitSet,
+    cand_t: &gpv_graph::BitSet,
+    m: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let (fo, ft) = &csr.fwd;
+    let mut support = vec![0u32; m];
+    let mut seeds = Vec::new();
+    for v in cand_u.iter() {
+        let (a, b) = (fo[v] as usize, fo[v + 1] as usize);
+        let cnt = ft[a..b]
+            .iter()
+            .filter(|&&t2| cand_t.contains(t2 as usize))
+            .count() as u32;
+        support[v] = cnt;
+        if cnt == 0 {
+            seeds.push(v as u32);
         }
-        for i in 0..m {
-            fo[i + 1] += fo[i];
-        }
-        let mut cur = fo.clone();
-        let mut ft = vec![0u32; ps.len()];
-        for &(s, t) in ps {
-            ft[cur[s as usize] as usize] = t;
-            cur[s as usize] += 1;
-        }
-        let mut ro = vec![0u32; m + 1];
-        for &(_, t) in ps {
-            ro[t as usize + 1] += 1;
-        }
-        for i in 0..m {
-            ro[i + 1] += ro[i];
-        }
-        let mut cur = ro.clone();
-        let mut rs = vec![0u32; ps.len()];
-        for &(s, t) in ps {
-            rs[cur[t as usize] as usize] = s;
-            cur[t as usize] += 1;
-        }
-        fwd.push((fo, ft));
-        rev.push((ro, rs));
     }
+    (support, seeds)
+}
 
-    // support[e][v] for v ∈ cand(src(e)); u32::MAX marks "not a candidate".
-    let mut support: Vec<Vec<u32>> = vec![vec![0u32; m]; ne];
+/// The sequential bottom-up drain (Lemma 2) plus the final per-edge filter:
+/// removes zero-support candidates in ascending SCC rank, cascading through
+/// in-edges, then maps surviving compact pairs back to [`NodeId`]s. Shared
+/// verbatim by the sequential and parallel executors — only the stages
+/// *before* the drain are parallelized, so both produce identical results.
+pub(crate) fn drain_and_extract(
+    q: &Pattern,
+    csrs: &[EdgeCsr],
+    mut cand: Vec<gpv_graph::BitSet>,
+    mut support: Vec<Vec<u32>>,
+    seeds: &[(PatternNodeId, Vec<u32>)],
+    rev_index: &[NodeId],
+    stats: &mut JoinStats,
+) -> Option<Vec<Vec<(NodeId, NodeId)>>> {
+    use gpv_graph::BitSet;
+    let np = q.node_count();
+    let ne = q.edge_count();
+    let m = rev_index.len();
+    let cond = q.condensation();
+    let max_rank = (0..np as u32).map(|u| cond.rank(u)).max().unwrap_or(0) as usize;
+
     let mut buckets: Vec<VecDeque<(PatternNodeId, u32)>> = vec![VecDeque::new(); max_rank + 1];
     let mut scheduled: Vec<BitSet> = vec![BitSet::new(m); np];
-
-    for u in q.nodes() {
-        for &(t, e) in q.out_edges(u) {
-            stats.edge_visits += 1;
-            let (fo, ft) = &fwd[e.index()];
-            let ct = &cand[t.index()];
-            for v in cand[u.index()].iter() {
-                let (a, b) = (fo[v] as usize, fo[v + 1] as usize);
-                let cnt = ft[a..b].iter().filter(|&&t2| ct.contains(t2 as usize)).count() as u32;
-                support[e.index()][v] = cnt;
-                if cnt == 0 && scheduled[u.index()].insert(v) {
-                    buckets[cond.rank(u.0) as usize].push_back((u, v as u32));
-                }
+    // Seed in edge order: deterministic regardless of how the per-edge seed
+    // lists were computed.
+    for (u, vs) in seeds {
+        for &v in vs {
+            if scheduled[u.index()].insert(v as usize) {
+                buckets[cond.rank(u.0) as usize].push_back((*u, v));
             }
         }
     }
@@ -384,7 +446,7 @@ pub(crate) fn ranked_fixpoint(
         }
         for &(u0, e0) in q.in_edges(u) {
             stats.edge_visits += 1;
-            let (ro, rs) = &rev[e0.index()];
+            let (ro, rs) = &csrs[e0.index()].rev;
             let (a, b) = (ro[v as usize] as usize, ro[v as usize + 1] as usize);
             for &w in &rs[a..b] {
                 if cand[u0.index()].contains(w as usize)
@@ -403,20 +465,66 @@ pub(crate) fn ranked_fixpoint(
 
     // Final sets: pairs whose endpoints survived, mapped back to NodeIds.
     let mut out = Vec::with_capacity(ne);
-    for (ei, ps) in pairs.into_iter().enumerate() {
+    for (ei, csr) in csrs.iter().enumerate() {
         stats.edge_visits += 1;
         let (u, t) = q.edge(gpv_pattern::PatternEdgeId(ei as u32));
-        let filtered: Vec<(NodeId, NodeId)> = ps
-            .into_iter()
-            .filter(|&(s, w)| cand[u.index()].contains(s as usize) && cand[t.index()].contains(w as usize))
-            .map(|(s, w)| (rev_index[s as usize], rev_index[w as usize]))
-            .collect();
+        let filtered = filter_surviving(&csr.pairs, &cand[u.index()], &cand[t.index()], rev_index);
         if filtered.is_empty() {
             return None;
         }
         out.push(filtered);
     }
     Some(out)
+}
+
+/// One edge's surviving pairs mapped back to [`NodeId`]s (pure per-edge).
+pub(crate) fn filter_surviving(
+    pairs: &[(u32, u32)],
+    cand_u: &gpv_graph::BitSet,
+    cand_t: &gpv_graph::BitSet,
+    rev_index: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    pairs
+        .iter()
+        .filter(|&&(s, w)| cand_u.contains(s as usize) && cand_t.contains(w as usize))
+        .map(|&(s, w)| (rev_index[s as usize], rev_index[w as usize]))
+        .collect()
+}
+
+/// The optimized fixpoint: support counters + rank-bucketed worklist over a
+/// *compacted* node domain — only nodes occurring in the merged sets get
+/// dense ids, so all hot-path structures are flat vectors and bitsets sized
+/// by `|V(G)|`, not `|G|`. Returns the refined per-edge sets; any empty set
+/// means `Qs(G) = ∅`.
+pub(crate) fn ranked_fixpoint(
+    q: &Pattern,
+    merged: Vec<Vec<(NodeId, NodeId)>>,
+    stats: &mut JoinStats,
+) -> Option<Vec<Vec<(NodeId, NodeId)>>> {
+    let ne = q.edge_count();
+    let (index, rev_index) = compact_index(&merged);
+    let m = index.len();
+
+    let mut csrs = Vec::with_capacity(ne);
+    for set in &merged {
+        stats.edge_visits += 1;
+        csrs.push(build_edge_csr(set, &index, m));
+    }
+
+    let cand = build_candidates(q, &csrs, m)?;
+
+    let mut support: Vec<Vec<u32>> = vec![Vec::new(); ne];
+    let mut seeds: Vec<(PatternNodeId, Vec<u32>)> = Vec::new();
+    for u in q.nodes() {
+        for &(t, e) in q.out_edges(u) {
+            stats.edge_visits += 1;
+            let (sup, zero) = edge_support(&csrs[e.index()], &cand[u.index()], &cand[t.index()], m);
+            support[e.index()] = sup;
+            seeds.push((u, zero));
+        }
+    }
+
+    drain_and_extract(q, &csrs, cand, support, &seeds, &rev_index, stats)
 }
 
 /// The literal Fig. 2 fixpoint: rescan every match set until stable.
@@ -454,7 +562,7 @@ pub(crate) fn naive_fixpoint(
 }
 
 /// Builds the final [`MatchResult`] (or empty) from refined sets.
-fn assemble(q: &Pattern, sets: Option<Vec<Vec<(NodeId, NodeId)>>>) -> MatchResult {
+pub(crate) fn assemble(q: &Pattern, sets: Option<Vec<Vec<(NodeId, NodeId)>>>) -> MatchResult {
     let Some(sets) = sets else {
         return MatchResult::empty();
     };
@@ -630,8 +738,7 @@ mod tests {
         let (g, views, q) = fig3();
         let plan = contain(&q, &views).expect("Qs ⊑ V");
         let ext = materialize(&views, &g);
-        let (r, stats) =
-            match_join_with(&q, &plan, &ext, JoinStrategy::RankedBottomUp).unwrap();
+        let (r, stats) = match_join_with(&q, &plan, &ext, JoinStrategy::RankedBottomUp).unwrap();
         assert!(!r.is_empty());
         // The paper counts three removed pairs: (AI1,SE1), (SE1,DB2),
         // (DB2,AI1). Our node-centric refinement excludes AI1 already at
@@ -643,17 +750,35 @@ mod tests {
         assert_eq!(r, direct);
 
         // Expected final table (Example 4): single pairs per edge.
-        let e = |a: u32, b: u32| {
-            q.edge_id(PatternNodeId(a), PatternNodeId(b)).unwrap()
-        };
+        let e = |a: u32, b: u32| q.edge_id(PatternNodeId(a), PatternNodeId(b)).unwrap();
         let names = |pairs: &[(NodeId, NodeId)]| -> Vec<(u32, u32)> {
             pairs.iter().map(|&(x, y)| (x.0, y.0)).collect()
         };
-        assert_eq!(names(r.edge_set(e(0, 1))), vec![(0, 2)], "(PM,AI)=(PM1,AI2)");
-        assert_eq!(names(r.edge_set(e(1, 2))), vec![(2, 3)], "(AI,Bio)=(AI2,Bio1)");
-        assert_eq!(names(r.edge_set(e(3, 1))), vec![(6, 2)], "(DB,AI)=(DB1,AI2)");
-        assert_eq!(names(r.edge_set(e(1, 4))), vec![(2, 5)], "(AI,SE)=(AI2,SE2)");
-        assert_eq!(names(r.edge_set(e(4, 3))), vec![(5, 6)], "(SE,DB)=(SE2,DB1)");
+        assert_eq!(
+            names(r.edge_set(e(0, 1))),
+            vec![(0, 2)],
+            "(PM,AI)=(PM1,AI2)"
+        );
+        assert_eq!(
+            names(r.edge_set(e(1, 2))),
+            vec![(2, 3)],
+            "(AI,Bio)=(AI2,Bio1)"
+        );
+        assert_eq!(
+            names(r.edge_set(e(3, 1))),
+            vec![(6, 2)],
+            "(DB,AI)=(DB1,AI2)"
+        );
+        assert_eq!(
+            names(r.edge_set(e(1, 4))),
+            vec![(2, 5)],
+            "(AI,SE)=(AI2,SE2)"
+        );
+        assert_eq!(
+            names(r.edge_set(e(4, 3))),
+            vec![(5, 6)],
+            "(SE,DB)=(SE2,DB1)"
+        );
     }
 
     #[test]
@@ -748,8 +873,7 @@ mod tests {
         ]);
         let plan = contain(&q, &views).unwrap();
         let ext = materialize(&views, &g);
-        let (r, stats) =
-            match_join_with(&q, &plan, &ext, JoinStrategy::RankedBottomUp).unwrap();
+        let (r, stats) = match_join_with(&q, &plan, &ext, JoinStrategy::RankedBottomUp).unwrap();
         assert_eq!(r, match_pattern(&q, &g));
         // 2 edges × 3 passes + at most |removals| propagation visits.
         assert!(
@@ -760,6 +884,6 @@ mod tests {
         );
     }
 
-    use gpv_pattern::PatternNodeId;
     use crate::view::ViewExtensions;
+    use gpv_pattern::PatternNodeId;
 }

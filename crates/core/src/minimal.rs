@@ -59,6 +59,46 @@ impl ViewMatchTable {
         ViewMatchTable { covers, entries }
     }
 
+    /// The full-λ plan over *all* views (the [`contain`](crate::containment::contain)
+    /// result), derived from the table instead of re-simulating: `lambda`
+    /// aggregates every entry, `used_views` keeps the contributing views.
+    /// `None` when some query edge is uncovered (`Qs ⋢ V`).
+    pub(crate) fn full_plan(&self, q: &Pattern) -> Option<ContainmentPlan> {
+        let mut lambda: Vec<Vec<ViewEdgeRef>> = vec![Vec::new(); q.edge_count()];
+        for es in &self.entries {
+            for &(qe, r) in es {
+                lambda[qe.index()].push(r);
+            }
+        }
+        if lambda.iter().any(Vec::is_empty) {
+            return None;
+        }
+        let used: Vec<usize> = (0..self.entries.len())
+            .filter(|&vi| !self.entries[vi].is_empty())
+            .collect();
+        Some(ContainmentPlan {
+            lambda,
+            used_views: used,
+        })
+    }
+
+    /// The maximal-coverage λ (the
+    /// [`partial_contain`](crate::partial::partial_contain) result), derived
+    /// from the table.
+    pub(crate) fn partial_plan(&self, q: &Pattern) -> crate::partial::PartialPlan {
+        let mut lambda: Vec<Vec<ViewEdgeRef>> = vec![Vec::new(); q.edge_count()];
+        for es in &self.entries {
+            for &(qe, r) in es {
+                lambda[qe.index()].push(r);
+            }
+        }
+        let uncovered = (0..q.edge_count())
+            .filter(|&e| lambda[e].is_empty())
+            .map(|e| PatternEdgeId(e as u32))
+            .collect();
+        crate::partial::PartialPlan { lambda, uncovered }
+    }
+
     /// Assembles a [`ContainmentPlan`] over exactly `selected` views.
     pub fn plan_for(&self, q: &Pattern, selected: &[usize]) -> Option<ContainmentPlan> {
         let mut lambda: Vec<Vec<ViewEdgeRef>> = vec![Vec::new(); q.edge_count()];
@@ -83,8 +123,14 @@ impl ViewMatchTable {
 /// Algorithm `minimal` (Fig. 5): returns a minimally containing subset and
 /// its plan, or `None` when `Qs ⋢ V`.
 pub fn minimal(q: &Pattern, views: &ViewSet) -> Option<Selection> {
-    let table = ViewMatchTable::build(q, views);
+    minimal_from_table(q, &ViewMatchTable::build(q, views))
+}
+
+/// [`minimal`] over an already-built table (the engine builds the table
+/// once and shares it across `contain`/`minimal`/`minimum`).
+pub(crate) fn minimal_from_table(q: &Pattern, table: &ViewMatchTable) -> Option<Selection> {
     let ne = q.edge_count();
+    let view_count = table.covers.len();
 
     // Phase 1 (lines 2-7): greedily keep views contributing new edges,
     // stopping as soon as E = Ep.
@@ -116,12 +162,12 @@ pub fn minimal(q: &Pattern, views: &ViewSet) -> Option<Selection> {
 
     // Phase 2 (lines 9-11): eliminate redundant views. Removing Vj is safe
     // iff no edge in M^Qs_Vj would be left with an empty M(e).
-    let mut kept: Vec<bool> = vec![true; views.card()];
+    let mut kept: Vec<bool> = vec![true; view_count];
     for &vj in selected.clone().iter() {
-        let needed = table.covers[vj]
-            .iter()
-            .any(|e| m[e.index()].iter().filter(|&&v| kept[v]).count() == 1
-                && m[e.index()].iter().any(|&v| v == vj && kept[v]));
+        let needed = table.covers[vj].iter().any(|e| {
+            m[e.index()].iter().filter(|&&v| kept[v]).count() == 1
+                && m[e.index()].iter().any(|&v| v == vj && kept[v])
+        });
         if !needed {
             kept[vj] = false;
             // Update M lazily via the `kept` mask.

@@ -93,12 +93,7 @@ pub fn minimize(q: &Pattern) -> Minimized {
     let edges: Vec<(u32, u32)> = q
         .edges()
         .iter()
-        .map(|&(u, v)| {
-            (
-                new_id[class_of[u.index()]],
-                new_id[class_of[v.index()]],
-            )
-        })
+        .map(|&(u, v)| (new_id[class_of[u.index()]], new_id[class_of[v.index()]]))
         .collect();
     let quotient = Pattern::from_parts(preds, edges).expect("nonempty quotient");
 
@@ -111,9 +106,7 @@ pub fn minimize(q: &Pattern) -> Minimized {
         };
     }
 
-    let node_map: Vec<PatternNodeId> = (0..n)
-        .map(|u| PatternNodeId(new_id[class_of[u]]))
-        .collect();
+    let node_map: Vec<PatternNodeId> = (0..n).map(|u| PatternNodeId(new_id[class_of[u]])).collect();
     let edge_map: Vec<PatternEdgeId> = q
         .edges()
         .iter()

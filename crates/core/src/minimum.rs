@@ -15,12 +15,17 @@ use gpv_pattern::Pattern;
 /// when `Qs ⋢ V`; otherwise the selection satisfies
 /// `card(V') ≤ log(|Ep|) · card(V_OPT)`.
 pub fn minimum(q: &Pattern, views: &ViewSet) -> Option<Selection> {
-    let table = ViewMatchTable::build(q, views);
+    minimum_from_table(q, &ViewMatchTable::build(q, views))
+}
+
+/// [`minimum`] over an already-built table (the engine builds the table
+/// once and shares it across `contain`/`minimal`/`minimum`).
+pub(crate) fn minimum_from_table(q: &Pattern, table: &ViewMatchTable) -> Option<Selection> {
     let ne = q.edge_count();
 
     let mut covered = vec![false; ne];
     let mut covered_count = 0usize;
-    let mut available: Vec<usize> = (0..views.card()).collect();
+    let mut available: Vec<usize> = (0..table.covers.len()).collect();
     let mut selected: Vec<usize> = Vec::new();
 
     while covered_count < ne {
@@ -172,8 +177,14 @@ mod tests {
         let q = fig4_query();
         let views = fig4_views();
         let none = vec![false; q.edge_count()];
-        assert!((alpha(&q, &views, 5, &none) - 0.6).abs() < 1e-9, "α(V6)=0.6");
-        assert!((alpha(&q, &views, 0, &none) - 0.2).abs() < 1e-9, "α(V1)=0.2");
+        assert!(
+            (alpha(&q, &views, 5, &none) - 0.6).abs() < 1e-9,
+            "α(V6)=0.6"
+        );
+        assert!(
+            (alpha(&q, &views, 0, &none) - 0.2).abs() < 1e-9,
+            "α(V1)=0.2"
+        );
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Thread-parallel `MatchJoin` execution.
+//!
+//! The expensive phases of the ranked fixpoint ([`crate::matchjoin`]) are
+//! per-pattern-edge and independent: compacting each merged match set into
+//! CSR form, and computing initial support counters. This module fans those
+//! phases across OS threads (`std::thread::scope` — the build environment
+//! vendors no `rayon`), then runs the *sequential* drain, which is cheap
+//! (proportional to removals) and confluent.
+//!
+//! Determinism: workers write results into slots fixed by edge index and
+//! the drain seeds its worklist in edge order, so the output is bit-for-bit
+//! identical to [`JoinStrategy::RankedBottomUp`](crate::matchjoin::JoinStrategy)
+//! regardless of thread interleaving. With `threads == 1` every stage runs
+//! inline with no spawn overhead.
+
+use crate::containment::ContainmentPlan;
+use crate::matchjoin::{self, merge_step, EdgeCsr, JoinError, JoinStats};
+use crate::view::ViewExtensions;
+use gpv_graph::NodeId;
+use gpv_matching::result::MatchResult;
+use gpv_pattern::{Pattern, PatternNodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: the machine's available parallelism.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f(0..n)` across `threads` workers (atomic work-stealing counter),
+/// returning results in index order. Inline when `threads <= 1` or the job
+/// is trivially small.
+pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let counter = &counter;
+                let f = &f;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("parallel worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+/// Answers `Qs` from views with the parallel executor and an explicit
+/// thread count (`0` = auto). Output is identical to
+/// [`matchjoin::match_join`]; only wall-clock differs.
+pub fn par_match_join(
+    q: &Pattern,
+    plan: &ContainmentPlan,
+    ext: &ViewExtensions,
+    threads: usize,
+) -> Result<(MatchResult, JoinStats), JoinError> {
+    let threads = if threads == 0 {
+        auto_threads()
+    } else {
+        threads
+    };
+    let merged = merge_step(q, plan, ext)?;
+    let mut stats = JoinStats {
+        merged_pairs: merged.iter().map(|s| s.len() as u64).sum(),
+        ..JoinStats::default()
+    };
+    let sets = par_ranked_fixpoint(q, merged, &mut stats, threads);
+    Ok((matchjoin::assemble(q, sets), stats))
+}
+
+/// The ranked fixpoint with parallel build/support phases. Semantically
+/// identical to [`matchjoin::ranked_fixpoint`]; stage results merge in edge
+/// order.
+pub(crate) fn par_ranked_fixpoint(
+    q: &Pattern,
+    merged: Vec<Vec<(NodeId, NodeId)>>,
+    stats: &mut JoinStats,
+    threads: usize,
+) -> Option<Vec<Vec<(NodeId, NodeId)>>> {
+    if threads <= 1 {
+        // No spare workers: take the sequential path exactly (identical
+        // output either way; this avoids the staging allocations).
+        return matchjoin::ranked_fixpoint(q, merged, stats);
+    }
+    let ne = q.edge_count();
+    // Compaction must assign dense ids in first-occurrence order to stay
+    // deterministic, so it stays sequential (O(total pairs), hash-bound).
+    let (index, rev_index) = matchjoin::compact_index(&merged);
+    let m = index.len();
+
+    // Stage 1 (parallel): per-edge CSR build.
+    let csrs: Vec<EdgeCsr> = par_map(ne, threads, |ei| {
+        matchjoin::build_edge_csr(&merged[ei], &index, m)
+    });
+    stats.edge_visits += ne as u64;
+
+    // Stage 2 (sequential, cheap): candidate sets over pattern nodes.
+    let cand = matchjoin::build_candidates(q, &csrs, m)?;
+
+    // Stage 3 (parallel): per-edge support counters + zero-support seeds.
+    // Work unit = one (source node, out-edge) pair, keyed by edge index.
+    let edge_src: Vec<(PatternNodeId, PatternNodeId)> = (0..ne)
+        .map(|ei| q.edge(gpv_pattern::PatternEdgeId(ei as u32)))
+        .collect();
+    let per_edge: Vec<(Vec<u32>, Vec<u32>)> = par_map(ne, threads, |ei| {
+        let (u, t) = edge_src[ei];
+        matchjoin::edge_support(&csrs[ei], &cand[u.index()], &cand[t.index()], m)
+    });
+    stats.edge_visits += ne as u64;
+    let mut support: Vec<Vec<u32>> = Vec::with_capacity(ne);
+    let mut seeds: Vec<(PatternNodeId, Vec<u32>)> = Vec::with_capacity(ne);
+    for (ei, (sup, zero)) in per_edge.into_iter().enumerate() {
+        support.push(sup);
+        seeds.push((edge_src[ei].0, zero));
+    }
+
+    // Stage 4 (sequential): the confluent drain + final filter.
+    matchjoin::drain_and_extract(q, &csrs, cand, support, &seeds, &rev_index, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 4] {
+            let out = par_map(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
+    }
+}

@@ -23,7 +23,7 @@ use gpv_matching::result::MatchResult;
 use gpv_pattern::{Pattern, PatternEdgeId};
 
 /// Maximal-coverage result: which query edges the views can supply.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PartialPlan {
     /// λ entries per query edge (empty = uncovered).
     pub lambda: Vec<Vec<ViewEdgeRef>>,

@@ -1,0 +1,174 @@
+//! The query-plan IR produced by [`crate::engine::QueryEngine::plan`].
+//!
+//! A plan records the three planner stages explicitly, so callers can
+//! inspect (and log, serialize, or replay) exactly which of the paper's
+//! algorithms the engine chose and why:
+//!
+//! 1. **Analyze** — is `Qs ⊑ V` (Theorem 1)? Fully, partially, or not at
+//!    all;
+//! 2. **Select** — which view subset feeds the join: the full λ from
+//!    [`contain`](crate::containment::contain), the irreducible subset from
+//!    [`minimal`](crate::minimal::minimal), or the greedy set-cover subset
+//!    from [`minimum`](crate::minimum::minimum), chosen by the
+//!    [`CostModel`](crate::cost::CostModel);
+//! 3. **Execute** — sequential or parallel `MatchJoin`, hybrid join, or
+//!    direct `Match` fallback.
+
+use crate::containment::ContainmentPlan;
+use crate::cost::CostEstimate;
+use crate::matchjoin::JoinStrategy;
+use crate::partial::PartialPlan;
+use serde::{Deserialize, Serialize};
+
+/// Which view-selection algorithm produced the λ a plan executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionMode {
+    /// Every covering view (the raw `contain` λ).
+    All,
+    /// The irreducible subset from `minimal` (Fig. 5).
+    Minimal,
+    /// The greedy minimum-cardinality subset from `minimum` (Section V-C).
+    Minimum,
+}
+
+impl std::fmt::Display for SelectionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SelectionMode::All => "all",
+            SelectionMode::Minimal => "minimal",
+            SelectionMode::Minimum => "minimum",
+        })
+    }
+}
+
+/// How the join executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecStrategy {
+    /// Single-threaded, with the given worklist discipline.
+    Sequential(JoinStrategy),
+    /// The parallel executor ([`crate::parallel`]) on `threads` workers.
+    Parallel {
+        /// Worker count (`0` = auto-detect at execution time).
+        threads: usize,
+    },
+}
+
+impl std::fmt::Display for ExecStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecStrategy::Sequential(s) => write!(f, "sequential({s:?})"),
+            ExecStrategy::Parallel { threads: 0 } => write!(f, "parallel(auto)"),
+            ExecStrategy::Parallel { threads } => write!(f, "parallel({threads})"),
+        }
+    }
+}
+
+/// A fully-resolved view-only plan (`Qs ⊑ V`; no graph access at execution).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ViewPlan {
+    /// Which selection algorithm chose the views.
+    pub selection: SelectionMode,
+    /// The selected view indices (ascending).
+    pub views: Vec<usize>,
+    /// The λ the executor consumes.
+    pub plan: ContainmentPlan,
+    /// Join execution strategy.
+    pub exec: ExecStrategy,
+    /// The planner's estimate for this plan.
+    pub cost: CostEstimate,
+}
+
+/// Why the planner fell back to a graph-reading plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FallbackReason {
+    /// `Qs ⋢ V`: no view set covers every query edge.
+    NotContained,
+    /// The engine holds no views at all.
+    NoViews,
+    /// The query has no edges; `MatchJoin` is defined via edge match sets,
+    /// so node-only queries evaluate directly.
+    NoEdges,
+}
+
+/// The planner's decision for one query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum QueryPlan {
+    /// Answer from materialized views only (Theorem 1 path).
+    ViewsOnly(ViewPlan),
+    /// Partial coverage: covered edges from views, uncovered from `G`
+    /// (the [`crate::partial`] hybrid).
+    Hybrid {
+        /// The maximal-coverage λ with its uncovered edges.
+        partial: PartialPlan,
+        /// Why views alone were insufficient.
+        reason: FallbackReason,
+        /// The planner's estimate for this plan.
+        cost: CostEstimate,
+    },
+    /// Evaluate `Match(Qs, G)` directly (no usable view coverage).
+    Direct {
+        /// Why views alone were insufficient.
+        reason: FallbackReason,
+        /// The planner's estimate for this plan.
+        cost: CostEstimate,
+    },
+}
+
+impl QueryPlan {
+    /// Whether execution needs access to the data graph.
+    pub fn needs_graph(&self) -> bool {
+        !matches!(self, QueryPlan::ViewsOnly(_))
+    }
+
+    /// The planner's cost estimate.
+    pub fn cost(&self) -> &CostEstimate {
+        match self {
+            QueryPlan::ViewsOnly(vp) => &vp.cost,
+            QueryPlan::Hybrid { cost, .. } => cost,
+            QueryPlan::Direct { cost, .. } => cost,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryPlan::ViewsOnly(vp) => {
+                writeln!(f, "Plan: views-only MatchJoin (Qs ⊑ V)")?;
+                writeln!(f, "  select : {} -> views {:?}", vp.selection, vp.views)?;
+                writeln!(f, "  execute: {}", vp.exec)?;
+                write!(
+                    f,
+                    "  cost   : {:.0} ({} pairs read, 0 graph edges)",
+                    vp.cost.total, vp.cost.pairs_read
+                )?;
+                if vp.cost.planning > 0.0 {
+                    write!(f, " + {:.0} planning", vp.cost.planning)?;
+                }
+                Ok(())
+            }
+            QueryPlan::Hybrid { partial, cost, .. } => {
+                let covered = partial.lambda.iter().filter(|l| !l.is_empty()).count();
+                writeln!(
+                    f,
+                    "Plan: hybrid join ({} covered, {} uncovered edges)",
+                    covered,
+                    partial.uncovered.len()
+                )?;
+                write!(
+                    f,
+                    "  cost   : {:.0} ({} pairs read, {} graph edges scanned)",
+                    cost.total, cost.pairs_read, cost.graph_edges_scanned
+                )
+            }
+            QueryPlan::Direct { reason, cost } => {
+                writeln!(f, "Plan: direct Match on G ({reason:?})")?;
+                write!(
+                    f,
+                    "  cost   : {:.0} ({} graph edges scanned)",
+                    cost.total, cost.graph_edges_scanned
+                )
+            }
+        }
+    }
+}

@@ -75,8 +75,8 @@ pub fn select_views_for_workload(
                     .collect();
                 new_edges += newly.len();
                 if !newly.is_empty() {
-                    let would_complete = (0..q.edge_count())
-                        .all(|e| covered[qi][e] || newly.contains(&e));
+                    let would_complete =
+                        (0..q.edge_count()).all(|e| covered[qi][e] || newly.contains(&e));
                     if would_complete {
                         completed_weight += w(qi);
                     }
@@ -160,7 +160,11 @@ mod tests {
 
     #[test]
     fn budget_respected_and_answers_maximized() {
-        let workload = vec![chain(&["A", "B"]), chain(&["A", "B", "C"]), chain(&["X", "Y"])];
+        let workload = vec![
+            chain(&["A", "B"]),
+            chain(&["A", "B", "C"]),
+            chain(&["X", "Y"]),
+        ];
         let sel = select_views_for_workload(&workload, &catalogue(), 2, None);
         assert!(sel.views.len() <= 2);
         // Greedy: "ab" completes Q1 (and helps Q2); then "bc" completes Q2 —
@@ -186,8 +190,7 @@ mod tests {
     fn weights_steer_selection() {
         let workload = vec![chain(&["A", "B"]), chain(&["X", "Y"])];
         // Heavy weight on the X->Y query: with budget 1, pick "xy".
-        let sel =
-            select_views_for_workload(&workload, &catalogue(), 1, Some(&[1.0, 10.0]));
+        let sel = select_views_for_workload(&workload, &catalogue(), 1, Some(&[1.0, 10.0]));
         assert_eq!(sel.views, vec![3]);
         assert!(!sel.answered[0] && sel.answered[1]);
         assert_eq!(sel.answered_weight, 10.0);

@@ -34,6 +34,10 @@ pub fn graph_fingerprint(g: &DataGraph) -> u64 {
 pub struct ViewCache {
     /// Fingerprint of the graph the extensions were computed on.
     pub graph_fingerprint: u64,
+    /// Statistics of that graph, captured at materialization time so a
+    /// revived [`QueryEngine`](crate::engine::QueryEngine) can still cost
+    /// hybrid/direct fallback plans without re-scanning `G`.
+    pub graph_stats: Option<gpv_graph::stats::GraphStats>,
     /// The view definitions.
     pub views: ViewSet,
     /// Their materialized extensions.
@@ -100,6 +104,7 @@ impl ViewCache {
         let extensions = crate::view::materialize(&views, g);
         ViewCache {
             graph_fingerprint: graph_fingerprint(g),
+            graph_stats: Some(gpv_graph::stats::stats(g)),
             views,
             extensions,
         }
@@ -113,10 +118,7 @@ impl ViewCache {
     }
 
     /// Loads from a JSON file, verifying the cache belongs to `g`.
-    pub fn load(
-        path: impl AsRef<std::path::Path>,
-        g: &DataGraph,
-    ) -> Result<Self, CacheError> {
+    pub fn load(path: impl AsRef<std::path::Path>, g: &DataGraph) -> Result<Self, CacheError> {
         let f = std::fs::File::open(path)?;
         let cache: ViewCache = serde_json::from_reader(std::io::BufReader::new(f))?;
         let actual = graph_fingerprint(g);
@@ -149,10 +151,7 @@ impl BoundedViewCache {
     }
 
     /// Loads from a JSON file, verifying the cache belongs to `g`.
-    pub fn load(
-        path: impl AsRef<std::path::Path>,
-        g: &DataGraph,
-    ) -> Result<Self, CacheError> {
+    pub fn load(path: impl AsRef<std::path::Path>, g: &DataGraph) -> Result<Self, CacheError> {
         let f = std::fs::File::open(path)?;
         let cache: BoundedViewCache = serde_json::from_reader(std::io::BufReader::new(f))?;
         let actual = graph_fingerprint(g);

@@ -191,14 +191,8 @@ mod tests {
         let ext = materialize(&vs, &g);
         assert_eq!(ext.extensions.len(), 2);
         assert_eq!(ext.size(), 2);
-        assert_eq!(
-            ext.edge_set(0, PatternEdgeId(0)),
-            &[(NodeId(0), NodeId(1))]
-        );
-        assert_eq!(
-            ext.edge_set(1, PatternEdgeId(0)),
-            &[(NodeId(1), NodeId(2))]
-        );
+        assert_eq!(ext.edge_set(0, PatternEdgeId(0)), &[(NodeId(0), NodeId(1))]);
+        assert_eq!(ext.edge_set(1, PatternEdgeId(0)), &[(NodeId(1), NodeId(2))]);
     }
 
     #[test]

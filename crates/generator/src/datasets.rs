@@ -172,12 +172,8 @@ pub fn youtube_predicate_pool() -> Vec<gpv_pattern::Predicate> {
     use gpv_pattern::{CmpOp, Predicate};
     let mut out = Vec::new();
     for c in YOUTUBE_CATEGORIES {
-        out.push(
-            Predicate::cmp("C", CmpOp::Eq, c).and(Predicate::cmp("R", CmpOp::Ge, 4i64)),
-        );
-        out.push(
-            Predicate::cmp("C", CmpOp::Eq, c).and(Predicate::cmp("V", CmpOp::Ge, 10_000i64)),
-        );
+        out.push(Predicate::cmp("C", CmpOp::Eq, c).and(Predicate::cmp("R", CmpOp::Ge, 4i64)));
+        out.push(Predicate::cmp("C", CmpOp::Eq, c).and(Predicate::cmp("V", CmpOp::Ge, 10_000i64)));
     }
     out.push(Predicate::cmp("R", CmpOp::Ge, 5i64).and(Predicate::cmp("V", CmpOp::Ge, 10_000i64)));
     out.push(Predicate::cmp("A", CmpOp::Le, 100i64).and(Predicate::cmp("R", CmpOp::Ge, 4i64)));

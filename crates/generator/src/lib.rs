@@ -22,7 +22,10 @@ pub mod synthetic;
 pub mod views;
 pub mod youtube_views;
 
-pub use datasets::{amazon, amazon_predicate_pool, citation, citation_predicate_pool, youtube, youtube_predicate_pool};
+pub use datasets::{
+    amazon, amazon_predicate_pool, citation, citation_predicate_pool, youtube,
+    youtube_predicate_pool,
+};
 pub use patterns::{
     random_bounded_pattern, random_pattern, random_pattern_with_preds, uniform_bounded_pattern,
     uniform_bounded_pattern_with_preds, PatternShape,

@@ -12,7 +12,8 @@ use rand::{Rng, SeedableRng};
 
 /// The default 10-label alphabet used for synthetic data (the paper draws
 /// labels "from a set Σ of 10 labels").
-pub const DEFAULT_ALPHABET: [&str; 10] = ["L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"];
+pub const DEFAULT_ALPHABET: [&str; 10] =
+    ["L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"];
 
 /// Generates a random graph with `n` nodes, `m` directed edges (before
 /// deduplication of collisions) and one label per node drawn uniformly from

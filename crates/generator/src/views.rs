@@ -15,9 +15,7 @@
 
 use gpv_core::bview::{BoundedViewDef, BoundedViewSet};
 use gpv_core::view::{ViewDef, ViewSet};
-use gpv_pattern::{
-    BoundedPattern, EdgeBound, Pattern, PatternBuilder, PatternEdgeId, Predicate,
-};
+use gpv_pattern::{BoundedPattern, EdgeBound, Pattern, PatternBuilder, PatternEdgeId, Predicate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -195,9 +193,7 @@ mod tests {
     fn covering_views_guarantee_containment() {
         for seed in 0..10 {
             let queries: Vec<Pattern> = (0..3)
-                .map(|i| {
-                    random_pattern(5, 8, &DEFAULT_ALPHABET, PatternShape::Any, seed * 10 + i)
-                })
+                .map(|i| random_pattern(5, 8, &DEFAULT_ALPHABET, PatternShape::Any, seed * 10 + i))
                 .collect();
             let views = covering_views(&queries, 3, seed);
             for (qi, q) in queries.iter().enumerate() {

@@ -111,7 +111,10 @@ impl BitSet {
     /// Whether `self` is a subset of `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over set bit indices in ascending order.

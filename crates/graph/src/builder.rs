@@ -92,8 +92,14 @@ impl GraphBuilder {
     /// Adds the directed edge `(u, v)`. Duplicate edges are deduplicated at
     /// [`build`](Self::build) time; self-loops are allowed.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        debug_assert!(u.index() < self.node_labels.len(), "edge source out of range");
-        debug_assert!(v.index() < self.node_labels.len(), "edge target out of range");
+        debug_assert!(
+            u.index() < self.node_labels.len(),
+            "edge source out of range"
+        );
+        debug_assert!(
+            v.index() < self.node_labels.len(),
+            "edge target out of range"
+        );
         self.edges.push((u.0, v.0));
     }
 

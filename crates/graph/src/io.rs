@@ -215,7 +215,10 @@ mod tests {
             g.attr(NodeId(0), g.lookup_attr("name").unwrap()),
             Some(ValueRef::Str("Bob"))
         );
-        assert_eq!(g.attr_int(NodeId(1), g.lookup_attr("rank").unwrap()), Some(3));
+        assert_eq!(
+            g.attr_int(NodeId(1), g.lookup_attr("rank").unwrap()),
+            Some(3)
+        );
     }
 
     #[test]

@@ -164,7 +164,10 @@ impl Condensation {
         let mut comp_rank = vec![0u32; scc.comp_count];
         let mut out_of: Vec<Vec<u32>> = vec![Vec::new(); scc.comp_count];
         for &(a, b) in &edges {
-            debug_assert!(b < a, "condensation edge must point to lower (earlier) comp id");
+            debug_assert!(
+                b < a,
+                "condensation edge must point to lower (earlier) comp id"
+            );
             out_of[a as usize].push(b);
         }
         for c in 0..scc.comp_count {
@@ -175,9 +178,7 @@ impl Condensation {
                 .unwrap_or(0);
         }
 
-        let node_rank = (0..n)
-            .map(|v| comp_rank[scc.comp_of[v] as usize])
-            .collect();
+        let node_rank = (0..n).map(|v| comp_rank[scc.comp_of[v] as usize]).collect();
         Condensation {
             scc,
             edges,

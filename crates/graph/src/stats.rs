@@ -1,10 +1,11 @@
 //! Graph statistics used by the generators and the benchmark harness.
 
 use crate::graph::DataGraph;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Summary statistics of a [`DataGraph`].
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GraphStats {
     /// Number of nodes.
     pub nodes: usize,

@@ -246,9 +246,15 @@ mod tests {
     fn bounded_distance_pairs() {
         let g = cyclic();
         let mut s = BfsScratch::new(g.node_count());
-        assert_eq!(bounded_distance(&g, NodeId(0), NodeId(3), 3, &mut s), Some(3));
+        assert_eq!(
+            bounded_distance(&g, NodeId(0), NodeId(3), 3, &mut s),
+            Some(3)
+        );
         assert_eq!(bounded_distance(&g, NodeId(0), NodeId(3), 2, &mut s), None);
-        assert_eq!(bounded_distance(&g, NodeId(1), NodeId(1), 3, &mut s), Some(3));
+        assert_eq!(
+            bounded_distance(&g, NodeId(1), NodeId(1), 3, &mut s),
+            Some(3)
+        );
         assert_eq!(bounded_distance(&g, NodeId(4), NodeId(0), 10, &mut s), None);
         assert_eq!(bounded_distance(&g, NodeId(0), NodeId(1), 0, &mut s), None);
     }

@@ -199,12 +199,7 @@ mod tests {
         b.build_bounded().unwrap()
     }
 
-    fn pairs(
-        r: &BoundedMatchResult,
-        q: &BoundedPattern,
-        u: u32,
-        v: u32,
-    ) -> Vec<(u32, u32)> {
+    fn pairs(r: &BoundedMatchResult, q: &BoundedPattern, u: u32, v: u32) -> Vec<(u32, u32)> {
         let e = q
             .pattern()
             .edge_id(PatternNodeId(u), PatternNodeId(v))

@@ -15,10 +15,7 @@ use gpv_pattern::{BoundedPattern, EdgeBound, PatternNodeId};
 /// The maximum bounded simulation of view `v` into weighted query `qb`, as
 /// boolean candidate rows (`cand[x][u]`), or `None` when some view node has
 /// no query match.
-pub fn simulate_bounded_pattern(
-    v: &BoundedPattern,
-    qb: &BoundedPattern,
-) -> Option<Vec<Vec<bool>>> {
+pub fn simulate_bounded_pattern(v: &BoundedPattern, qb: &BoundedPattern) -> Option<Vec<Vec<bool>>> {
     let vp = v.pattern();
     let qp = qb.pattern();
     let nv = vp.node_count();

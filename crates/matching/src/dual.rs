@@ -266,8 +266,14 @@ mod tests {
         pb.edge(ub, uc);
         let q = pb.build().unwrap();
         let dual = dual_simulation_relation(&q, &g).unwrap();
-        assert!(!dual[1].contains(b_orphan.index()), "orphan B lacks an A pred");
-        assert!(!dual[2].contains(c2.index()), "c2's only path is via orphan");
+        assert!(
+            !dual[1].contains(b_orphan.index()),
+            "orphan B lacks an A pred"
+        );
+        assert!(
+            !dual[2].contains(c2.index()),
+            "c2's only path is via orphan"
+        );
         assert!(dual[1].contains(b1.index()));
     }
 }

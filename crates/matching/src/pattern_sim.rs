@@ -45,10 +45,7 @@ pub fn simulate_pattern(v: &Pattern, q: &Pattern) -> Option<PatternSimResult> {
     // Candidates by predicate equivalence.
     let mut cand: Vec<Vec<bool>> = Vec::with_capacity(nv);
     for x in v.nodes() {
-        let row: Vec<bool> = q
-            .nodes()
-            .map(|u| v.pred(x).equivalent(q.pred(u)))
-            .collect();
+        let row: Vec<bool> = q.nodes().map(|u| v.pred(x).equivalent(q.pred(u))).collect();
         if row.iter().all(|&b| !b) {
             return None;
         }
@@ -124,10 +121,7 @@ pub fn simulate_pattern_dual(v: &Pattern, q: &Pattern) -> Option<PatternSimResul
 
     let mut cand: Vec<Vec<bool>> = Vec::with_capacity(nv);
     for x in v.nodes() {
-        let row: Vec<bool> = q
-            .nodes()
-            .map(|u| v.pred(x).equivalent(q.pred(u)))
-            .collect();
+        let row: Vec<bool> = q.nodes().map(|u| v.pred(x).equivalent(q.pred(u))).collect();
         if row.iter().all(|&b| !b) {
             return None;
         }
@@ -363,7 +357,10 @@ mod tests {
             b.build().unwrap()
         };
         assert!(simulate_pattern(&v, &q).is_some());
-        assert!(simulate_pattern_dual(&v, &q).is_some(), "B's extra in-edge is harmless");
+        assert!(
+            simulate_pattern_dual(&v, &q).is_some(),
+            "B's extra in-edge is harmless"
+        );
 
         // But a view needing C -> B cannot dual-match a query lacking it.
         let v2 = {
@@ -383,7 +380,10 @@ mod tests {
             b.build().unwrap()
         };
         assert!(simulate_pattern_dual(&v2, &q2).is_none());
-        assert!(simulate_pattern(&v2, &q2).is_none(), "plain also fails: C unmatched");
+        assert!(
+            simulate_pattern(&v2, &q2).is_none(),
+            "plain also fails: C unmatched"
+        );
     }
 
     #[test]

@@ -239,10 +239,7 @@ mod tests {
         assert_eq!(pairs(&r, &q, 2, 3), expect2);
         assert_eq!(pairs(&r, &q, 4, 1), expect2);
         // Node matches.
-        assert_eq!(
-            r.node_set(PatternNodeId(0)),
-            &[NodeId(bob), NodeId(walt)]
-        );
+        assert_eq!(r.node_set(PatternNodeId(0)), &[NodeId(bob), NodeId(walt)]);
     }
 
     #[test]

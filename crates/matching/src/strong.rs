@@ -171,7 +171,9 @@ mod tests {
     #[test]
     fn ball_extraction() {
         let mut b = GraphBuilder::new();
-        let n: Vec<_> = (0..5).map(|i| b.add_node([["A", "B", "C", "D", "E"][i]])).collect();
+        let n: Vec<_> = (0..5)
+            .map(|i| b.add_node([["A", "B", "C", "D", "E"][i]]))
+            .collect();
         // chain 0 - 1 - 2 - 3 - 4 (directed forward)
         for i in 0..4 {
             b.add_edge(n[i], n[i + 1]);

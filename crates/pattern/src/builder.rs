@@ -194,8 +194,11 @@ mod tests {
     fn predicate_nodes() {
         let mut b = PatternBuilder::new();
         let v = b.node(
-            Predicate::cmp("category", CmpOp::Eq, "Music")
-                .and(Predicate::cmp("visits", CmpOp::Ge, 10_000i64)),
+            Predicate::cmp("category", CmpOp::Eq, "Music").and(Predicate::cmp(
+                "visits",
+                CmpOp::Ge,
+                10_000i64,
+            )),
         );
         let q = {
             let w = b.node_any();

@@ -21,6 +21,8 @@ pub mod predicate;
 
 pub use bounded::{BoundedPattern, EdgeBound};
 pub use builder::PatternBuilder;
-pub use parse::{parse_bounded_pattern, parse_pattern, parse_predicate, write_bounded_pattern, write_pattern};
+pub use parse::{
+    parse_bounded_pattern, parse_pattern, parse_predicate, write_bounded_pattern, write_pattern,
+};
 pub use pattern::{Pattern, PatternEdgeId, PatternError, PatternNodeId};
 pub use predicate::{Atom, CmpOp, Predicate, ResolvedPredicate};

@@ -79,7 +79,10 @@ fn build_cmp(s: &str, i: usize, op_str: &str, lineno: usize) -> Result<Atom, Par
     let attr = s[..i].trim();
     let raw = s[i + op_str.len()..].trim();
     if attr.is_empty() || raw.is_empty() {
-        return Err(ParseError::Malformed(lineno, format!("bad comparison `{s}`")));
+        return Err(ParseError::Malformed(
+            lineno,
+            format!("bad comparison `{s}`"),
+        ));
     }
     let op = match op_str {
         "=" => CmpOp::Eq,

@@ -181,8 +181,7 @@ impl Pattern {
     /// terminology; self-loops count as cycles).
     pub fn is_dag(&self) -> bool {
         let cond = self.condensation();
-        cond.scc.comp_count == self.node_count()
-            && self.nodes().all(|u| !self.has_self_loop(u))
+        cond.scc.comp_count == self.node_count() && self.nodes().all(|u| !self.has_self_loop(u))
     }
 
     /// Whether the pattern is weakly connected (the paper assumes
@@ -238,7 +237,12 @@ impl Pattern {
 
 impl std::fmt::Display for Pattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "pattern ({} nodes, {} edges)", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "pattern ({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for u in self.nodes() {
             writeln!(f, "  {u}: {}", self.pred(u))?;
         }

@@ -92,8 +92,16 @@ impl Atom {
         match (self, other) {
             (Atom::Label(a), Atom::Label(b)) => a == b,
             (
-                Atom::Cmp { attr: a1, op: o1, value: v1 },
-                Atom::Cmp { attr: a2, op: o2, value: v2 },
+                Atom::Cmp {
+                    attr: a1,
+                    op: o1,
+                    value: v1,
+                },
+                Atom::Cmp {
+                    attr: a2,
+                    op: o2,
+                    value: v2,
+                },
             ) if a1 == a2 => match (v1, v2) {
                 (Value::Int(x), Value::Int(y)) => int_implies(*o1, *x, *o2, *y),
                 (Value::Str(x), Value::Str(y)) => str_implies(*o1, x, *o2, y),
@@ -213,7 +221,8 @@ impl Predicate {
     fn normalize(&mut self) {
         // Deduplicate syntactically identical atoms; order is irrelevant to
         // semantics, so sort by debug form for a canonical layout.
-        self.atoms.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        self.atoms
+            .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         self.atoms.dedup();
     }
 
@@ -327,8 +336,9 @@ impl ResolvedPredicate {
             }
             ResolvedAtom::StrEq(aid, sym) => g.attr_str_eq(v, aid, sym) == Some(true),
             ResolvedAtom::StrNe(aid, sym) => g.attr_str_eq(v, aid, sym) == Some(false),
-            ResolvedAtom::StrPresent(aid) => g.attr_str_eq(v, aid, gpv_graph::Sym(u32::MAX))
-                .is_some(),
+            ResolvedAtom::StrPresent(aid) => {
+                g.attr_str_eq(v, aid, gpv_graph::Sym(u32::MAX)).is_some()
+            }
             ResolvedAtom::Never => false,
         })
     }
@@ -391,10 +401,15 @@ mod tests {
         b.set_attr(v, "category", Value::str("Music"));
         b.set_attr(v, "visits", Value::int(12_000));
         let g = b.build();
-        let p = Predicate::cmp("category", CmpOp::Eq, "Music")
-            .and(Predicate::cmp("visits", CmpOp::Ge, 10_000i64));
+        let p = Predicate::cmp("category", CmpOp::Eq, "Music").and(Predicate::cmp(
+            "visits",
+            CmpOp::Ge,
+            10_000i64,
+        ));
         assert!(p.satisfied_by(&g, v));
-        let q = p.clone().and(Predicate::cmp("visits", CmpOp::Ge, 20_000i64));
+        let q = p
+            .clone()
+            .and(Predicate::cmp("visits", CmpOp::Ge, 20_000i64));
         assert!(!q.satisfied_by(&g, v));
     }
 

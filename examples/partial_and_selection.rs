@@ -73,6 +73,20 @@ fn main() {
     // The s2/f2 chain is pruned: only s1's chain survives.
     assert_eq!(r.node_set(PatternNodeId(0)), &[s1]);
 
+    // The QueryEngine reaches the same hybrid plan on its own: it detects
+    // the partial coverage, prices the graph scan for the uncovered edges,
+    // and falls back gracefully — `answer` equals Match(G) no matter how
+    // much the views cover.
+    let engine = QueryEngine::materialize(views, &g);
+    println!("\n{}", engine.explain(&q));
+    assert!(matches!(engine.plan(&q), QueryPlan::Hybrid { .. }));
+    assert_eq!(engine.answer(&q, &g).unwrap(), r);
+    assert!(
+        engine.answer_from_views(&q).is_err(),
+        "strict views-only answering refuses partially-covered queries"
+    );
+    println!("QueryEngine chose the hybrid plan and matched Match(G) ✓");
+
     // --- Workload-driven view selection -------------------------------
     let workload = vec![
         chain(&["Supplier", "Factory"]),
@@ -86,7 +100,11 @@ fn main() {
         ViewDef::new("decoy", single("Store", "Supplier")),
     ]);
     let sel = select_views_for_workload(&workload, &catalogue, 2, None);
-    let names: Vec<&str> = sel.views.iter().map(|&i| catalogue.get(i).name.as_str()).collect();
+    let names: Vec<&str> = sel
+        .views
+        .iter()
+        .map(|&i| catalogue.get(i).name.as_str())
+        .collect();
     println!(
         "\nbudget 2 over a 4-view catalogue: cache {:?} -> {}/{} workload queries fully answerable",
         names,

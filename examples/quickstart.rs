@@ -81,4 +81,16 @@ fn main() {
         let set = &from_views.edge_matches[ei];
         println!("  S({u}→{v}) = {set:?}");
     }
+
+    // 7. Steps 4-6 are what the QueryEngine automates: hand it the views
+    //    and the graph once, then ask. It runs the containment analysis,
+    //    costs the candidate view selections (all / minimal / minimum)
+    //    against the materialized extension sizes, picks an executor, and
+    //    answers — no graph access at query time.
+    let engine = QueryEngine::materialize(views, &g);
+    println!("\n--- the same, through the QueryEngine ---");
+    println!("{}", engine.explain(&query));
+    let via_engine = engine.answer_from_views(&query).expect("Qs ⊑ V");
+    assert_eq!(via_engine, direct);
+    println!("QueryEngine::answer_from_views == Match(G) ✓");
 }

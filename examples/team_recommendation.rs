@@ -109,7 +109,10 @@ fn main() {
 
     // Example 3: the query is contained in the views.
     let plan = contain(&q, &views).expect("Qs ⊑ {V1, V2}");
-    println!("\nExample 3 — Qs ⊑ {{V1, V2}} holds; used views: {:?}", plan.used_views);
+    println!(
+        "\nExample 3 — Qs ⊑ {{V1, V2}} holds; used views: {:?}",
+        plan.used_views
+    );
 
     // Example 4: answer from the views, never touching G.
     let ext = materialize(&views, &g);
@@ -133,11 +136,16 @@ fn main() {
     let mnl = minimal(&q, &catalogue).expect("still contained");
     let min = minimum(&q, &catalogue).expect("still contained");
     let pick = |sel: &[usize]| -> Vec<&str> {
-        sel.iter().map(|&i| catalogue.get(i).name.as_str()).collect()
+        sel.iter()
+            .map(|&i| catalogue.get(i).name.as_str())
+            .collect()
     };
     println!("\nview selection over {{V1, V2, V3-redundant}}:");
     println!("  minimal  -> {:?}", pick(&mnl.views));
     println!("  minimum  -> {:?}", pick(&min.views));
-    assert!(mnl.views.len() <= 2 && min.views.len() <= 2, "V3 never needed");
+    assert!(
+        mnl.views.len() <= 2 && min.views.len() <= 2,
+        "V3 never needed"
+    );
     println!("\nthe redundant view is never selected ✓");
 }

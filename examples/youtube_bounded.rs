@@ -7,11 +7,11 @@
 //! cargo run --release --example youtube_bounded
 //! ```
 
+use gpv_generator::covering_bounded_views;
 use graph_views::generator::{fig7_views, youtube, youtube_predicate_pool};
 use graph_views::prelude::*;
 use graph_views::views::bview::{bmaterialize, BoundedViewDef, BoundedViewSet};
 use graph_views::views::materialize;
-use gpv_generator::covering_bounded_views;
 use std::time::Instant;
 
 fn main() {

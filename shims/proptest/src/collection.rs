@@ -1,0 +1,53 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Length specification for collection strategies: a fixed size or a range.
+pub struct SizeRange(std::ops::Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange(*r.start()..r.end() + 1)
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+/// `Vec` strategy with element strategy `element` and length in `len`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into().0,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

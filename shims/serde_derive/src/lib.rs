@@ -1,0 +1,444 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Hand-rolled `TokenStream` parsing (no `syn`/`quote` available offline).
+//! Supports exactly the item shapes this workspace derives on:
+//!
+//! * structs with named fields, with optional `#[serde(skip)]` on fields
+//!   (skipped fields are not serialized and are `Default::default()`ed on
+//!   deserialize);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde: `"Variant"`, `{"Variant": v}`, `{"Variant": {..}}`).
+//!
+//! Generic items are not supported — none of the workspace's serialized
+//! types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading attributes (`#[...]` / `#![...]`), returning whether any
+/// of them was `#[serde(skip)]`.
+fn eat_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p2)) = toks.get(i) {
+                    if p2.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    let body = g.stream().to_string().replace(' ', "");
+                    if body == "serde(skip)" {
+                        skip = true;
+                    }
+                    i += 1;
+                } else {
+                    panic!("serde_derive shim: malformed attribute");
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Consumes an optional visibility (`pub`, `pub(crate)`, ...).
+fn eat_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = eat_attrs(&toks, 0);
+    i = eat_vis(&toks, i);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported ({name})");
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("serde_derive shim: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: expected enum body for {name}, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skips a type (or any token run) up to the next top-level comma. Commas
+/// inside groups are invisible (they are inside `TokenTree::Group`s); only
+/// angle-bracket depth needs manual tracking.
+fn skip_to_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, skip) = eat_attrs(&toks, i);
+        i = eat_vis(&toks, ni);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        // Colon, then the type, then a comma (or end).
+        i = skip_to_comma(&toks, i) + 1;
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _) = eat_attrs(&toks, i);
+        i = eat_vis(&toks, ni);
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        i = skip_to_comma(&toks, i) + 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _) = eat_attrs(&toks, i);
+        i = ni;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional discriminant is not supported; expect `,` or end.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            } else {
+                panic!("serde_derive shim: unsupported token after variant {name}");
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__obj.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 let mut __obj: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Object(__obj)\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::value::Value::Array(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__obj.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __obj: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Object(__obj))])\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_value(__v.get(\"{0}\").ok_or_else(|| ::serde::value::Error::custom(\"missing field `{0}` in {name}\"))?)?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::value::Error> {{\n\
+                 if __v.as_object().is_none() {{\n\
+                 return Err(::serde::value::Error::custom(\"expected object for {name}\"));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let mut elems = String::new();
+                for k in 0..*arity {
+                    elems.push_str(&format!(
+                        "::serde::Deserialize::from_value(__xs.get({k}).ok_or_else(|| ::serde::value::Error::custom(\"tuple too short for {name}\"))?)?,\n"
+                    ));
+                }
+                format!(
+                    "let __xs = __v.as_array().ok_or_else(|| ::serde::value::Error::custom(\"expected array for {name}\"))?;\n\
+                     Ok({name}({elems}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::value::Error> {{\n\
+                 {body}\n\
+                 }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let ctor = if *arity == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(__payload)?)")
+                        } else {
+                            let mut elems = String::new();
+                            for k in 0..*arity {
+                                elems.push_str(&format!(
+                                    "::serde::Deserialize::from_value(__xs.get({k}).ok_or_else(|| ::serde::value::Error::custom(\"variant payload too short\"))?)?,\n"
+                                ));
+                            }
+                            format!(
+                                "{{ let __xs = __payload.as_array().ok_or_else(|| ::serde::value::Error::custom(\"expected array payload\"))?; {name}::{vn}({elems}) }}"
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => return Ok({ctor}),\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{0}: ::serde::Deserialize::from_value(__payload.get(\"{0}\").ok_or_else(|| ::serde::value::Error::custom(\"missing field `{0}`\"))?)?,\n",
+                                f.name
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::value::Error> {{\n\
+                 if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 _ => return Err(::serde::value::Error::custom(\"unknown variant for {name}\")),\n}}\n\
+                 }}\n\
+                 if let Some(__ms) = __v.as_object() {{\n\
+                 if let Some((__tag, __payload)) = __ms.first() {{\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 _ => return Err(::serde::value::Error::custom(\"unknown variant for {name}\")),\n}}\n\
+                 }}\n\
+                 }}\n\
+                 Err(::serde::value::Error::custom(\"expected enum value for {name}\"))\n\
+                 }}\n}}"
+            )
+        }
+    }
+}

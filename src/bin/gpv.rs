@@ -5,9 +5,16 @@
 //! gpv match    --graph G.txt --pattern Q.txt [--bounded] [--dual]
 //! gpv contain  --pattern Q.txt --view V1.txt --view V2.txt [--bounded]
 //! gpv minimal  --pattern Q.txt --view V1.txt ... (also: minimum)
-//! gpv answer   --graph G.txt --pattern Q.txt --view V1.txt ... [--bounded] [--select minimal|minimum]
+//! gpv answer   --graph G.txt --pattern Q.txt --view V1.txt ... [--bounded]
+//!              [--select auto|all|minimal|minimum] [--threads N]
+//! gpv plan     --graph G.txt --pattern Q.txt --view V1.txt ...   # EXPLAIN
 //! gpv minimize --pattern Q.txt
 //! ```
+//!
+//! `answer` and `plan` go through the unified [`core::QueryEngine`]: the
+//! engine analyzes containment, costs the candidate view selections against
+//! the materialized extension sizes (`--select auto`, the default), and
+//! picks a sequential or parallel executor (`--threads 0` = auto-detect).
 //!
 //! Graphs use the `gpv-graph` text format (`node <id> <labels> [k=v ...]` /
 //! `edge <src> <dst>`); patterns use the `gpv-pattern` format
@@ -25,12 +32,14 @@ struct Args {
     bounded: bool,
     dual: bool,
     select: String,
+    threads: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gpv <stats|match|contain|minimal|minimum|answer|minimize> \
-         [--graph F] [--pattern F] [--view F]... [--bounded] [--dual] [--select minimal|minimum]"
+        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|minimize> \
+         [--graph F] [--pattern F] [--view F]... [--bounded] [--dual] \
+         [--select auto|all|minimal|minimum] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -42,7 +51,8 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         views: Vec::new(),
         bounded: false,
         dual: false,
-        select: "all".into(),
+        select: "auto".into(),
+        threads: 0,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -62,6 +72,14 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--select" => {
                 a.select = rest.get(i + 1).ok_or("--select needs a mode")?.clone();
+                i += 2;
+            }
+            "--threads" => {
+                a.threads = rest
+                    .get(i + 1)
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
                 i += 2;
             }
             "--bounded" => {
@@ -123,7 +141,12 @@ fn run() -> Result<(), String> {
             let s = gpv_graph::stats::stats(&g);
             println!(
                 "nodes={} edges={} labels={} avg_out_degree={:.3} max_out={} max_in={} alpha={:.3}",
-                s.nodes, s.edges, s.labels, s.avg_out_degree, s.max_out_degree, s.max_in_degree,
+                s.nodes,
+                s.edges,
+                s.labels,
+                s.avg_out_degree,
+                s.max_out_degree,
+                s.max_in_degree,
                 s.alpha
             );
         }
@@ -181,28 +204,32 @@ fn run() -> Result<(), String> {
                         .map(|(n, p)| core::BoundedViewDef::new(n.clone(), p.clone()))
                         .collect(),
                 );
-                let sel = match a.select.as_str() {
-                    "minimal" => core::bminimal(&qb, &vs).map(|s| s.plan),
-                    "minimum" => core::bminimum(&qb, &vs).map(|s| s.plan),
-                    _ => core::bcontain(&qb, &vs),
-                }
-                .ok_or("query is NOT contained in the views")?;
-                let ext = core::bmaterialize(&vs, &g);
-                let r = core::bmatch_join(&qb, &sel, &ext).map_err(|e| e.to_string())?;
+                let engine = core::QueryEngine::materialize(core::ViewSet::default(), &g)
+                    .with_bounded_views(vs, &g)
+                    .with_config(engine_config(&a)?);
+                let r = engine.answer_bounded(&qb).map_err(|e| e.to_string())?;
                 print_bounded_result(qb.pattern(), &r);
             } else {
                 let q = require_plain(&qb, "pattern")?;
                 let vs = plain_view_set(&views)?;
-                let sel = match a.select.as_str() {
-                    "minimal" => core::minimal(&q, &vs).map(|s| s.plan),
-                    "minimum" => core::minimum(&q, &vs).map(|s| s.plan),
-                    _ => core::contain(&q, &vs),
-                }
-                .ok_or("query is NOT contained in the views")?;
-                let ext = core::materialize(&vs, &g);
-                let r = core::match_join(&q, &sel, &ext).map_err(|e| e.to_string())?;
+                let engine = core::QueryEngine::materialize(vs, &g).with_config(engine_config(&a)?);
+                let r = engine.answer_from_views(&q).map_err(|e| match e {
+                    core::EngineError::NotContained => {
+                        "query is NOT contained in the views".to_string()
+                    }
+                    other => other.to_string(),
+                })?;
                 print_result(&q, &r);
             }
+        }
+        "plan" => {
+            let g = load_graph(&a)?;
+            let qb = load_query(&a)?;
+            let q = require_plain(&qb, "pattern")?;
+            let views = load_views(&a)?;
+            let vs = plain_view_set(&views)?;
+            let engine = core::QueryEngine::materialize(vs, &g).with_config(engine_config(&a)?);
+            println!("{}", engine.explain(&q));
         }
         "minimize" => {
             let qb = load_query(&a)?;
@@ -220,6 +247,21 @@ fn run() -> Result<(), String> {
         _ => return Err(format!("unknown command `{cmd}`")),
     }
     Ok(())
+}
+
+fn engine_config(a: &Args) -> Result<core::EngineConfig, String> {
+    let force_selection = match a.select.as_str() {
+        "auto" => None,
+        "all" => Some(core::SelectionMode::All),
+        "minimal" => Some(core::SelectionMode::Minimal),
+        "minimum" => Some(core::SelectionMode::Minimum),
+        other => return Err(format!("unknown --select mode `{other}`")),
+    };
+    Ok(core::EngineConfig {
+        threads: a.threads,
+        force_selection,
+        ..core::EngineConfig::default()
+    })
 }
 
 fn plain_view_set(views: &[(String, BoundedPattern)]) -> Result<core::ViewSet, String> {

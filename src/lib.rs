@@ -49,6 +49,13 @@
 //! let plan = contain(&q, &views).expect("query is contained in the views");
 //! let via_views = match_join(&q, &plan, &ext).unwrap();
 //! assert_eq!(via_views, result);
+//!
+//! // Or let the QueryEngine make every decision (containment analysis,
+//! // cost-based view selection, sequential vs parallel execution):
+//! let engine = QueryEngine::materialize(views, &g);
+//! let via_engine = engine.answer_from_views(&q).expect("Qs ⊑ V");
+//! assert_eq!(via_engine, result);
+//! println!("{}", engine.explain(&q));
 //! ```
 
 pub use gpv_core as views;
@@ -62,13 +69,18 @@ pub mod prelude {
     pub use gpv_core::bcontainment::{bcontain, bminimal, bminimum};
     pub use gpv_core::bmatchjoin::bmatch_join;
     pub use gpv_core::containment::{contain, query_contained, ContainmentPlan};
+    pub use gpv_core::cost::{CostEstimate, CostModel};
+    pub use gpv_core::engine::{EngineConfig, EngineError, QueryEngine};
     pub use gpv_core::matchjoin::{match_join, match_join_with, JoinStrategy};
     pub use gpv_core::minimal::minimal;
     pub use gpv_core::minimum::minimum;
+    pub use gpv_core::plan::{ExecStrategy, FallbackReason, QueryPlan, SelectionMode};
     pub use gpv_core::view::{materialize, ViewDef, ViewExtensions, ViewSet};
     pub use gpv_graph::{DataGraph, GraphBuilder, NodeId, Value};
     pub use gpv_matching::bounded::bmatch_pattern;
     pub use gpv_matching::result::MatchResult;
     pub use gpv_matching::simulation::match_pattern;
-    pub use gpv_pattern::{BoundedPattern, EdgeBound, Pattern, PatternBuilder, PatternNodeId, Predicate};
+    pub use gpv_pattern::{
+        BoundedPattern, EdgeBound, Pattern, PatternBuilder, PatternNodeId, Predicate,
+    };
 }

@@ -42,7 +42,11 @@ fn stats() {
         .args(["stats", "--graph", g.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("nodes=3"), "{s}");
     assert!(s.contains("edges=3"), "{s}");
@@ -117,7 +121,11 @@ fn contain_and_answer_via_views() {
         ])
         .output()
         .unwrap();
-    assert!(via.status.success(), "{}", String::from_utf8_lossy(&via.stderr));
+    assert!(
+        via.status.success(),
+        "{}",
+        String::from_utf8_lossy(&via.stderr)
+    );
     assert_eq!(direct.stdout, via.stdout);
 }
 
@@ -142,14 +150,8 @@ fn not_contained_fails() {
 #[test]
 fn bounded_answer() {
     let g = write_tmp("b-g.txt", GRAPH);
-    let q = write_tmp(
-        "b-q.txt",
-        "node pm PM\nnode prg PRG\nedge pm prg 2\n",
-    );
-    let v = write_tmp(
-        "b-v.txt",
-        "node pm PM\nnode prg PRG\nedge pm prg 2\n",
-    );
+    let q = write_tmp("b-q.txt", "node pm PM\nnode prg PRG\nedge pm prg 2\n");
+    let v = write_tmp("b-v.txt", "node pm PM\nnode prg PRG\nedge pm prg 2\n");
     let out = gpv()
         .args([
             "answer",
@@ -163,7 +165,11 @@ fn bounded_answer() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("(0,2,d2)"), "PM reaches PRG in 2 hops: {s}");
 }

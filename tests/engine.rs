@@ -1,0 +1,133 @@
+//! Engine-contract property tests (seeded): on random graph / view /
+//! pattern triples, `QueryEngine::answer(q, g)` must equal the
+//! `match_pattern(q, g)` ground truth for *every* plan shape the planner
+//! can pick — views-only under all three selection modes, the parallel
+//! executor, hybrid partial coverage, direct fallback, and bounded plans.
+
+use gpv_generator::{
+    covering_bounded_views, covering_views, random_bounded_pattern, random_graph, random_pattern,
+    PatternShape,
+};
+use graph_views::prelude::*;
+use graph_views::views::{ExecStrategy, QueryPlan};
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+
+fn arb_graph() -> impl Strategy<Value = DataGraph> {
+    (5usize..60, 10usize..150, any::<u64>())
+        .prop_map(|(n, m, seed)| random_graph(n, m, &LABELS, seed))
+}
+
+fn arb_query() -> impl Strategy<Value = Pattern> {
+    (2usize..5, 1usize..6, any::<u64>())
+        .prop_map(|(nv, ne, seed)| random_pattern(nv, ne, &LABELS, PatternShape::Any, seed))
+}
+
+fn arb_bounded_query() -> impl Strategy<Value = BoundedPattern> {
+    (2usize..4, 1usize..5, 1u32..4, any::<u64>()).prop_map(|(nv, ne, k, seed)| {
+        random_bounded_pattern(nv, ne, &LABELS, k, PatternShape::Any, seed)
+    })
+}
+
+/// Configs that pin each selection mode, plus the cost-based default.
+fn mode_configs() -> Vec<EngineConfig> {
+    let mut cfgs = vec![EngineConfig::default()];
+    for m in [
+        SelectionMode::All,
+        SelectionMode::Minimal,
+        SelectionMode::Minimum,
+    ] {
+        cfgs.push(EngineConfig {
+            force_selection: Some(m),
+            ..EngineConfig::default()
+        });
+    }
+    cfgs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Covered queries: the engine must answer from views alone, matching
+    /// the ground truth under every selection mode and both executors.
+    #[test]
+    fn engine_equals_match_when_contained(g in arb_graph(), q in arb_query(), vseed in any::<u64>()) {
+        let views = covering_views(std::slice::from_ref(&q), 3, vseed);
+        let direct = match_pattern(&q, &g);
+        for cfg in mode_configs() {
+            let engine = QueryEngine::materialize(views.clone(), &g).with_config(cfg);
+            let plan = engine.plan(&q);
+            prop_assert!(!plan.needs_graph(), "covering views contain q: {plan}");
+            prop_assert_eq!(&engine.answer_from_views(&q).unwrap(), &direct);
+            prop_assert_eq!(&engine.answer(&q, &g).unwrap(), &direct);
+        }
+        // Forced parallel execution (2 and 4 workers) agrees bit-for-bit.
+        for threads in [2usize, 4] {
+            let engine = QueryEngine::materialize(views.clone(), &g).with_config(EngineConfig {
+                force_exec: Some(ExecStrategy::Parallel { threads }),
+                ..EngineConfig::default()
+            });
+            prop_assert_eq!(&engine.answer_from_views(&q).unwrap(), &direct);
+        }
+    }
+
+    /// Partially-covered queries: the planner picks hybrid (or direct) and
+    /// `answer` still equals the ground truth; strict views-only answering
+    /// refuses.
+    #[test]
+    fn engine_equals_match_under_partial_coverage(
+        g in arb_graph(),
+        q in arb_query(),
+        vseed in any::<u64>(),
+        keep_probe in any::<u64>(),
+    ) {
+        // Drop some of the covering views so coverage is partial (or, for
+        // single-edge queries, possibly empty).
+        let full = covering_views(std::slice::from_ref(&q), 2, vseed);
+        let keep: Vec<usize> = (0..full.card())
+            .filter(|i| (keep_probe >> (i % 64)) & 1 == 1)
+            .collect();
+        let views = full.subset(&keep);
+        let engine = QueryEngine::materialize(views, &g);
+        let direct = match_pattern(&q, &g);
+        let plan = engine.plan(&q);
+        prop_assert_eq!(&engine.answer(&q, &g).unwrap(), &direct, "plan was: {}", plan);
+        if plan.needs_graph() {
+            prop_assert!(engine.answer_from_views(&q).is_err());
+        }
+    }
+
+    /// No views at all: the engine falls back to direct evaluation.
+    #[test]
+    fn engine_direct_fallback(g in arb_graph(), q in arb_query()) {
+        let engine = QueryEngine::materialize(graph_views::views::ViewSet::default(), &g);
+        prop_assert!(matches!(engine.plan(&q), QueryPlan::Direct { .. }));
+        prop_assert_eq!(engine.answer(&q, &g).unwrap(), match_pattern(&q, &g));
+    }
+
+    /// Bounded queries: engine plans over the bounded registry equal
+    /// `bmatch_pattern` (Theorem 8), under every selection mode.
+    #[test]
+    fn engine_bounded_equals_bmatch(g in arb_graph(), qb in arb_bounded_query(), vseed in any::<u64>()) {
+        let views = covering_bounded_views(std::slice::from_ref(&qb), 2, vseed);
+        let direct = bmatch_pattern(&qb, &g);
+        for cfg in mode_configs() {
+            let engine = QueryEngine::materialize(graph_views::views::ViewSet::default(), &g)
+                .with_bounded_views(views.clone(), &g)
+                .with_config(cfg);
+            prop_assert_eq!(&engine.answer_bounded(&qb).unwrap(), &direct);
+        }
+    }
+
+    /// The plan IR is stable through serialization (plans are cacheable).
+    #[test]
+    fn plans_roundtrip_through_json(g in arb_graph(), q in arb_query(), vseed in any::<u64>()) {
+        let views = covering_views(std::slice::from_ref(&q), 3, vseed);
+        let engine = QueryEngine::materialize(views, &g);
+        let plan = engine.plan(&q);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: QueryPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+}

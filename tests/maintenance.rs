@@ -2,9 +2,9 @@
 //! edge deletions and insertions, the incrementally maintained extension
 //! equals recomputation from scratch.
 
+use gpv_generator::{random_graph, random_pattern, PatternShape};
 use graph_views::prelude::*;
 use graph_views::views::IncrementalView;
-use gpv_generator::{random_graph, random_pattern, PatternShape};
 use proptest::prelude::*;
 
 const LABELS: [&str; 3] = ["A", "B", "C"];

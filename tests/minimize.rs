@@ -2,9 +2,9 @@
 //! quotient is a genuinely equivalent query — per-edge match sets transfer
 //! through the edge map on every graph.
 
+use gpv_generator::{random_graph, random_pattern, PatternShape};
 use graph_views::prelude::*;
 use graph_views::views::{minimize, query_contained};
-use gpv_generator::{random_graph, random_pattern, PatternShape};
 use proptest::prelude::*;
 
 const LABELS: [&str; 3] = ["A", "B", "C"];

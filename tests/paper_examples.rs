@@ -82,9 +82,7 @@ fn example_1_2_direct_match() {
     let r = match_pattern(&q, &g);
     assert!(!r.is_empty());
     // Example 2's table (spot checks).
-    let e_pm_dba1 = q
-        .edge_id(PatternNodeId(0), PatternNodeId(1))
-        .unwrap();
+    let e_pm_dba1 = q.edge_id(PatternNodeId(0), PatternNodeId(1)).unwrap();
     assert_eq!(
         r.edge_matches[e_pm_dba1.index()],
         vec![(n[0], n[2]), (n[1], n[2])],
@@ -140,8 +138,10 @@ fn examples_5_6_7_fig4_selection() {
         let mut b = PatternBuilder::new();
         let mut ids = std::collections::HashMap::new();
         for &(x, y) in edges {
-            ids.entry(x.to_string()).or_insert_with(|| b.node_labeled(x));
-            ids.entry(y.to_string()).or_insert_with(|| b.node_labeled(y));
+            ids.entry(x.to_string())
+                .or_insert_with(|| b.node_labeled(x));
+            ids.entry(y.to_string())
+                .or_insert_with(|| b.node_labeled(y));
         }
         for &(x, y) in edges {
             b.edge(ids[x], ids[y]);

@@ -2,15 +2,15 @@
 //! dataset, build a workload, cache views, and verify view-based answering
 //! end to end — the full loop a downstream user would run.
 
+use gpv_generator::{
+    covering_bounded_views, covering_views, random_pattern_with_preds,
+    uniform_bounded_pattern_with_preds, PatternShape,
+};
 use graph_views::generator::{
     amazon, amazon_predicate_pool, citation, citation_predicate_pool, fig7_queries, fig7_views,
     youtube, youtube_predicate_pool,
 };
 use graph_views::prelude::*;
-use gpv_generator::{
-    covering_bounded_views, covering_views, random_pattern_with_preds,
-    uniform_bounded_pattern_with_preds, PatternShape,
-};
 
 #[test]
 fn amazon_plain_pipeline() {
@@ -73,7 +73,8 @@ fn fig7_views_pipeline() {
     assert_eq!(views.card(), 12);
     let ext = materialize(&views, &g);
     for (i, q) in fig7_queries().iter().enumerate() {
-        let plan = contain(q, &views).unwrap_or_else(|| panic!("query {i} contained in Fig. 7 views"));
+        let plan =
+            contain(q, &views).unwrap_or_else(|| panic!("query {i} contained in Fig. 7 views"));
         let joined = match_join(q, &plan, &ext).unwrap();
         assert_eq!(joined, match_pattern(q, &g), "query {i}");
     }

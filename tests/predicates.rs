@@ -29,7 +29,11 @@ fn arb_atom() -> impl Strategy<Value = Atom> {
             op,
             value: Value::Int(v),
         }),
-        (0usize..ATTRS.len(), prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Ne)], 0usize..STRS.len())
+        (
+            0usize..ATTRS.len(),
+            prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Ne)],
+            0usize..STRS.len()
+        )
             .prop_map(|(a, op, s)| Atom::Cmp {
                 attr: ATTRS[a].to_string(),
                 op,
@@ -69,8 +73,9 @@ fn arb_node() -> impl Strategy<Value = NodeSpec> {
         })
 }
 
-fn build_graph_with(node: &NodeSpec) -> (graph_views::graph::DataGraph, graph_views::graph::NodeId)
-{
+fn build_graph_with(
+    node: &NodeSpec,
+) -> (graph_views::graph::DataGraph, graph_views::graph::NodeId) {
     let mut b = GraphBuilder::new();
     let v = b.add_node(node.labels.iter().copied());
     // Int attrs first, then strings (strings overwrite ints on collision,

@@ -2,9 +2,9 @@
 //! match results. Interners skip their redundant lookup maps on the wire, so
 //! the graph test also exercises `rebuild_indices`.
 
+use gpv_generator::{random_graph, random_pattern, PatternShape};
 use graph_views::prelude::*;
 use graph_views::views::{ViewDef, ViewSet};
-use gpv_generator::{random_graph, random_pattern, PatternShape};
 
 #[test]
 fn graph_json_roundtrip() {
@@ -24,7 +24,10 @@ fn graph_json_roundtrip() {
     assert_eq!(g2.edge_count(), g.edge_count());
     assert_eq!(g2.lookup_label("video"), g.lookup_label("video"));
     let c = g2.lookup_attr("C").unwrap();
-    assert_eq!(g2.attr(v, c).map(|x| x.to_owned_value()), Some(Value::str("Music")));
+    assert_eq!(
+        g2.attr(v, c).map(|x| x.to_owned_value()),
+        Some(Value::str("Music"))
+    );
     // Matching works against the deserialized graph.
     let mut pb = PatternBuilder::new();
     let x = pb.node(Predicate::cmp("C", gpv_pattern::CmpOp::Eq, "Music"));

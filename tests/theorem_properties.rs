@@ -7,13 +7,13 @@
 //! selects more views than minimal (Theorem 6's point), both join strategies
 //! agree, and the literal union-merge agrees with the narrowed merge.
 
-use graph_views::prelude::*;
-use graph_views::views::matchjoin::merge_step_union;
-use graph_views::views::ContainmentPlan;
 use gpv_generator::{
     covering_bounded_views, covering_views, random_bounded_pattern, random_graph, random_pattern,
     PatternShape,
 };
+use graph_views::prelude::*;
+use graph_views::views::matchjoin::merge_step_union;
+use graph_views::views::ContainmentPlan;
 use proptest::prelude::*;
 
 const LABELS: [&str; 4] = ["A", "B", "C", "D"];
@@ -24,9 +24,8 @@ fn arb_graph() -> impl Strategy<Value = DataGraph> {
 }
 
 fn arb_query() -> impl Strategy<Value = Pattern> {
-    (2usize..5, 1usize..6, any::<u64>()).prop_map(|(nv, ne, seed)| {
-        random_pattern(nv, ne, &LABELS, PatternShape::Any, seed)
-    })
+    (2usize..5, 1usize..6, any::<u64>())
+        .prop_map(|(nv, ne, seed)| random_pattern(nv, ne, &LABELS, PatternShape::Any, seed))
 }
 
 fn arb_bounded_query() -> impl Strategy<Value = BoundedPattern> {
