@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-4cd4f10e114fedb7.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-4cd4f10e114fedb7.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-76c2609fe6a047ba.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-76c2609fe6a047ba: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

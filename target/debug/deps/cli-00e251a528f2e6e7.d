@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-00e251a528f2e6e7.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-00e251a528f2e6e7.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_gpv=placeholder:gpv
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-7251be45165808f0.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-7251be45165808f0.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_gpv=placeholder:gpv

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-84cf3b74e09b5dcc.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-84cf3b74e09b5dcc: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_gpv=/root/repo/target/debug/gpv

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-704b4d16f6f2ce94.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-704b4d16f6f2ce94.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-4e2d639e10423099.d: tests/engine.rs
+
+/root/repo/target/debug/deps/libengine-4e2d639e10423099.rmeta: tests/engine.rs
+
+tests/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-a0ba448d77558cac.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/libengine-a0ba448d77558cac.rmeta: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-ab9dedcc2a23556f.d: tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-ab9dedcc2a23556f.rmeta: tests/engine.rs Cargo.toml
+
+tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-cfedc694c202ae4b.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-cfedc694c202ae4b: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

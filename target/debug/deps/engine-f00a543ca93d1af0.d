@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-f00a543ca93d1af0.d: tests/engine.rs
+
+/root/repo/target/debug/deps/engine-f00a543ca93d1af0: tests/engine.rs
+
+tests/engine.rs:

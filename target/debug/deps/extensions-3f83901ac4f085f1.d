@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-3f83901ac4f085f1.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/extensions-3f83901ac4f085f1: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-cebac191b23434bd.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-cebac191b23434bd.rmeta: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

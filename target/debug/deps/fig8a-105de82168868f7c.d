@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8a-105de82168868f7c.d: crates/bench/benches/fig8a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8a-105de82168868f7c.rmeta: crates/bench/benches/fig8a.rs Cargo.toml
+
+crates/bench/benches/fig8a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8a-b3a4f69e413e116b.d: crates/bench/benches/fig8a.rs
+
+/root/repo/target/debug/deps/fig8a-b3a4f69e413e116b: crates/bench/benches/fig8a.rs
+
+crates/bench/benches/fig8a.rs:

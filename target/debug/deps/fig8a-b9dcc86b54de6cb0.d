@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8a-b9dcc86b54de6cb0.d: crates/bench/benches/fig8a.rs
+
+/root/repo/target/debug/deps/libfig8a-b9dcc86b54de6cb0.rmeta: crates/bench/benches/fig8a.rs
+
+crates/bench/benches/fig8a.rs:

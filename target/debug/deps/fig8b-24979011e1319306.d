@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8b-24979011e1319306.d: crates/bench/benches/fig8b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8b-24979011e1319306.rmeta: crates/bench/benches/fig8b.rs Cargo.toml
+
+crates/bench/benches/fig8b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8b-532fe92d2db7f66d.d: crates/bench/benches/fig8b.rs
+
+/root/repo/target/debug/deps/libfig8b-532fe92d2db7f66d.rmeta: crates/bench/benches/fig8b.rs
+
+crates/bench/benches/fig8b.rs:

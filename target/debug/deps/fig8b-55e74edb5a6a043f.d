@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8b-55e74edb5a6a043f.d: crates/bench/benches/fig8b.rs
+
+/root/repo/target/debug/deps/fig8b-55e74edb5a6a043f: crates/bench/benches/fig8b.rs
+
+crates/bench/benches/fig8b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8c-3015689b7bf541a7.d: crates/bench/benches/fig8c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8c-3015689b7bf541a7.rmeta: crates/bench/benches/fig8c.rs Cargo.toml
+
+crates/bench/benches/fig8c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

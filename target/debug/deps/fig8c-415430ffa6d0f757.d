@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8c-415430ffa6d0f757.d: crates/bench/benches/fig8c.rs
+
+/root/repo/target/debug/deps/fig8c-415430ffa6d0f757: crates/bench/benches/fig8c.rs
+
+crates/bench/benches/fig8c.rs:

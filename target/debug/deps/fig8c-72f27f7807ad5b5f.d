@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8c-72f27f7807ad5b5f.d: crates/bench/benches/fig8c.rs
+
+/root/repo/target/debug/deps/libfig8c-72f27f7807ad5b5f.rmeta: crates/bench/benches/fig8c.rs
+
+crates/bench/benches/fig8c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8d-02a76c0372a96afc.d: crates/bench/benches/fig8d.rs
+
+/root/repo/target/debug/deps/libfig8d-02a76c0372a96afc.rmeta: crates/bench/benches/fig8d.rs
+
+crates/bench/benches/fig8d.rs:

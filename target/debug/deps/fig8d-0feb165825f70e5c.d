@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8d-0feb165825f70e5c.d: crates/bench/benches/fig8d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8d-0feb165825f70e5c.rmeta: crates/bench/benches/fig8d.rs Cargo.toml
+
+crates/bench/benches/fig8d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

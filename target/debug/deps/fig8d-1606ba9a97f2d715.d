@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8d-1606ba9a97f2d715.d: crates/bench/benches/fig8d.rs
+
+/root/repo/target/debug/deps/fig8d-1606ba9a97f2d715: crates/bench/benches/fig8d.rs
+
+crates/bench/benches/fig8d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8e-771e0fcf84472e7b.d: crates/bench/benches/fig8e.rs
+
+/root/repo/target/debug/deps/libfig8e-771e0fcf84472e7b.rmeta: crates/bench/benches/fig8e.rs
+
+crates/bench/benches/fig8e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8e-e1bd384502f6f8d9.d: crates/bench/benches/fig8e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8e-e1bd384502f6f8d9.rmeta: crates/bench/benches/fig8e.rs Cargo.toml
+
+crates/bench/benches/fig8e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

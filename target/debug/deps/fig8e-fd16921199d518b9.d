@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8e-fd16921199d518b9.d: crates/bench/benches/fig8e.rs
+
+/root/repo/target/debug/deps/fig8e-fd16921199d518b9: crates/bench/benches/fig8e.rs
+
+crates/bench/benches/fig8e.rs:

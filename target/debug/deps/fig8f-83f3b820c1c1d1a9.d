@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8f-83f3b820c1c1d1a9.d: crates/bench/benches/fig8f.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8f-83f3b820c1c1d1a9.rmeta: crates/bench/benches/fig8f.rs Cargo.toml
+
+crates/bench/benches/fig8f.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8f-91d0ceae28c72389.d: crates/bench/benches/fig8f.rs
+
+/root/repo/target/debug/deps/fig8f-91d0ceae28c72389: crates/bench/benches/fig8f.rs
+
+crates/bench/benches/fig8f.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8f-b095ce2cfa4859ca.d: crates/bench/benches/fig8f.rs
+
+/root/repo/target/debug/deps/libfig8f-b095ce2cfa4859ca.rmeta: crates/bench/benches/fig8f.rs
+
+crates/bench/benches/fig8f.rs:

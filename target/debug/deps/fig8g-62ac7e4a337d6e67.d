@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8g-62ac7e4a337d6e67.d: crates/bench/benches/fig8g.rs
+
+/root/repo/target/debug/deps/fig8g-62ac7e4a337d6e67: crates/bench/benches/fig8g.rs
+
+crates/bench/benches/fig8g.rs:

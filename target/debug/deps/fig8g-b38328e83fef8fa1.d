@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8g-b38328e83fef8fa1.d: crates/bench/benches/fig8g.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8g-b38328e83fef8fa1.rmeta: crates/bench/benches/fig8g.rs Cargo.toml
+
+crates/bench/benches/fig8g.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8g-d4b1490781a409c6.d: crates/bench/benches/fig8g.rs
+
+/root/repo/target/debug/deps/libfig8g-d4b1490781a409c6.rmeta: crates/bench/benches/fig8g.rs
+
+crates/bench/benches/fig8g.rs:

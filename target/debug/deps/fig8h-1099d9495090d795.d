@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8h-1099d9495090d795.d: crates/bench/benches/fig8h.rs
+
+/root/repo/target/debug/deps/libfig8h-1099d9495090d795.rmeta: crates/bench/benches/fig8h.rs
+
+crates/bench/benches/fig8h.rs:

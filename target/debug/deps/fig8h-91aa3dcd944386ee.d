@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8h-91aa3dcd944386ee.d: crates/bench/benches/fig8h.rs
+
+/root/repo/target/debug/deps/fig8h-91aa3dcd944386ee: crates/bench/benches/fig8h.rs
+
+crates/bench/benches/fig8h.rs:

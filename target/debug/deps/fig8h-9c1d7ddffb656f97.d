@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8h-9c1d7ddffb656f97.d: crates/bench/benches/fig8h.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8h-9c1d7ddffb656f97.rmeta: crates/bench/benches/fig8h.rs Cargo.toml
+
+crates/bench/benches/fig8h.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

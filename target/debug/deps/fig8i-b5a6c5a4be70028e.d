@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8i-b5a6c5a4be70028e.d: crates/bench/benches/fig8i.rs
+
+/root/repo/target/debug/deps/fig8i-b5a6c5a4be70028e: crates/bench/benches/fig8i.rs
+
+crates/bench/benches/fig8i.rs:

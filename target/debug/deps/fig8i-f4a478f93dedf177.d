@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8i-f4a478f93dedf177.d: crates/bench/benches/fig8i.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8i-f4a478f93dedf177.rmeta: crates/bench/benches/fig8i.rs Cargo.toml
+
+crates/bench/benches/fig8i.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8i-f6e1f602e6d628fd.d: crates/bench/benches/fig8i.rs
+
+/root/repo/target/debug/deps/libfig8i-f6e1f602e6d628fd.rmeta: crates/bench/benches/fig8i.rs
+
+crates/bench/benches/fig8i.rs:

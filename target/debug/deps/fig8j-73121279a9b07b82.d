@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8j-73121279a9b07b82.d: crates/bench/benches/fig8j.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8j-73121279a9b07b82.rmeta: crates/bench/benches/fig8j.rs Cargo.toml
+
+crates/bench/benches/fig8j.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8j-82f4c614befb9b3d.d: crates/bench/benches/fig8j.rs
+
+/root/repo/target/debug/deps/libfig8j-82f4c614befb9b3d.rmeta: crates/bench/benches/fig8j.rs
+
+crates/bench/benches/fig8j.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8j-f1ce03e85b34c92e.d: crates/bench/benches/fig8j.rs
+
+/root/repo/target/debug/deps/fig8j-f1ce03e85b34c92e: crates/bench/benches/fig8j.rs
+
+crates/bench/benches/fig8j.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8k-3bad18960cd89366.d: crates/bench/benches/fig8k.rs
+
+/root/repo/target/debug/deps/libfig8k-3bad18960cd89366.rmeta: crates/bench/benches/fig8k.rs
+
+crates/bench/benches/fig8k.rs:

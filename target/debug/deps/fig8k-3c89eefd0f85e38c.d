@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8k-3c89eefd0f85e38c.d: crates/bench/benches/fig8k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8k-3c89eefd0f85e38c.rmeta: crates/bench/benches/fig8k.rs Cargo.toml
+
+crates/bench/benches/fig8k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

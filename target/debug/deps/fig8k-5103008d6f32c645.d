@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8k-5103008d6f32c645.d: crates/bench/benches/fig8k.rs
+
+/root/repo/target/debug/deps/fig8k-5103008d6f32c645: crates/bench/benches/fig8k.rs
+
+crates/bench/benches/fig8k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8l-08fde0ee16693f7e.d: crates/bench/benches/fig8l.rs
+
+/root/repo/target/debug/deps/libfig8l-08fde0ee16693f7e.rmeta: crates/bench/benches/fig8l.rs
+
+crates/bench/benches/fig8l.rs:

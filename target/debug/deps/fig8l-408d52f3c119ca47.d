@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8l-408d52f3c119ca47.d: crates/bench/benches/fig8l.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8l-408d52f3c119ca47.rmeta: crates/bench/benches/fig8l.rs Cargo.toml
+
+crates/bench/benches/fig8l.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

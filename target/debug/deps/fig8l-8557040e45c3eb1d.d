@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8l-8557040e45c3eb1d.d: crates/bench/benches/fig8l.rs
+
+/root/repo/target/debug/deps/fig8l-8557040e45c3eb1d: crates/bench/benches/fig8l.rs
+
+crates/bench/benches/fig8l.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpv-3c1a7e8e7a6e57fb.d: src/bin/gpv.rs
+
+/root/repo/target/debug/deps/gpv-3c1a7e8e7a6e57fb: src/bin/gpv.rs
+
+src/bin/gpv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpv-7913e0c5fe833869.d: src/bin/gpv.rs
+
+/root/repo/target/debug/deps/libgpv-7913e0c5fe833869.rmeta: src/bin/gpv.rs
+
+src/bin/gpv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpv-878df62620c6e766.d: src/bin/gpv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpv-878df62620c6e766.rmeta: src/bin/gpv.rs Cargo.toml
+
+src/bin/gpv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

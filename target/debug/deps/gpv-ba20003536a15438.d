@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpv-ba20003536a15438.d: src/bin/gpv.rs
+
+/root/repo/target/debug/deps/gpv-ba20003536a15438: src/bin/gpv.rs
+
+src/bin/gpv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpv-c1a544e99ee86c65.d: src/bin/gpv.rs
+
+/root/repo/target/debug/deps/gpv-c1a544e99ee86c65: src/bin/gpv.rs
+
+src/bin/gpv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpv-d36949be0fa50067.d: src/bin/gpv.rs
+
+/root/repo/target/debug/deps/libgpv-d36949be0fa50067.rmeta: src/bin/gpv.rs
+
+src/bin/gpv.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpv_bench-7ceb49e247f67a31.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpv_bench-7ceb49e247f67a31.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

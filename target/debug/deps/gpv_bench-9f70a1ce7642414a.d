@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpv_bench-9f70a1ce7642414a.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libgpv_bench-9f70a1ce7642414a.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/gpv_core-4d31983a80e37898.d: crates/core/src/lib.rs crates/core/src/bcontainment.rs crates/core/src/bmatchjoin.rs crates/core/src/bview.rs crates/core/src/containment.rs crates/core/src/cost.rs crates/core/src/dualjoin.rs crates/core/src/engine.rs crates/core/src/maintenance.rs crates/core/src/matchjoin.rs crates/core/src/minimal.rs crates/core/src/minimize.rs crates/core/src/minimum.rs crates/core/src/parallel.rs crates/core/src/partial.rs crates/core/src/plan.rs crates/core/src/selection.rs crates/core/src/storage.rs crates/core/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpv_core-4d31983a80e37898.rmeta: crates/core/src/lib.rs crates/core/src/bcontainment.rs crates/core/src/bmatchjoin.rs crates/core/src/bview.rs crates/core/src/containment.rs crates/core/src/cost.rs crates/core/src/dualjoin.rs crates/core/src/engine.rs crates/core/src/maintenance.rs crates/core/src/matchjoin.rs crates/core/src/minimal.rs crates/core/src/minimize.rs crates/core/src/minimum.rs crates/core/src/parallel.rs crates/core/src/partial.rs crates/core/src/plan.rs crates/core/src/selection.rs crates/core/src/storage.rs crates/core/src/view.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bcontainment.rs:
+crates/core/src/bmatchjoin.rs:
+crates/core/src/bview.rs:
+crates/core/src/containment.rs:
+crates/core/src/cost.rs:
+crates/core/src/dualjoin.rs:
+crates/core/src/engine.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/matchjoin.rs:
+crates/core/src/minimal.rs:
+crates/core/src/minimize.rs:
+crates/core/src/minimum.rs:
+crates/core/src/parallel.rs:
+crates/core/src/partial.rs:
+crates/core/src/plan.rs:
+crates/core/src/selection.rs:
+crates/core/src/storage.rs:
+crates/core/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

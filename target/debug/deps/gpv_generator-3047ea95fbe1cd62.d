@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpv_generator-3047ea95fbe1cd62.d: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+/root/repo/target/debug/deps/libgpv_generator-3047ea95fbe1cd62.rlib: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+/root/repo/target/debug/deps/libgpv_generator-3047ea95fbe1cd62.rmeta: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+crates/generator/src/lib.rs:
+crates/generator/src/datasets.rs:
+crates/generator/src/patterns.rs:
+crates/generator/src/synthetic.rs:
+crates/generator/src/views.rs:
+crates/generator/src/youtube_views.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpv_generator-dff79001e0f653c9.d: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+/root/repo/target/debug/deps/libgpv_generator-dff79001e0f653c9.rmeta: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+crates/generator/src/lib.rs:
+crates/generator/src/datasets.rs:
+crates/generator/src/patterns.rs:
+crates/generator/src/synthetic.rs:
+crates/generator/src/views.rs:
+crates/generator/src/youtube_views.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpv_generator-e9a8245a27158a6f.d: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+/root/repo/target/debug/deps/gpv_generator-e9a8245a27158a6f: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+crates/generator/src/lib.rs:
+crates/generator/src/datasets.rs:
+crates/generator/src/patterns.rs:
+crates/generator/src/synthetic.rs:
+crates/generator/src/views.rs:
+crates/generator/src/youtube_views.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpv_generator-f0b91d66c4f74c09.d: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+/root/repo/target/debug/deps/libgpv_generator-f0b91d66c4f74c09.rmeta: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+crates/generator/src/lib.rs:
+crates/generator/src/datasets.rs:
+crates/generator/src/patterns.rs:
+crates/generator/src/synthetic.rs:
+crates/generator/src/views.rs:
+crates/generator/src/youtube_views.rs:

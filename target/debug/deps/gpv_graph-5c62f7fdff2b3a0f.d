@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gpv_graph-5c62f7fdff2b3a0f.d: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/graph.rs crates/graph/src/interner.rs crates/graph/src/io.rs crates/graph/src/scc.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs crates/graph/src/value.rs
+
+/root/repo/target/debug/deps/gpv_graph-5c62f7fdff2b3a0f: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/graph.rs crates/graph/src/interner.rs crates/graph/src/io.rs crates/graph/src/scc.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs crates/graph/src/value.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bitset.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/interner.rs:
+crates/graph/src/io.rs:
+crates/graph/src/scc.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traverse.rs:
+crates/graph/src/value.rs:

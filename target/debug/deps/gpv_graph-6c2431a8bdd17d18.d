@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gpv_graph-6c2431a8bdd17d18.d: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/graph.rs crates/graph/src/interner.rs crates/graph/src/io.rs crates/graph/src/scc.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs crates/graph/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpv_graph-6c2431a8bdd17d18.rmeta: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/graph.rs crates/graph/src/interner.rs crates/graph/src/io.rs crates/graph/src/scc.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs crates/graph/src/value.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/bitset.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/interner.rs:
+crates/graph/src/io.rs:
+crates/graph/src/scc.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traverse.rs:
+crates/graph/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gpv_graph-b6790e3edfe50bdf.d: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/graph.rs crates/graph/src/interner.rs crates/graph/src/io.rs crates/graph/src/scc.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs crates/graph/src/value.rs
+
+/root/repo/target/debug/deps/libgpv_graph-b6790e3edfe50bdf.rmeta: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/builder.rs crates/graph/src/graph.rs crates/graph/src/interner.rs crates/graph/src/io.rs crates/graph/src/scc.rs crates/graph/src/stats.rs crates/graph/src/traverse.rs crates/graph/src/value.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bitset.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/interner.rs:
+crates/graph/src/io.rs:
+crates/graph/src/scc.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/traverse.rs:
+crates/graph/src/value.rs:

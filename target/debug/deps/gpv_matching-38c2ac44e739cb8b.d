@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpv_matching-38c2ac44e739cb8b.d: crates/matching/src/lib.rs crates/matching/src/bounded.rs crates/matching/src/bounded_pattern_sim.rs crates/matching/src/dual.rs crates/matching/src/pattern_sim.rs crates/matching/src/result.rs crates/matching/src/simulation.rs crates/matching/src/strong.rs
+
+/root/repo/target/debug/deps/libgpv_matching-38c2ac44e739cb8b.rmeta: crates/matching/src/lib.rs crates/matching/src/bounded.rs crates/matching/src/bounded_pattern_sim.rs crates/matching/src/dual.rs crates/matching/src/pattern_sim.rs crates/matching/src/result.rs crates/matching/src/simulation.rs crates/matching/src/strong.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/bounded.rs:
+crates/matching/src/bounded_pattern_sim.rs:
+crates/matching/src/dual.rs:
+crates/matching/src/pattern_sim.rs:
+crates/matching/src/result.rs:
+crates/matching/src/simulation.rs:
+crates/matching/src/strong.rs:

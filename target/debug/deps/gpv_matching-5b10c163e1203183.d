@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpv_matching-5b10c163e1203183.d: crates/matching/src/lib.rs crates/matching/src/bounded.rs crates/matching/src/bounded_pattern_sim.rs crates/matching/src/dual.rs crates/matching/src/pattern_sim.rs crates/matching/src/result.rs crates/matching/src/simulation.rs crates/matching/src/strong.rs
+
+/root/repo/target/debug/deps/gpv_matching-5b10c163e1203183: crates/matching/src/lib.rs crates/matching/src/bounded.rs crates/matching/src/bounded_pattern_sim.rs crates/matching/src/dual.rs crates/matching/src/pattern_sim.rs crates/matching/src/result.rs crates/matching/src/simulation.rs crates/matching/src/strong.rs
+
+crates/matching/src/lib.rs:
+crates/matching/src/bounded.rs:
+crates/matching/src/bounded_pattern_sim.rs:
+crates/matching/src/dual.rs:
+crates/matching/src/pattern_sim.rs:
+crates/matching/src/result.rs:
+crates/matching/src/simulation.rs:
+crates/matching/src/strong.rs:

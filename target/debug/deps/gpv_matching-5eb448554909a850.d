@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gpv_matching-5eb448554909a850.d: crates/matching/src/lib.rs crates/matching/src/bounded.rs crates/matching/src/bounded_pattern_sim.rs crates/matching/src/dual.rs crates/matching/src/pattern_sim.rs crates/matching/src/result.rs crates/matching/src/simulation.rs crates/matching/src/strong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpv_matching-5eb448554909a850.rmeta: crates/matching/src/lib.rs crates/matching/src/bounded.rs crates/matching/src/bounded_pattern_sim.rs crates/matching/src/dual.rs crates/matching/src/pattern_sim.rs crates/matching/src/result.rs crates/matching/src/simulation.rs crates/matching/src/strong.rs Cargo.toml
+
+crates/matching/src/lib.rs:
+crates/matching/src/bounded.rs:
+crates/matching/src/bounded_pattern_sim.rs:
+crates/matching/src/dual.rs:
+crates/matching/src/pattern_sim.rs:
+crates/matching/src/result.rs:
+crates/matching/src/simulation.rs:
+crates/matching/src/strong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gpv_pattern-152cf425e1c23743.d: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs
+
+/root/repo/target/debug/deps/libgpv_pattern-152cf425e1c23743.rlib: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs
+
+/root/repo/target/debug/deps/libgpv_pattern-152cf425e1c23743.rmeta: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs
+
+crates/pattern/src/lib.rs:
+crates/pattern/src/bounded.rs:
+crates/pattern/src/builder.rs:
+crates/pattern/src/parse.rs:
+crates/pattern/src/pattern.rs:
+crates/pattern/src/predicate.rs:

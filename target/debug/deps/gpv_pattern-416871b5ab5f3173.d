@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gpv_pattern-416871b5ab5f3173.d: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs
+
+/root/repo/target/debug/deps/gpv_pattern-416871b5ab5f3173: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs
+
+crates/pattern/src/lib.rs:
+crates/pattern/src/bounded.rs:
+crates/pattern/src/builder.rs:
+crates/pattern/src/parse.rs:
+crates/pattern/src/pattern.rs:
+crates/pattern/src/predicate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gpv_pattern-674d260c235df871.d: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpv_pattern-674d260c235df871.rmeta: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs Cargo.toml
+
+crates/pattern/src/lib.rs:
+crates/pattern/src/bounded.rs:
+crates/pattern/src/builder.rs:
+crates/pattern/src/parse.rs:
+crates/pattern/src/pattern.rs:
+crates/pattern/src/predicate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_views-243300e8752fb69d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraph_views-243300e8752fb69d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_views-3eab18a9aa2a690d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraph_views-3eab18a9aa2a690d.rmeta: src/lib.rs
+
+src/lib.rs:

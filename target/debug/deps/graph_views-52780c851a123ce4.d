@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_views-52780c851a123ce4.d: src/lib.rs
+
+/root/repo/target/debug/deps/graph_views-52780c851a123ce4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graph_views-7459872104dd84ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraph_views-7459872104dd84ad.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgraph_views-7459872104dd84ad.rmeta: src/lib.rs
+
+src/lib.rs:

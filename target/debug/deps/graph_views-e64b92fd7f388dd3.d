@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_views-e64b92fd7f388dd3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_views-e64b92fd7f388dd3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

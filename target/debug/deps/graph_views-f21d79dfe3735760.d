@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/graph_views-f21d79dfe3735760.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgraph_views-f21d79dfe3735760.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgraph_views-f21d79dfe3735760.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maintenance-32bb3fa6d547cdf8.d: tests/maintenance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaintenance-32bb3fa6d547cdf8.rmeta: tests/maintenance.rs Cargo.toml
+
+tests/maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

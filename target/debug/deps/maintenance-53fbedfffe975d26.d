@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance-53fbedfffe975d26.d: tests/maintenance.rs
+
+/root/repo/target/debug/deps/libmaintenance-53fbedfffe975d26.rmeta: tests/maintenance.rs
+
+tests/maintenance.rs:

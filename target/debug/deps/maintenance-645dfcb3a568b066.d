@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance-645dfcb3a568b066.d: tests/maintenance.rs
+
+/root/repo/target/debug/deps/maintenance-645dfcb3a568b066: tests/maintenance.rs
+
+tests/maintenance.rs:

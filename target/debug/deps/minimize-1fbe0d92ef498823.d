@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/minimize-1fbe0d92ef498823.d: tests/minimize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminimize-1fbe0d92ef498823.rmeta: tests/minimize.rs Cargo.toml
+
+tests/minimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

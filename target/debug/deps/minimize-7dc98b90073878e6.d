@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/minimize-7dc98b90073878e6.d: tests/minimize.rs
+
+/root/repo/target/debug/deps/minimize-7dc98b90073878e6: tests/minimize.rs
+
+tests/minimize.rs:

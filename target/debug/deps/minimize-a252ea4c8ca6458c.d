@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/minimize-a252ea4c8ca6458c.d: tests/minimize.rs
+
+/root/repo/target/debug/deps/libminimize-a252ea4c8ca6458c.rmeta: tests/minimize.rs
+
+tests/minimize.rs:

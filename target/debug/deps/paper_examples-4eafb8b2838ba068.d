@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-4eafb8b2838ba068.d: tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-4eafb8b2838ba068.rmeta: tests/paper_examples.rs Cargo.toml
+
+tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-72001ce4a764c298.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-72001ce4a764c298.rmeta: tests/paper_examples.rs
+
+tests/paper_examples.rs:

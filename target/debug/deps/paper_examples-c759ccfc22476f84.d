@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-c759ccfc22476f84.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-c759ccfc22476f84: tests/paper_examples.rs
+
+tests/paper_examples.rs:

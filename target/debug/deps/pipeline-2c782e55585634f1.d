@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-2c782e55585634f1.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-2c782e55585634f1: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-fd15bbb382bf66ef.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-fd15bbb382bf66ef.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predicates-82bc41befdbd03f9.d: tests/predicates.rs
+
+/root/repo/target/debug/deps/libpredicates-82bc41befdbd03f9.rmeta: tests/predicates.rs
+
+tests/predicates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predicates-8d6b8b7c794866b1.d: tests/predicates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredicates-8d6b8b7c794866b1.rmeta: tests/predicates.rs Cargo.toml
+
+tests/predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predicates-e8b091c96d43bd6a.d: tests/predicates.rs
+
+/root/repo/target/debug/deps/predicates-e8b091c96d43bd6a: tests/predicates.rs
+
+tests/predicates.rs:

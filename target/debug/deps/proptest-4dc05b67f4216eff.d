@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-4dc05b67f4216eff.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-4dc05b67f4216eff.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-9cd460da013a184e.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-9cd460da013a184e.rlib: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-9cd460da013a184e.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-a011d97ea103e009.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-a011d97ea103e009.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-aa6d4e7cd15a2418.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-aa6d4e7cd15a2418.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

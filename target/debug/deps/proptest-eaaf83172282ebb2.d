@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-eaaf83172282ebb2.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-eaaf83172282ebb2.rmeta: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:

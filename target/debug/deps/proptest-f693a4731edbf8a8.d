@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-f693a4731edbf8a8.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/proptest-f693a4731edbf8a8: shims/proptest/src/lib.rs shims/proptest/src/collection.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:

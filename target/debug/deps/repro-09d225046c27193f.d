@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-09d225046c27193f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-09d225046c27193f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2dea4e7cf0af1522.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-2dea4e7cf0af1522.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

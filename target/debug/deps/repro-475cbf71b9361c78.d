@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-475cbf71b9361c78.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-475cbf71b9361c78.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c2b9b52ad42d0ecc.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c2b9b52ad42d0ecc: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d95821b3831dcd3d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d95821b3831dcd3d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

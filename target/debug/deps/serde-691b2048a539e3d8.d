@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-691b2048a539e3d8.d: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-691b2048a539e3d8.rmeta: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/value.rs:

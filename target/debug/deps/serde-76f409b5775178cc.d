@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-76f409b5775178cc.d: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-76f409b5775178cc.rlib: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-76f409b5775178cc.rmeta: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/value.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-d256819cff706717.d: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+/root/repo/target/debug/deps/libserde-d256819cff706717.rmeta: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/value.rs:

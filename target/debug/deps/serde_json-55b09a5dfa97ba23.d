@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-55b09a5dfa97ba23.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-55b09a5dfa97ba23.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-816c07d74d2cbf87.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-816c07d74d2cbf87.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-eb343cec5fa7eb79.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-eb343cec5fa7eb79.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-eb343cec5fa7eb79.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-3b69b5bb85c746e0.d: tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-3b69b5bb85c746e0.rmeta: tests/serde_roundtrip.rs Cargo.toml
+
+tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

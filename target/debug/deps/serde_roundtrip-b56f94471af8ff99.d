@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-b56f94471af8ff99.d: tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-b56f94471af8ff99: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-e778018967117981.d: tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/libserde_roundtrip-e778018967117981.rmeta: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

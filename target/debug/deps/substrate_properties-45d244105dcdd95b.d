@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_properties-45d244105dcdd95b.d: tests/substrate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_properties-45d244105dcdd95b.rmeta: tests/substrate_properties.rs Cargo.toml
+
+tests/substrate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-b1cd4f38925412f2.d: tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-b1cd4f38925412f2: tests/substrate_properties.rs
+
+tests/substrate_properties.rs:

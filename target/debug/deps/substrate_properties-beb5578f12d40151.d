@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-beb5578f12d40151.d: tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/libsubstrate_properties-beb5578f12d40151.rmeta: tests/substrate_properties.rs
+
+tests/substrate_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_properties-39fae67b1c485b11.d: tests/theorem_properties.rs
+
+/root/repo/target/debug/deps/libtheorem_properties-39fae67b1c485b11.rmeta: tests/theorem_properties.rs
+
+tests/theorem_properties.rs:

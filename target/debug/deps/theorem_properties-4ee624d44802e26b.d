@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem_properties-4ee624d44802e26b.d: tests/theorem_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem_properties-4ee624d44802e26b.rmeta: tests/theorem_properties.rs Cargo.toml
+
+tests/theorem_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_properties-79ebda65f739754f.d: tests/theorem_properties.rs
+
+/root/repo/target/debug/deps/theorem_properties-79ebda65f739754f: tests/theorem_properties.rs
+
+tests/theorem_properties.rs:

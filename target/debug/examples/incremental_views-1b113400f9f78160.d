@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_views-1b113400f9f78160.d: examples/incremental_views.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_views-1b113400f9f78160.rmeta: examples/incremental_views.rs Cargo.toml
+
+examples/incremental_views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_views-84d6a35f0e6c98cb.d: examples/incremental_views.rs
+
+/root/repo/target/debug/examples/libincremental_views-84d6a35f0e6c98cb.rmeta: examples/incremental_views.rs
+
+examples/incremental_views.rs:

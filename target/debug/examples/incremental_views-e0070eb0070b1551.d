@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_views-e0070eb0070b1551.d: examples/incremental_views.rs
+
+/root/repo/target/debug/examples/incremental_views-e0070eb0070b1551: examples/incremental_views.rs
+
+examples/incremental_views.rs:

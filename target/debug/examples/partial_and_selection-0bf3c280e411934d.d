@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partial_and_selection-0bf3c280e411934d.d: examples/partial_and_selection.rs
+
+/root/repo/target/debug/examples/libpartial_and_selection-0bf3c280e411934d.rmeta: examples/partial_and_selection.rs
+
+examples/partial_and_selection.rs:

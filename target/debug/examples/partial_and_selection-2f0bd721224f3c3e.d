@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partial_and_selection-2f0bd721224f3c3e.d: examples/partial_and_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartial_and_selection-2f0bd721224f3c3e.rmeta: examples/partial_and_selection.rs Cargo.toml
+
+examples/partial_and_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partial_and_selection-9993642d5adc53df.d: examples/partial_and_selection.rs
+
+/root/repo/target/debug/examples/partial_and_selection-9993642d5adc53df: examples/partial_and_selection.rs
+
+examples/partial_and_selection.rs:

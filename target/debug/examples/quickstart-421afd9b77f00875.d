@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-421afd9b77f00875.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-421afd9b77f00875: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e8d86458f96d6448.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-e8d86458f96d6448.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/team_recommendation-691b47d698229bdb.d: examples/team_recommendation.rs
+
+/root/repo/target/debug/examples/team_recommendation-691b47d698229bdb: examples/team_recommendation.rs
+
+examples/team_recommendation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/team_recommendation-69bf38ece0e0c6c3.d: examples/team_recommendation.rs
+
+/root/repo/target/debug/examples/libteam_recommendation-69bf38ece0e0c6c3.rmeta: examples/team_recommendation.rs
+
+examples/team_recommendation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/team_recommendation-7eb85774b0945dc5.d: examples/team_recommendation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libteam_recommendation-7eb85774b0945dc5.rmeta: examples/team_recommendation.rs Cargo.toml
+
+examples/team_recommendation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

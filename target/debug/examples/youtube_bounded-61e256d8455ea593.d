@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/youtube_bounded-61e256d8455ea593.d: examples/youtube_bounded.rs
+
+/root/repo/target/debug/examples/youtube_bounded-61e256d8455ea593: examples/youtube_bounded.rs
+
+examples/youtube_bounded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/youtube_bounded-c658e320c25817bc.d: examples/youtube_bounded.rs Cargo.toml
+
+/root/repo/target/debug/examples/libyoutube_bounded-c658e320c25817bc.rmeta: examples/youtube_bounded.rs Cargo.toml
+
+examples/youtube_bounded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/youtube_bounded-f80b8d8038e06955.d: examples/youtube_bounded.rs
+
+/root/repo/target/debug/examples/libyoutube_bounded-f80b8d8038e06955.rmeta: examples/youtube_bounded.rs
+
+examples/youtube_bounded.rs:

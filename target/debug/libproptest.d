@@ -1,0 +1,1 @@
+/root/repo/target/debug/libproptest.rlib: /root/repo/shims/proptest/src/collection.rs /root/repo/shims/proptest/src/lib.rs /root/repo/shims/rand/src/lib.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ccd07073e61bee6f.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ccd07073e61bee6f.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ccd07073e61bee6f.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

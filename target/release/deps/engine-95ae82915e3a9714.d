@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-95ae82915e3a9714.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-95ae82915e3a9714: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gpv-cef2f46ae20c0604.d: src/bin/gpv.rs
+
+/root/repo/target/release/deps/gpv-cef2f46ae20c0604: src/bin/gpv.rs
+
+src/bin/gpv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gpv_bench-dc8152262c10d05b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libgpv_bench-dc8152262c10d05b.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libgpv_bench-dc8152262c10d05b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gpv_generator-26afef92f3775d8e.d: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+/root/repo/target/release/deps/libgpv_generator-26afef92f3775d8e.rlib: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+/root/repo/target/release/deps/libgpv_generator-26afef92f3775d8e.rmeta: crates/generator/src/lib.rs crates/generator/src/datasets.rs crates/generator/src/patterns.rs crates/generator/src/synthetic.rs crates/generator/src/views.rs crates/generator/src/youtube_views.rs
+
+crates/generator/src/lib.rs:
+crates/generator/src/datasets.rs:
+crates/generator/src/patterns.rs:
+crates/generator/src/synthetic.rs:
+crates/generator/src/views.rs:
+crates/generator/src/youtube_views.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gpv_pattern-4b83554a52420c9e.d: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs
+
+/root/repo/target/release/deps/libgpv_pattern-4b83554a52420c9e.rlib: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs
+
+/root/repo/target/release/deps/libgpv_pattern-4b83554a52420c9e.rmeta: crates/pattern/src/lib.rs crates/pattern/src/bounded.rs crates/pattern/src/builder.rs crates/pattern/src/parse.rs crates/pattern/src/pattern.rs crates/pattern/src/predicate.rs
+
+crates/pattern/src/lib.rs:
+crates/pattern/src/bounded.rs:
+crates/pattern/src/builder.rs:
+crates/pattern/src/parse.rs:
+crates/pattern/src/pattern.rs:
+crates/pattern/src/predicate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/graph_views-2097366ba4d4a785.d: src/lib.rs
+
+/root/repo/target/release/deps/libgraph_views-2097366ba4d4a785.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgraph_views-2097366ba4d4a785.rmeta: src/lib.rs
+
+src/lib.rs:

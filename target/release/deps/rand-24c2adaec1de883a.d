@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-24c2adaec1de883a.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-24c2adaec1de883a.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-24c2adaec1de883a.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-13e0f6f569d4b513.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-13e0f6f569d4b513: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

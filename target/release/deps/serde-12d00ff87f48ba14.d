@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-12d00ff87f48ba14.d: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-12d00ff87f48ba14.rlib: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-12d00ff87f48ba14.rmeta: shims/serde/src/lib.rs shims/serde/src/value.rs
+
+shims/serde/src/lib.rs:
+shims/serde/src/value.rs:

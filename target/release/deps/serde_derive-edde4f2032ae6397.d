@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-edde4f2032ae6397.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-edde4f2032ae6397.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-a8908e3e49155218.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a8908e3e49155218.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a8908e3e49155218.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:
