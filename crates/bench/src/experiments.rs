@@ -872,6 +872,77 @@ pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
     }
 }
 
+/// Service bench: concurrent batch serving through the
+/// [`ViewService`](gpv_core::service::ViewService) facade over a sharded
+/// [`ViewStore`](gpv_core::store::ViewStore). For each client count
+/// (1/2/4/8), every client thread submits the same duplicated query batch
+/// concurrently against a fresh service; the rows record wall-clock,
+/// throughput, and the plan-cache hit rate. On a 1-core host the client
+/// threads time-slice one core, so throughput cannot scale with clients —
+/// the experiment still exercises (and records) contention on the shared
+/// plan cache and store; see CHANGES.md.
+pub fn service_experiment(scale: Scale, seed: u64) -> ExperimentResult {
+    use gpv_core::service::ViewService;
+    use gpv_core::store::ViewStore;
+    use std::sync::Arc;
+
+    let n = scale.nodes(400_000);
+    let g = random_graph(n, 2 * n, &DEFAULT_ALPHABET, seed);
+    let queries: Vec<Pattern> = (0..6)
+        .map(|i| random_pattern(4, 6, &DEFAULT_ALPHABET, PatternShape::Any, seed + i))
+        .collect();
+    let views = selective_views(&queries, seed);
+    let store = Arc::new(ViewStore::materialize(views, &g, 8));
+    // Each query appears 4 times per batch: realistic repeated traffic,
+    // which is what the plan cache and intra-batch dedup are for.
+    let batch: Vec<Pattern> = queries
+        .iter()
+        .flat_map(|q| std::iter::repeat_n(q, 4))
+        .cloned()
+        .collect();
+
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        // A fresh service per row: stats and cache state start cold, so
+        // rows are comparable.
+        let service = ViewService::new(store.clone());
+        let wall = secs(|| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        s.spawn(|| {
+                            for r in service.serve_batch(&batch, Some(&g)) {
+                                std::hint::black_box(r.expect("batch serves"));
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("client thread panicked");
+                }
+            });
+        });
+        let stats = service.stats();
+        let served = (clients * batch.len()) as f64;
+        rows.push(Row {
+            x: format!("{clients}"),
+            series: vec![
+                ("wall_s".into(), wall),
+                ("throughput_qps".into(), served / wall.max(1e-9)),
+                ("plan_cache_hit_rate".into(), stats.plan_cache_hit_rate),
+                ("dedup_saved".into(), stats.dedup_saved as f64),
+                ("max_queue_depth".into(), stats.max_in_flight as f64),
+            ],
+        });
+    }
+    ExperimentResult {
+        id: "service".into(),
+        title: "ViewService: concurrent batch serving, varying client threads".into(),
+        unit: "mixed".into(),
+        rows,
+    }
+}
+
 /// Checks that a bounded workload is contained (used by tests).
 pub fn sanity_bounded(qb: &BoundedPattern, views: &BoundedViewSet) -> bool {
     bcontain(qb, views).is_some()
@@ -1001,6 +1072,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<ExperimentResult> {
         fig8k(scale, seed),
         fig8l(scale, seed),
         engine_experiment(scale, seed),
+        service_experiment(scale, seed),
     ]
 }
 
@@ -1020,6 +1092,7 @@ pub fn run_one(id: &str, scale: Scale, seed: u64) -> Option<ExperimentResult> {
         "fig8k" => fig8k(scale, seed),
         "fig8l" => fig8l(scale, seed),
         "engine" => engine_experiment(scale, seed),
+        "service" => service_experiment(scale, seed),
         _ => return None,
     })
 }
@@ -1064,6 +1137,30 @@ mod tests {
     #[test]
     fn run_one_dispatch() {
         assert!(run_one("fig8g", tiny(), 1).is_some());
+        assert!(run_one("service", tiny(), 1).is_some());
         assert!(run_one("nope", tiny(), 1).is_none());
+    }
+
+    #[test]
+    fn service_rows_cover_client_counts() {
+        let r = service_experiment(tiny(), 42);
+        assert_eq!(r.id, "service");
+        let clients: Vec<&str> = r.rows.iter().map(|row| row.x.as_str()).collect();
+        assert_eq!(clients, ["1", "2", "4", "8"]);
+        for row in &r.rows {
+            let get = |name: &str| {
+                row.series
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            assert!(get("wall_s") >= 0.0 && get("wall_s").is_finite());
+            assert!(get("throughput_qps") > 0.0);
+            // 6 distinct queries repeated 4x per batch: the duplicates hit
+            // either the intra-batch dedup or the plan cache.
+            assert!(get("plan_cache_hit_rate") >= 0.0);
+            assert!(get("dedup_saved") >= 18.0 - 1e-9, "per-client dedup");
+        }
     }
 }

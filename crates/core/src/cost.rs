@@ -5,7 +5,7 @@
 //! match pairs the executor reads and refines. The planner therefore costs
 //! every candidate plan by its *pairs read*: the sum over query edges of
 //! the smallest covering extension (mirroring the witness-narrowing merge in
-//! [`crate::matchjoin::merge_step`]), or `|G|`-proportional terms for plans
+//! `matchjoin::merge_step`), or `|G|`-proportional terms for plans
 //! that must scan the graph. Weights are unit-free relative factors, not
 //! nanoseconds; only comparisons between candidate plans matter.
 
@@ -156,6 +156,12 @@ impl CostModel {
 
     /// Whether the parallel executor is worth its spawn overhead for a plan
     /// reading `pairs` pairs on `threads` workers.
+    ///
+    /// ```
+    /// let cm = gpv_core::cost::CostModel::default();
+    /// assert!(!cm.parallel_pays(100, 4)); // tiny job: spawn cost dominates
+    /// assert!(cm.parallel_pays(1_000_000, 4)); // big merge: fan out
+    /// ```
     pub fn parallel_pays(&self, pairs: u64, threads: usize) -> bool {
         if threads < 2 {
             return false;

@@ -2,7 +2,7 @@
 //!
 //! [`QueryEngine`] is the single decision point for "answer `Qs` given what
 //! we have cached": it owns a view registry (definitions + materialized
-//! extensions, interchangeable with [`ViewCache`](crate::storage::ViewCache)
+//! extensions, interchangeable with [`ViewCache`]
 //! for durability), produces an explicit [`QueryPlan`] IR, and executes it —
 //! choosing among the paper's algorithms instead of making the caller pick:
 //!
@@ -18,7 +18,7 @@
 //!
 //! The contract (Theorem 1/8), now as an engine guarantee: for every query
 //! and graph, [`QueryEngine::answer`] equals
-//! [`match_pattern`](gpv_matching::simulation::match_pattern), touching `G`
+//! [`match_pattern`], touching `G`
 //! only when the views genuinely cannot cover the query.
 
 use crate::bmatchjoin::bmatch_join_threaded;
@@ -30,6 +30,7 @@ use crate::parallel::{auto_threads, par_match_join};
 use crate::partial::hybrid_match_join;
 use crate::plan::{ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan};
 use crate::storage::{graph_fingerprint, BoundedViewCache, ViewCache};
+use crate::store::{StoreSnapshot, ViewStore};
 use crate::view::{materialize, ViewDef, ViewExtensions, ViewSet};
 use gpv_graph::stats::GraphStats;
 use gpv_graph::DataGraph;
@@ -124,6 +125,31 @@ pub struct BoundedPlan {
 }
 
 /// Registry + planner + executor for answering pattern queries using views.
+///
+/// ```
+/// use gpv_core::engine::QueryEngine;
+/// use gpv_core::view::{ViewDef, ViewSet};
+/// use gpv_graph::GraphBuilder;
+/// use gpv_pattern::PatternBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node(["A"]);
+/// let c = b.add_node(["B"]);
+/// b.add_edge(a, c);
+/// let g = b.build();
+///
+/// let mut p = PatternBuilder::new();
+/// let u = p.node_labeled("A");
+/// let v = p.node_labeled("B");
+/// p.edge(u, v);
+/// let q = p.build().unwrap();
+///
+/// let views = ViewSet::new(vec![ViewDef::new("v", q.clone())]);
+/// let engine = QueryEngine::materialize(views, &g);
+/// // Theorem 1: answered from the materialized view, no access to `g`.
+/// let r = engine.answer_from_views(&q).unwrap();
+/// assert_eq!(r, gpv_matching::simulation::match_pattern(&q, &g));
+/// ```
 #[derive(Clone, Debug)]
 pub struct QueryEngine {
     views: ViewSet,
@@ -158,6 +184,27 @@ impl QueryEngine {
             graph_stats: cache.graph_stats,
             config: EngineConfig::default(),
         }
+    }
+
+    /// Builds an engine over a [`StoreSnapshot`] of a sharded
+    /// [`ViewStore`] — the serving-layer path:
+    /// [`ViewService`](crate::service::ViewService) takes one snapshot per
+    /// store version and plans/executes against it lock-free.
+    pub fn from_snapshot(snap: &StoreSnapshot) -> Self {
+        QueryEngine {
+            views: snap.view_set(),
+            ext: snap.extensions(),
+            bounded: None,
+            fingerprint: snap.graph_fingerprint,
+            graph_stats: snap.graph_stats.clone(),
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Shards this engine's plain-view registry into a concurrent
+    /// [`ViewStore`] (ids assigned in registry order).
+    pub fn to_store(&self, shards: usize) -> ViewStore {
+        ViewStore::from_cache(self.to_cache(), shards)
     }
 
     /// Extracts a durable [`ViewCache`] snapshot of the plain-view registry.
@@ -223,7 +270,7 @@ impl QueryEngine {
         }
         let single = ViewSet::new(vec![def.clone()]);
         let ext = materialize(&single, g);
-        self.ext.extensions.push(
+        self.ext.push(
             ext.extensions
                 .into_iter()
                 .next()
@@ -462,7 +509,7 @@ impl QueryEngine {
     }
 
     /// Plans a bounded query against the bounded-view registry. Same shape
-    /// as [`Self::select`]: `all` / `minimal` / `minimum` costed by pairs
+    /// as `Self::select`: `all` / `minimal` / `minimum` costed by pairs
     /// read (plus the selection premium), cheapest wins, pinned mode
     /// computes only the pinned candidate.
     pub fn plan_bounded(&self, qb: &BoundedPattern) -> Result<BoundedPlan, EngineError> {

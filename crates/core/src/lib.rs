@@ -25,6 +25,18 @@
 //! `match_join(q, contain(q, v).unwrap(), materialize(v, g))` equals
 //! `match_pattern(q, g)` for *every* graph `g`, at cost
 //! `O(|Qs||V(G)| + |V(G)|²)` — no access to `g`.
+//!
+//! ## The serving layers
+//!
+//! On top of the algorithms sit the scale-out layers grown beyond the
+//! paper: [`engine`] (the planner: Analyze → Select → Execute over an
+//! explicit [`plan`] IR costed by [`cost`]), [`store`] (the sharded,
+//! concurrently-writable [`ViewStore`]), and [`service`] (the concurrent
+//! [`ViewService`] batch facade with plan caching and service stats).
+
+#![warn(missing_docs)]
+
+mod fnv;
 
 pub mod bcontainment;
 pub mod bmatchjoin;
@@ -42,7 +54,9 @@ pub mod parallel;
 pub mod partial;
 pub mod plan;
 pub mod selection;
+pub mod service;
 pub mod storage;
+pub mod store;
 pub mod view;
 
 pub use bcontainment::{bcontain, bminimal, bminimum, bounded_query_contained, bounded_view_match};
@@ -61,5 +75,10 @@ pub use parallel::par_match_join;
 pub use partial::{answer_with_partial_views, hybrid_match_join, partial_contain, PartialPlan};
 pub use plan::{ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan};
 pub use selection::{select_views_for_workload, WorkloadSelection};
+pub use service::{
+    query_fingerprint, LatencyHistogram, ServedAnswer, ServiceConfig, ServiceError, ServiceStats,
+    ViewService,
+};
 pub use storage::{BoundedViewCache, CacheError, ViewCache};
+pub use store::{ShardOccupancy, StoreError, StoreSnapshot, StoredView, ViewStore};
 pub use view::{materialize, ViewDef, ViewExtensions, ViewSet};

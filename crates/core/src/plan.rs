@@ -115,7 +115,18 @@ pub enum QueryPlan {
 }
 
 impl QueryPlan {
-    /// Whether execution needs access to the data graph.
+    /// Whether execution needs access to the data graph — `false` exactly
+    /// for the Theorem-1 views-only path.
+    ///
+    /// ```
+    /// use gpv_core::cost::CostEstimate;
+    /// use gpv_core::plan::{FallbackReason, QueryPlan};
+    /// let direct = QueryPlan::Direct {
+    ///     reason: FallbackReason::NoViews,
+    ///     cost: CostEstimate::default(),
+    /// };
+    /// assert!(direct.needs_graph());
+    /// ```
     pub fn needs_graph(&self) -> bool {
         !matches!(self, QueryPlan::ViewsOnly(_))
     }

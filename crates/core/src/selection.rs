@@ -32,6 +32,28 @@ pub struct WorkloadSelection {
 ///
 /// `weights` defaults to uniform when `None`; its length must match the
 /// workload otherwise.
+///
+/// ```
+/// use gpv_core::selection::select_views_for_workload;
+/// use gpv_core::view::{ViewDef, ViewSet};
+/// use gpv_pattern::PatternBuilder;
+///
+/// let single = |x: &str, y: &str| {
+///     let mut b = PatternBuilder::new();
+///     let u = b.node_labeled(x);
+///     let v = b.node_labeled(y);
+///     b.edge(u, v);
+///     b.build().unwrap()
+/// };
+/// let catalogue = ViewSet::new(vec![
+///     ViewDef::new("ab", single("A", "B")),
+///     ViewDef::new("xy", single("X", "Y")),
+/// ]);
+/// let workload = [single("A", "B")];
+/// let sel = select_views_for_workload(&workload, &catalogue, 1, None);
+/// assert_eq!(sel.views, vec![0]); // "ab" answers the whole workload
+/// assert!(sel.answered[0]);
+/// ```
 pub fn select_views_for_workload(
     workload: &[Pattern],
     catalogue: &ViewSet,

@@ -1,0 +1,822 @@
+//! The concurrent serving layer: [`ViewService`] on top of
+//! [`QueryEngine`].
+//!
+//! The paper's value proposition — answer `Qs` from materialized views
+//! without touching `G` — only pays off at scale if the views are *served*
+//! under concurrent traffic. `ViewService` is that facade: many client
+//! threads submit batches of pattern queries against one shared service,
+//! which
+//!
+//! * plans each query **once** per (query, view-set) pair — a plan cache
+//!   keyed by `(query fingerprint, view-set fingerprint)` turns repeated
+//!   queries into a hash lookup (the plan IR is immutable and shared by
+//!   `Arc`);
+//! * **deduplicates identical queries inside a batch**, executing each
+//!   distinct query once and fanning the result out;
+//! * executes against a lock-free
+//!   [`StoreSnapshot`](crate::store::StoreSnapshot) of the sharded
+//!   [`ViewStore`], rebuilding its internal [`QueryEngine`] only when the
+//!   store version moves;
+//! * keeps service-level statistics: plan-cache hit rate, per-shard
+//!   occupancy, in-flight queue depth, and a log₂ latency histogram.
+//!
+//! Answers are **byte-identical** to calling
+//! [`QueryEngine::answer`] sequentially (asserted by `tests/service.rs`):
+//! caching and concurrency change wall-clock, never results.
+//!
+//! ```
+//! use gpv_core::service::ViewService;
+//! use gpv_core::store::ViewStore;
+//! use gpv_core::view::{ViewDef, ViewSet};
+//! use gpv_graph::GraphBuilder;
+//! use gpv_pattern::PatternBuilder;
+//! use std::sync::Arc;
+//!
+//! let mut b = GraphBuilder::new();
+//! let pm = b.add_node(["PM"]);
+//! let dba = b.add_node(["DBA"]);
+//! b.add_edge(pm, dba);
+//! let g = b.build();
+//!
+//! let mut p = PatternBuilder::new();
+//! let u0 = p.node_labeled("PM");
+//! let u1 = p.node_labeled("DBA");
+//! p.edge(u0, u1);
+//! let q = p.build().unwrap();
+//!
+//! let views = ViewSet::new(vec![ViewDef::new("pm-dba", q.clone())]);
+//! let store = Arc::new(ViewStore::materialize(views, &g, 4));
+//! let service = ViewService::new(store);
+//!
+//! // Duplicate queries in one batch: planned once, answered identically.
+//! let answers = service.serve_batch(&[q.clone(), q.clone()], None);
+//! assert_eq!(answers.len(), 2);
+//! let a0 = answers[0].as_ref().unwrap();
+//! let a1 = answers[1].as_ref().unwrap();
+//! assert_eq!(a0.result, a1.result);
+//! assert!(service.stats().queries == 2);
+//! ```
+
+use crate::engine::{EngineConfig, EngineError, QueryEngine};
+use crate::matchjoin::{JoinError, JoinStats};
+use crate::plan::QueryPlan;
+use crate::store::{ShardOccupancy, ViewStore};
+use gpv_graph::DataGraph;
+use gpv_matching::result::MatchResult;
+use gpv_pattern::Pattern;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Canonical serialized form of a query — the equality witness stored next
+/// to every fingerprint-keyed cache entry (FNV-1a is not collision-proof,
+/// so a hash hit is confirmed by comparing this string).
+fn query_key(q: &Pattern) -> String {
+    serde_json::to_string(q).expect("patterns serialize")
+}
+
+/// A stable structural fingerprint of a pattern query: FNV-1a over its
+/// canonical JSON serialization. Structurally identical queries (same
+/// nodes, predicates, edges, bounds, in the same order) collide by
+/// construction — that is what lets the service recognize "the same query
+/// again" across clients. Distinct queries can collide (64-bit non-crypto
+/// hash); the service's caches therefore confirm every fingerprint hit
+/// with a structural equality check before reusing anything.
+pub fn query_fingerprint(q: &Pattern) -> u64 {
+    crate::fnv::fnv1a(query_key(q).as_bytes())
+}
+
+/// Number of log₂ latency buckets: bucket `i` counts queries whose latency
+/// fell in `[2^(i-1), 2^i)` µs (bucket 0: `< 1` µs; the last bucket is the
+/// unbounded `≥ 2^(LATENCY_BUCKETS-2)` µs overflow).
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// A log₂ latency histogram snapshot (microsecond buckets).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts queries with latency in `[2^(i-1), 2^i)` µs
+    /// (`buckets[0]`: `< 1` µs; the last bucket absorbs everything slower).
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-quantile
+    /// (`0.0 < p <= 1.0`). Returns `None` when there are no observations
+    /// *or* the quantile falls in the unbounded overflow bucket — the
+    /// histogram then only knows the latency is `≥ 2^(LATENCY_BUCKETS-2)`
+    /// µs, not an upper bound. Coarse by design: a `Some(x)` answers
+    /// "the quantile is under `x` µs", not "the quantile is `x`".
+    pub fn quantile_upper_micros(&self, p: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate().take(LATENCY_BUCKETS - 1) {
+            seen += c;
+            if seen >= target {
+                return Some(1u64 << i);
+            }
+        }
+        None // quantile lands in the overflow bucket
+    }
+
+    /// Human-readable bound for the `p`-quantile: `"< X µs"`, or
+    /// `">= X µs"` when it falls in the overflow bucket, or `"n/a"` with
+    /// no observations.
+    pub fn quantile_label(&self, p: f64) -> String {
+        match self.quantile_upper_micros(p) {
+            Some(upper) => format!("< {upper} µs"),
+            None if self.count() > 0 => {
+                format!(">= {} µs", 1u64 << (LATENCY_BUCKETS - 2))
+            }
+            None => "n/a".into(),
+        }
+    }
+}
+
+fn bucket_of(micros: u64) -> usize {
+    ((64 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Engine configuration applied to the planner/executor.
+    pub engine: EngineConfig,
+    /// Maximum cached plans; when full, the cache is reset (`0` disables
+    /// plan caching entirely).
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            plan_cache_capacity: 4096,
+        }
+    }
+}
+
+/// Errors surfaced to service clients. Unlike [`EngineError`] this is
+/// `Clone`, so one failure can be fanned out to every duplicate of a
+/// deduplicated query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// The plan needs the data graph but the call supplied none
+    /// (views-only serving of a not-fully-covered query).
+    NeedsGraph,
+    /// Executor failure (plan/extension mismatch).
+    Join(JoinError),
+    /// The supplied graph is not the one the store was materialized for.
+    GraphMismatch {
+        /// Fingerprint the store was materialized against.
+        expected: u64,
+        /// Fingerprint of the graph supplied now.
+        actual: u64,
+    },
+    /// Any other engine-level failure, stringified.
+    Engine(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::NeedsGraph => {
+                write!(f, "plan requires graph access but none was supplied")
+            }
+            ServiceError::Join(e) => write!(f, "join failed: {e}"),
+            ServiceError::GraphMismatch { expected, actual } => write!(
+                f,
+                "store was materialized for graph {expected:#x}, not {actual:#x}"
+            ),
+            ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::NeedsGraph => ServiceError::NeedsGraph,
+            EngineError::Join(j) => ServiceError::Join(j),
+            EngineError::GraphMismatch { expected, actual } => {
+                ServiceError::GraphMismatch { expected, actual }
+            }
+            other => ServiceError::Engine(other.to_string()),
+        }
+    }
+}
+
+/// One served answer: the result plus everything needed to EXPLAIN it.
+#[derive(Clone, Debug)]
+pub struct ServedAnswer {
+    /// The query result (≡ [`QueryEngine::answer`]).
+    pub result: MatchResult,
+    /// The executed plan (shared with the plan cache; `Display` renders the
+    /// EXPLAIN text).
+    pub plan: Arc<QueryPlan>,
+    /// Executor instrumentation.
+    pub join_stats: JoinStats,
+    /// The query's fingerprint (the plan-cache key component).
+    pub query_fingerprint: u64,
+    /// Whether the plan came from the plan cache.
+    pub plan_cached: bool,
+    /// Whether the *answer* was copied from an identical query earlier in
+    /// the same batch (no planning or execution at all).
+    pub deduplicated: bool,
+    /// End-to-end service latency for this query, in microseconds.
+    pub latency_micros: u64,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Queries served (including deduplicated ones).
+    pub queries: u64,
+    /// Batches accepted.
+    pub batches: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (each miss plans and populates the cache).
+    pub plan_cache_misses: u64,
+    /// Plans currently cached.
+    pub plan_cache_size: usize,
+    /// `hits / (hits + misses)`, 0.0 before any planning.
+    pub plan_cache_hit_rate: f64,
+    /// Queries answered by intra-batch deduplication.
+    pub dedup_saved: u64,
+    /// Times the engine snapshot was rebuilt because the store changed.
+    pub engine_rebuilds: u64,
+    /// Queries currently in flight (the queue-depth gauge).
+    pub in_flight: u64,
+    /// High-water mark of [`Self::in_flight`].
+    pub max_in_flight: u64,
+    /// Per-shard occupancy of the backing store.
+    pub shard_occupancy: Vec<ShardOccupancy>,
+    /// Log₂ latency histogram over all served queries.
+    pub latency: LatencyHistogram,
+}
+
+/// Internal atomic counters (one cache line of independently-updated
+/// gauges; contention-tolerant, never locked).
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    dedup_saved: AtomicU64,
+    engine_rebuilds: AtomicU64,
+    in_flight: AtomicU64,
+    max_in_flight: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+/// The engine snapshot the service executes against, tagged with the store
+/// version it was built from.
+#[derive(Clone, Debug)]
+struct EngineSnapshot {
+    version: u64,
+    view_fingerprint: u64,
+    engine: Arc<QueryEngine>,
+}
+
+/// A concurrent, batch-oriented query-serving facade over a sharded
+/// [`ViewStore`]. Shared by reference across client threads (`&self`
+/// everywhere); see the [module docs](self) for the full contract.
+#[derive(Debug)]
+pub struct ViewService {
+    store: Arc<ViewStore>,
+    config: ServiceConfig,
+    engine: RwLock<Option<EngineSnapshot>>,
+    /// Keyed by `(query fingerprint, view-set fingerprint)`; each entry
+    /// keeps the query's canonical JSON so a fingerprint collision is
+    /// detected by equality instead of silently serving the wrong plan.
+    plan_cache: RwLock<PlanCache>,
+    counters: Counters,
+}
+
+/// `(query fingerprint, view-set fingerprint)` → (canonical query JSON,
+/// shared plan).
+type PlanCache = HashMap<(u64, u64), (Arc<str>, Arc<QueryPlan>)>;
+
+impl ViewService {
+    /// A service over `store` with the default configuration.
+    pub fn new(store: Arc<ViewStore>) -> Self {
+        Self::with_config(store, ServiceConfig::default())
+    }
+
+    /// A service over `store` with explicit tuning.
+    pub fn with_config(store: Arc<ViewStore>, config: ServiceConfig) -> Self {
+        ViewService {
+            store,
+            config,
+            engine: RwLock::new(None),
+            plan_cache: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The backing store (register/retire views through this; the service
+    /// picks membership changes up on the next batch).
+    pub fn store(&self) -> &Arc<ViewStore> {
+        &self.store
+    }
+
+    /// Current engine snapshot, rebuilding if the store version moved.
+    fn engine(&self) -> EngineSnapshot {
+        let version = self.store.version();
+        if let Some(snap) = self
+            .engine
+            .read()
+            .expect("engine lock poisoned")
+            .as_ref()
+            .filter(|s| s.version == version)
+        {
+            return snap.clone();
+        }
+        let mut guard = self.engine.write().expect("engine lock poisoned");
+        // Another thread may have rebuilt while we waited for the lock.
+        if let Some(snap) = guard.as_ref().filter(|s| s.version == self.store.version()) {
+            return snap.clone();
+        }
+        let store_snap = self.store.snapshot();
+        let engine =
+            QueryEngine::from_snapshot(&store_snap).with_config(self.config.engine.clone());
+        let snap = EngineSnapshot {
+            version: store_snap.version,
+            view_fingerprint: store_snap.fingerprint,
+            engine: Arc::new(engine),
+        };
+        self.counters
+            .engine_rebuilds
+            .fetch_add(1, Ordering::Relaxed);
+        *guard = Some(snap.clone());
+        snap
+    }
+
+    /// The plan for `q` under view-set fingerprint `vfp`, from the cache
+    /// when present. Returns `(plan, was_cached)`. A cache hit requires
+    /// both the fingerprint *and* the canonical form `qkey` to match — a
+    /// colliding distinct query is planned fresh (and left uncached, so
+    /// the resident entry keeps working).
+    fn plan_for(
+        &self,
+        engine: &QueryEngine,
+        vfp: u64,
+        qfp: u64,
+        qkey: &str,
+        q: &Pattern,
+    ) -> (Arc<QueryPlan>, bool) {
+        if self.config.plan_cache_capacity == 0 {
+            self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+            return (Arc::new(engine.plan(q)), false);
+        }
+        let key = (qfp, vfp);
+        if let Some((cached_key, plan)) = self
+            .plan_cache
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(&key)
+        {
+            if **cached_key == *qkey {
+                self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return (plan.clone(), true);
+            }
+            // Fingerprint collision with a different query: plan fresh,
+            // don't disturb the resident entry.
+            self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+            return (Arc::new(engine.plan(q)), false);
+        }
+        let plan = Arc::new(engine.plan(q));
+        let mut cache = self.plan_cache.write().expect("plan cache lock poisoned");
+        // Racing planners produce identical plans (planning is
+        // deterministic), so last-writer-wins is safe; prefer the resident
+        // entry to keep `Arc` identity stable for callers comparing plans.
+        let entry = match cache.get(&key) {
+            Some((cached_key, existing)) if **cached_key == *qkey => existing.clone(),
+            Some(_) => plan, // collision: serve fresh, keep resident entry
+            None => {
+                if cache.len() >= self.config.plan_cache_capacity {
+                    cache.clear();
+                }
+                cache.insert(key, (Arc::from(qkey), plan.clone()));
+                plan
+            }
+        };
+        self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+        (entry, false)
+    }
+
+    fn record_latency(&self, micros: u64) {
+        self.counters.latency[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Serves one query. `g` enables hybrid/direct fallback for queries the
+    /// views do not fully cover; with `None` such queries fail with
+    /// [`ServiceError::NeedsGraph`] (the strict Theorem-1 mode).
+    pub fn serve(&self, q: &Pattern, g: Option<&DataGraph>) -> Result<ServedAnswer, ServiceError> {
+        self.serve_batch(std::slice::from_ref(q), g)
+            .pop()
+            .expect("one query in, one answer out")
+    }
+
+    /// Serves a batch of queries, deduplicating identical ones. Answers are
+    /// returned in input order; each equals what a sequential
+    /// [`QueryEngine::answer`] (or
+    /// [`QueryEngine::answer_from_views`] when `g` is `None`) would return.
+    ///
+    /// When `g` is supplied it must be the graph the store was
+    /// materialized against — extensions from one graph say nothing about
+    /// another. This is *checked* before the first plan in the batch that
+    /// actually reads `G` (one `O(|E(G)|)` fingerprint, at most once per
+    /// batch, and not at all for views-only traffic): such queries fail
+    /// with [`ServiceError::GraphMismatch`] instead of computing garbage.
+    /// Views-only plans never touch `g`, so they answer correctly (for the
+    /// store's graph) regardless of what was passed.
+    ///
+    /// Callable concurrently from any number of threads.
+    pub fn serve_batch(
+        &self,
+        queries: &[Pattern],
+        g: Option<&DataGraph>,
+    ) -> Vec<Result<ServedAnswer, ServiceError>> {
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        let depth = self
+            .counters
+            .in_flight
+            .fetch_add(queries.len() as u64, Ordering::Relaxed)
+            + queries.len() as u64;
+        self.counters
+            .max_in_flight
+            .fetch_max(depth, Ordering::Relaxed);
+
+        let snap = self.engine();
+        // Lazily-computed graph validation, shared by every graph-reading
+        // plan in this batch (views-only plans never pay for it).
+        let mut graph_check: Option<Result<(), ServiceError>> = None;
+        let mut check_graph = |g: &DataGraph| -> Result<(), ServiceError> {
+            graph_check
+                .get_or_insert_with(|| {
+                    let actual = crate::storage::graph_fingerprint(g);
+                    let expected = self.store.graph_fingerprint();
+                    if actual == expected {
+                        Ok(())
+                    } else {
+                        Err(ServiceError::GraphMismatch { expected, actual })
+                    }
+                })
+                .clone()
+        };
+        // Fingerprint → (canonical form, answer). The canonical form is
+        // compared on every hit so a colliding distinct query is computed
+        // on its own instead of inheriting the wrong answer.
+        let mut answered: HashMap<u64, (String, Result<ServedAnswer, ServiceError>)> =
+            HashMap::with_capacity(queries.len());
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            let t0 = Instant::now();
+            let qkey = query_key(q);
+            let qfp = crate::fnv::fnv1a(qkey.as_bytes());
+            let dedup_hit = answered
+                .get(&qfp)
+                .filter(|(prev_key, _)| *prev_key == qkey)
+                .map(|(_, prev)| prev.clone());
+            let answer = match dedup_hit {
+                Some(prev) => {
+                    // Identical query earlier in this batch: fan its answer
+                    // out without re-planning or re-executing.
+                    self.counters.dedup_saved.fetch_add(1, Ordering::Relaxed);
+                    let micros = t0.elapsed().as_micros() as u64;
+                    self.record_latency(micros);
+                    prev.map(|mut a| {
+                        a.deduplicated = true;
+                        a.latency_micros = micros;
+                        a
+                    })
+                }
+                None => {
+                    let (plan, plan_cached) =
+                        self.plan_for(&snap.engine, snap.view_fingerprint, qfp, &qkey, q);
+                    // Views-only plans execute with no graph at all; plans
+                    // that do read G first validate it belongs to this
+                    // store (once per batch).
+                    let exec = if plan.needs_graph() {
+                        match g {
+                            None => Err(ServiceError::NeedsGraph),
+                            Some(g) => check_graph(g).and_then(|()| {
+                                snap.engine
+                                    .execute(q, &plan, Some(g))
+                                    .map_err(ServiceError::from)
+                            }),
+                        }
+                    } else {
+                        snap.engine
+                            .execute(q, &plan, None)
+                            .map_err(ServiceError::from)
+                    };
+                    let executed = exec.map(|(result, join_stats)| ServedAnswer {
+                        result,
+                        plan: plan.clone(),
+                        join_stats,
+                        query_fingerprint: qfp,
+                        plan_cached,
+                        deduplicated: false,
+                        latency_micros: 0,
+                    });
+                    let micros = t0.elapsed().as_micros() as u64;
+                    self.record_latency(micros);
+                    let executed = executed.map(|mut a| {
+                        a.latency_micros = micros;
+                        a
+                    });
+                    // First occurrence wins the dedup slot; a colliding
+                    // later query simply never dedups.
+                    answered
+                        .entry(qfp)
+                        .or_insert_with(|| (qkey, executed.clone()));
+                    executed
+                }
+            };
+            self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+            out.push(answer);
+        }
+        out
+    }
+
+    /// EXPLAIN for `q` against the current view set — the same plan text a
+    /// served answer's `plan` renders, plus the cache-key fingerprints.
+    pub fn explain(&self, q: &Pattern) -> String {
+        let snap = self.engine();
+        let qkey = query_key(q);
+        let qfp = crate::fnv::fnv1a(qkey.as_bytes());
+        // Observability must not perturb what it observes: probe the plan
+        // cache read-only (no hit/miss counters, no insertion, no
+        // clear-on-full) and plan fresh on a miss.
+        let cached_plan = self
+            .plan_cache
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(&(qfp, snap.view_fingerprint))
+            .filter(|(cached_key, _)| **cached_key == *qkey)
+            .map(|(_, plan)| plan.clone());
+        let cached = cached_plan.is_some();
+        let plan = cached_plan.unwrap_or_else(|| Arc::new(snap.engine.plan(q)));
+        format!(
+            "{plan}\n  cache  : query {qfp:#018x} / views {:#018x} ({})",
+            snap.view_fingerprint,
+            if cached { "hit" } else { "miss" }
+        )
+    }
+
+    /// A point-in-time snapshot of all service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let hits = self.counters.plan_hits.load(Ordering::Relaxed);
+        let misses = self.counters.plan_misses.load(Ordering::Relaxed);
+        let mut latency = LatencyHistogram::default();
+        for (i, b) in self.counters.latency.iter().enumerate() {
+            latency.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        ServiceStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            plan_cache_hits: hits,
+            plan_cache_misses: misses,
+            plan_cache_size: self
+                .plan_cache
+                .read()
+                .expect("plan cache lock poisoned")
+                .len(),
+            plan_cache_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            dedup_saved: self.counters.dedup_saved.load(Ordering::Relaxed),
+            engine_rebuilds: self.counters.engine_rebuilds.load(Ordering::Relaxed),
+            in_flight: self.counters.in_flight.load(Ordering::Relaxed),
+            max_in_flight: self.counters.max_in_flight.load(Ordering::Relaxed),
+            shard_occupancy: self.store.occupancy(),
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{ViewDef, ViewSet};
+    use gpv_graph::GraphBuilder;
+    use gpv_matching::simulation::match_pattern;
+    use gpv_pattern::PatternBuilder;
+
+    fn single(x: &str, y: &str) -> Pattern {
+        let mut b = PatternBuilder::new();
+        let u = b.node_labeled(x);
+        let v = b.node_labeled(y);
+        b.edge(u, v);
+        b.build().unwrap()
+    }
+
+    fn chain3() -> Pattern {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("A");
+        let bb = b.node_labeled("B");
+        let c = b.node_labeled("C");
+        b.edge(a, bb);
+        b.edge(bb, c);
+        b.build().unwrap()
+    }
+
+    fn graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node(["A"]);
+        let b1 = b.add_node(["B"]);
+        let c1 = b.add_node(["C"]);
+        b.add_edge(a1, b1);
+        b.add_edge(b1, c1);
+        b.build()
+    }
+
+    fn service() -> (ViewService, DataGraph) {
+        let g = graph();
+        let views = ViewSet::new(vec![
+            ViewDef::new("vab", single("A", "B")),
+            ViewDef::new("vbc", single("B", "C")),
+        ]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 4));
+        (ViewService::new(store), g)
+    }
+
+    #[test]
+    fn fingerprint_stable_for_equal_patterns() {
+        assert_eq!(query_fingerprint(&chain3()), query_fingerprint(&chain3()));
+        assert_ne!(
+            query_fingerprint(&chain3()),
+            query_fingerprint(&single("A", "B"))
+        );
+    }
+
+    #[test]
+    fn serve_matches_engine_and_caches_plans() {
+        let (svc, g) = service();
+        let q = chain3();
+        let direct = match_pattern(&q, &g);
+
+        let first = svc.serve(&q, None).unwrap();
+        assert_eq!(first.result, direct);
+        assert!(!first.plan_cached, "cold cache");
+
+        let second = svc.serve(&q, None).unwrap();
+        assert_eq!(second.result, direct);
+        assert!(second.plan_cached, "warm cache");
+        assert!(
+            Arc::ptr_eq(&first.plan, &second.plan),
+            "identical fingerprints share one cached plan"
+        );
+
+        let stats = svc.stats();
+        assert_eq!(stats.plan_cache_hits, 1);
+        assert_eq!(stats.plan_cache_misses, 1);
+        assert_eq!(stats.plan_cache_size, 1);
+        assert!(stats.plan_cache_hit_rate > 0.0);
+        assert_eq!(stats.latency.count(), 2);
+    }
+
+    #[test]
+    fn batch_dedup_fans_out_one_execution() {
+        let (svc, g) = service();
+        let q = chain3();
+        let batch = vec![q.clone(), single("A", "B"), q.clone(), q.clone()];
+        let answers = svc.serve_batch(&batch, None);
+        assert_eq!(answers.len(), 4);
+        for (i, a) in answers.iter().enumerate() {
+            let a = a.as_ref().unwrap();
+            assert_eq!(
+                a.result,
+                match_pattern(&batch[i], &g),
+                "answer {i} equals ground truth"
+            );
+        }
+        assert!(!answers[0].as_ref().unwrap().deduplicated);
+        assert!(answers[2].as_ref().unwrap().deduplicated);
+        assert!(answers[3].as_ref().unwrap().deduplicated);
+        assert_eq!(svc.stats().dedup_saved, 2);
+    }
+
+    #[test]
+    fn needs_graph_without_fallback() {
+        let g = graph();
+        // Only one view: chain3 is not fully covered.
+        let views = ViewSet::new(vec![ViewDef::new("vab", single("A", "B"))]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 2));
+        let svc = ViewService::new(store);
+        let q = chain3();
+        assert!(matches!(svc.serve(&q, None), Err(ServiceError::NeedsGraph)));
+        // With the graph supplied the hybrid path answers correctly.
+        let a = svc.serve(&q, Some(&g)).unwrap();
+        assert_eq!(a.result, match_pattern(&q, &g));
+    }
+
+    #[test]
+    fn store_mutation_invalidates_plans_and_rebuilds_engine() {
+        let (svc, g) = service();
+        let q = chain3();
+        svc.serve(&q, None).unwrap();
+        assert_eq!(svc.stats().engine_rebuilds, 1);
+
+        // Registering a view bumps the store version: new engine, new
+        // view-set fingerprint, so the old cached plan is not reused.
+        svc.store()
+            .insert(ViewDef::new("vac", single("A", "C")), &g)
+            .unwrap();
+        let after = svc.serve(&q, None).unwrap();
+        assert!(!after.plan_cached, "view-set fingerprint changed");
+        assert_eq!(after.result, match_pattern(&q, &g));
+        assert_eq!(svc.stats().engine_rebuilds, 2);
+    }
+
+    #[test]
+    fn explain_mentions_cache_key() {
+        let (svc, _) = service();
+        let text = svc.explain(&chain3());
+        assert!(text.contains("cache"), "{text}");
+        assert!(text.contains("views"), "{text}");
+    }
+
+    #[test]
+    fn latency_histogram_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_micros(0.99), None);
+        assert_eq!(h.quantile_label(0.99), "n/a");
+        h.buckets[3] = 90; // < 8 µs
+        h.buckets[10] = 10; // < 1024 µs
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_upper_micros(0.5), Some(8));
+        assert_eq!(h.quantile_upper_micros(0.99), Some(1024));
+        assert_eq!(h.quantile_label(0.99), "< 1024 µs");
+        // A quantile landing in the overflow bucket has no upper bound —
+        // the label must say ≥, not <.
+        let mut slow = LatencyHistogram::default();
+        slow.buckets[LATENCY_BUCKETS - 1] = 10;
+        assert_eq!(slow.quantile_upper_micros(0.99), None);
+        assert_eq!(
+            slow.quantile_label(0.99),
+            format!(">= {} µs", 1u64 << (LATENCY_BUCKETS - 2))
+        );
+    }
+
+    #[test]
+    fn mismatched_graph_rejected_when_plan_reads_it() {
+        let (svc, g) = service();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["A"]);
+        let y = b.add_node(["B"]);
+        b.add_edge(x, y);
+        let other = b.build();
+        // Uncovered query: the plan must read G, so the wrong graph is
+        // detected instead of computing garbage.
+        let uncovered = single("A", "C");
+        assert!(matches!(
+            svc.serve(&uncovered, Some(&other)),
+            Err(ServiceError::GraphMismatch { .. })
+        ));
+        // Covered query: views-only plans never touch the supplied graph,
+        // so the answer is correct (for the store's graph) regardless.
+        let covered = svc.serve(&chain3(), Some(&other)).unwrap();
+        assert_eq!(covered.result, match_pattern(&chain3(), &g));
+    }
+
+    #[test]
+    fn plan_cache_capacity_zero_disables_caching() {
+        let g = graph();
+        let views = ViewSet::new(vec![ViewDef::new("vab", single("A", "B"))]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 1));
+        let svc = ViewService::with_config(
+            store,
+            ServiceConfig {
+                plan_cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let q = single("A", "B");
+        svc.serve(&q, None).unwrap();
+        svc.serve(&q, None).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.plan_cache_hits, 0);
+        assert_eq!(stats.plan_cache_size, 0);
+    }
+}

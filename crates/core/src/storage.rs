@@ -16,17 +16,13 @@ use serde::{Deserialize, Serialize};
 /// FNV-1a hash over the edge list. Not cryptographic — just enough to catch
 /// "this cache belongs to a different graph".
 pub fn graph_fingerprint(g: &DataGraph) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    mix(g.node_count() as u64);
-    mix(g.edge_count() as u64);
+    let mut h = crate::fnv::Fnv1a::new();
+    h.write_u64_coarse(g.node_count() as u64);
+    h.write_u64_coarse(g.edge_count() as u64);
     for (u, v) in g.edges() {
-        mix(((u.0 as u64) << 32) | v.0 as u64);
+        h.write_u64_coarse(((u.0 as u64) << 32) | v.0 as u64);
     }
-    h
+    h.finish()
 }
 
 /// A durable plain-view cache.
@@ -129,6 +125,13 @@ impl ViewCache {
             });
         }
         Ok(cache)
+    }
+
+    /// Shards this monolithic cache into a concurrently-writable
+    /// [`ViewStore`](crate::store::ViewStore) — the durable-file →
+    /// serving-process handoff (`ViewStore::to_cache` goes back).
+    pub fn into_store(self, shards: usize) -> crate::store::ViewStore {
+        crate::store::ViewStore::from_cache(self, shards)
     }
 }
 

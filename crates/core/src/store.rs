@@ -1,0 +1,532 @@
+//! Sharded, concurrently-writable view storage.
+//!
+//! [`crate::storage::ViewCache`] is a monolithic snapshot: one blob of view
+//! definitions plus extensions, cloned and replaced wholesale. That is fine
+//! for a single-threaded CLI run but not for a serving process where many
+//! threads read views while others register or retire them. [`ViewStore`]
+//! is the concurrent representation: views live in `N` independent shards,
+//! each behind its own [`RwLock`], chosen by a hash of the view's stable id.
+//!
+//! Concurrency contract:
+//!
+//! * **Writes** (insert/remove) lock exactly one shard — registrations on
+//!   different shards never contend;
+//! * **Reads** take shard read locks only long enough to clone `Arc`
+//!   handles; readers never block readers;
+//! * **The query hot path holds no locks at all**: execution works off a
+//!   [`StoreSnapshot`] — a consistent, immutable set of `Arc`-shared views
+//!   taken once per store version. The serving layer
+//!   ([`crate::service::ViewService`]) rebuilds its
+//!   [`QueryEngine`](crate::engine::QueryEngine) only when
+//!   [`ViewStore::version`] moves, so steady-state query traffic is
+//!   entirely lock-free.
+//!
+//! The store is keyed by *stable ids* (monotonic `u64`s handed out at
+//! registration) rather than the positional indices of
+//! [`ViewSet`]: positions shift when views are
+//! retired, ids never do. Snapshots order views by id, so planning and
+//! execution are deterministic regardless of shard count or interleaving.
+
+use crate::storage::{graph_fingerprint, ViewCache};
+use crate::view::{ViewDef, ViewExtensions, ViewSet};
+use gpv_graph::stats::GraphStats;
+use gpv_graph::DataGraph;
+use gpv_matching::result::MatchResult;
+use gpv_matching::simulation::match_pattern;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One materialized view as stored: its stable id, definition and cached
+/// extension, shared by `Arc` between the shards and live snapshots.
+#[derive(Debug)]
+pub struct StoredView {
+    /// Stable registration id (never reused within a store).
+    pub id: u64,
+    /// The view definition.
+    pub def: ViewDef,
+    /// The materialized extension `V(G)`.
+    pub ext: MatchResult,
+}
+
+/// Errors from store mutation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A view was registered against a different graph than the one the
+    /// store was built on.
+    GraphMismatch {
+        /// Fingerprint the store was materialized against.
+        expected: u64,
+        /// Fingerprint of the graph supplied now.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::GraphMismatch { expected, actual } => write!(
+                f,
+                "view store was materialized for graph {expected:#x}, not {actual:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Occupancy of one shard — how many views it holds and how many
+/// materialized pairs they carry (the serving-layer stats surface this so
+/// skew is visible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Shard index.
+    pub shard: usize,
+    /// Views resident in this shard.
+    pub views: usize,
+    /// Total materialized match pairs across those views.
+    pub pairs: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    views: Vec<Arc<StoredView>>,
+}
+
+/// A sharded, concurrently-writable registry of materialized views.
+///
+/// See the [module docs](self) for the locking contract. Build one with
+/// [`ViewStore::materialize`] (or [`ViewStore::from_cache`] for a loaded
+/// [`ViewCache`]), then hand it to a
+/// [`ViewService`](crate::service::ViewService) — or use
+/// [`ViewStore::snapshot`] directly:
+///
+/// ```
+/// use gpv_core::store::ViewStore;
+/// use gpv_core::view::{ViewDef, ViewSet};
+/// use gpv_graph::GraphBuilder;
+/// use gpv_pattern::PatternBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node(["A"]);
+/// let c = b.add_node(["B"]);
+/// b.add_edge(a, c);
+/// let g = b.build();
+///
+/// let mut p = PatternBuilder::new();
+/// let u = p.node_labeled("A");
+/// let v = p.node_labeled("B");
+/// p.edge(u, v);
+/// let q = p.build().unwrap();
+///
+/// let store = ViewStore::for_graph(&g, 4);
+/// let id = store.insert(ViewDef::new("v", q), &g).unwrap();
+/// assert_eq!(store.len(), 1);
+/// let snap = store.snapshot();
+/// assert_eq!(snap.ids(), vec![id]);
+/// assert_eq!(snap.extensions().size(), 1); // one cached match pair
+/// ```
+#[derive(Debug)]
+pub struct ViewStore {
+    shards: Vec<RwLock<Shard>>,
+    next_id: AtomicU64,
+    /// Bumped on every successful mutation; snapshot consumers use it to
+    /// detect staleness without locking any shard.
+    version: AtomicU64,
+    graph_fingerprint: u64,
+    graph_stats: Option<GraphStats>,
+}
+
+/// FNV-1a over a view id: decorrelates consecutive ids so round-robin
+/// registration still spreads across shards.
+fn shard_hash(id: u64) -> u64 {
+    crate::fnv::fnv1a(&id.to_le_bytes())
+}
+
+impl ViewStore {
+    /// An empty store for graph `g` with `shards` shards (minimum 1).
+    pub fn for_graph(g: &DataGraph, shards: usize) -> Self {
+        Self::with_fingerprint(
+            graph_fingerprint(g),
+            Some(gpv_graph::stats::stats(g)),
+            shards,
+        )
+    }
+
+    fn with_fingerprint(fp: u64, stats: Option<GraphStats>, shards: usize) -> Self {
+        let n = shards.max(1);
+        ViewStore {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            next_id: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            graph_fingerprint: fp,
+            graph_stats: stats,
+        }
+    }
+
+    /// Materializes `views` over `g` into a fresh store. (No per-view
+    /// fingerprint checks — the store is built for `g` by construction;
+    /// the public [`Self::insert`] path keeps the check.)
+    pub fn materialize(views: ViewSet, g: &DataGraph, shards: usize) -> Self {
+        let store = Self::for_graph(g, shards);
+        for (_, def) in views.iter() {
+            let ext = match_pattern(&def.pattern, g);
+            store.insert_materialized(def.clone(), ext);
+        }
+        store
+    }
+
+    /// Shards a monolithic [`ViewCache`] (ids are assigned in cache order,
+    /// so [`Self::to_cache`] round-trips).
+    pub fn from_cache(cache: ViewCache, shards: usize) -> Self {
+        let store =
+            Self::with_fingerprint(cache.graph_fingerprint, cache.graph_stats.clone(), shards);
+        for (def, ext) in cache
+            .views
+            .views()
+            .iter()
+            .cloned()
+            .zip(cache.extensions.extensions)
+        {
+            store.insert_materialized(def, ext);
+        }
+        store
+    }
+
+    /// Collapses the store back into a monolithic, durable [`ViewCache`]
+    /// (views in id order).
+    pub fn to_cache(&self) -> ViewCache {
+        let snap = self.snapshot();
+        ViewCache {
+            graph_fingerprint: self.graph_fingerprint,
+            graph_stats: self.graph_stats.clone(),
+            views: snap.view_set(),
+            extensions: snap.extensions(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total views across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").views.len())
+            .sum()
+    }
+
+    /// Whether the store holds no views.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fingerprint of the graph this store materializes against.
+    pub fn graph_fingerprint(&self) -> u64 {
+        self.graph_fingerprint
+    }
+
+    /// Statistics of that graph, captured at construction.
+    pub fn graph_stats(&self) -> Option<&GraphStats> {
+        self.graph_stats.as_ref()
+    }
+
+    /// The store's mutation counter: bumped on every insert/remove, stable
+    /// across reads. Snapshot consumers compare it to decide whether a
+    /// cached engine is still current.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn shard_of(&self, id: u64) -> usize {
+        (shard_hash(id) % self.shards.len() as u64) as usize
+    }
+
+    /// Materializes `def` over `g` and registers it, returning its stable
+    /// id. Only the owning shard is write-locked (and only after the
+    /// materialization work is done).
+    pub fn insert(&self, def: ViewDef, g: &DataGraph) -> Result<u64, StoreError> {
+        let actual = graph_fingerprint(g);
+        if actual != self.graph_fingerprint {
+            return Err(StoreError::GraphMismatch {
+                expected: self.graph_fingerprint,
+                actual,
+            });
+        }
+        let ext = match_pattern(&def.pattern, g);
+        Ok(self.insert_materialized(def, ext))
+    }
+
+    /// Registers an already-materialized extension (e.g. from a loaded
+    /// cache). The caller asserts `ext = def(G)` for this store's graph.
+    pub fn insert_materialized(&self, def: ViewDef, ext: MatchResult) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let stored = Arc::new(StoredView { id, def, ext });
+        let shard = self.shard_of(id);
+        self.shards[shard]
+            .write()
+            .expect("shard lock poisoned")
+            .views
+            .push(stored);
+        self.version.fetch_add(1, Ordering::Release);
+        id
+    }
+
+    /// Retires the view with stable id `id`; returns it if it was present.
+    pub fn remove(&self, id: u64) -> Option<Arc<StoredView>> {
+        let shard = self.shard_of(id);
+        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+        let pos = guard.views.iter().position(|v| v.id == id)?;
+        let removed = guard.views.remove(pos);
+        drop(guard);
+        self.version.fetch_add(1, Ordering::Release);
+        Some(removed)
+    }
+
+    /// The view with stable id `id`, if resident.
+    pub fn get(&self, id: u64) -> Option<Arc<StoredView>> {
+        self.shards[self.shard_of(id)]
+            .read()
+            .expect("shard lock poisoned")
+            .views
+            .iter()
+            .find(|v| v.id == id)
+            .cloned()
+    }
+
+    /// Per-shard occupancy (views and materialized pairs per shard).
+    pub fn occupancy(&self) -> Vec<ShardOccupancy> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let guard = s.read().expect("shard lock poisoned");
+                ShardOccupancy {
+                    shard: i,
+                    views: guard.views.len(),
+                    pairs: guard.views.iter().map(|v| v.ext.size() as u64).sum(),
+                }
+            })
+            .collect()
+    }
+
+    /// Takes a consistent, immutable snapshot: `Arc` handles to every
+    /// resident view, ordered by stable id. Each shard is read-locked just
+    /// long enough to clone its handles; after this returns, the caller
+    /// touches no locks.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let version = self.version();
+        let mut views: Vec<Arc<StoredView>> = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            views.extend(s.read().expect("shard lock poisoned").views.iter().cloned());
+        }
+        views.sort_by_key(|v| v.id);
+        let fingerprint = view_set_fingerprint(&views);
+        StoreSnapshot {
+            version,
+            fingerprint,
+            graph_fingerprint: self.graph_fingerprint,
+            graph_stats: self.graph_stats.clone(),
+            views,
+        }
+    }
+}
+
+/// Fingerprint of a snapshot's view membership: FNV-1a over each view's
+/// stable id and definition. Two snapshots with the same fingerprint plan
+/// identically (same graph presumed), which is what makes it a sound plan
+/// cache key component.
+fn view_set_fingerprint(views: &[Arc<StoredView>]) -> u64 {
+    let mut h = crate::fnv::Fnv1a::new();
+    for v in views {
+        h.write(&v.id.to_le_bytes());
+        h.write(v.def.name.as_bytes());
+        h.write(
+            serde_json::to_string(&v.def.pattern)
+                .expect("patterns serialize")
+                .as_bytes(),
+        );
+    }
+    h.finish()
+}
+
+/// An immutable, lock-free view of the store at one version: what the
+/// serving layer plans and executes against.
+#[derive(Clone, Debug)]
+pub struct StoreSnapshot {
+    /// Store version this snapshot was taken at.
+    pub version: u64,
+    /// Fingerprint of the view membership (plan-cache key component).
+    pub fingerprint: u64,
+    /// Fingerprint of the underlying graph.
+    pub graph_fingerprint: u64,
+    /// Graph statistics captured at store construction.
+    pub graph_stats: Option<GraphStats>,
+    views: Vec<Arc<StoredView>>,
+}
+
+impl StoreSnapshot {
+    /// The snapshot's views in stable-id order.
+    pub fn views(&self) -> &[Arc<StoredView>] {
+        &self.views
+    }
+
+    /// Stable ids in snapshot order: `ids()[i]` is the store id of the view
+    /// a [`QueryPlan`](crate::plan::QueryPlan) calls view `i`.
+    pub fn ids(&self) -> Vec<u64> {
+        self.views.iter().map(|v| v.id).collect()
+    }
+
+    /// Assembles the positional [`ViewSet`] the planner consumes.
+    pub fn view_set(&self) -> ViewSet {
+        ViewSet::new(self.views.iter().map(|v| v.def.clone()).collect())
+    }
+
+    /// Assembles the positional [`ViewExtensions`] the executor reads.
+    /// This deep-copies the extensions — done once per store version by the
+    /// serving layer, never per query.
+    pub fn extensions(&self) -> ViewExtensions {
+        ViewExtensions {
+            extensions: self.views.iter().map(|v| v.ext.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_graph::GraphBuilder;
+    use gpv_pattern::PatternBuilder;
+
+    fn single(x: &str, y: &str) -> gpv_pattern::Pattern {
+        let mut b = PatternBuilder::new();
+        let u = b.node_labeled(x);
+        let v = b.node_labeled(y);
+        b.edge(u, v);
+        b.build().unwrap()
+    }
+
+    fn graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let x = b.add_node(["B"]);
+        let c = b.add_node(["C"]);
+        b.add_edge(a, x);
+        b.add_edge(x, c);
+        b.build()
+    }
+
+    fn two_views() -> ViewSet {
+        ViewSet::new(vec![
+            ViewDef::new("vab", single("A", "B")),
+            ViewDef::new("vbc", single("B", "C")),
+        ])
+    }
+
+    #[test]
+    fn snapshot_deterministic_across_shard_counts() {
+        let g = graph();
+        for shards in [1, 2, 4, 16] {
+            let store = ViewStore::materialize(two_views(), &g, shards);
+            assert_eq!(store.shard_count(), shards);
+            assert_eq!(store.len(), 2);
+            let snap = store.snapshot();
+            assert_eq!(snap.ids(), vec![0, 1]);
+            assert_eq!(snap.view_set().get(0).name, "vab");
+            assert_eq!(snap.view_set().get(1).name, "vbc");
+            assert_eq!(snap.extensions().extensions.len(), 2);
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_membership_not_sharding() {
+        let g = graph();
+        let a = ViewStore::materialize(two_views(), &g, 2);
+        let b = ViewStore::materialize(two_views(), &g, 8);
+        assert_eq!(a.snapshot().fingerprint, b.snapshot().fingerprint);
+        a.insert(ViewDef::new("extra", single("A", "B")), &g)
+            .unwrap();
+        assert_ne!(a.snapshot().fingerprint, b.snapshot().fingerprint);
+    }
+
+    #[test]
+    fn insert_remove_bump_version_and_route_by_id() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 4);
+        let v0 = store.version();
+        let id = store
+            .insert(ViewDef::new("vxx", single("A", "C")), &g)
+            .unwrap();
+        assert!(store.version() > v0);
+        assert_eq!(store.get(id).unwrap().def.name, "vxx");
+        let removed = store.remove(id).unwrap();
+        assert_eq!(removed.def.name, "vxx");
+        assert!(store.get(id).is_none());
+        assert!(store.remove(id).is_none());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_other_graph() {
+        let g = graph();
+        let store = ViewStore::for_graph(&g, 2);
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["X"]);
+        let y = b.add_node(["Y"]);
+        b.add_edge(x, y);
+        let other = b.build();
+        assert!(matches!(
+            store.insert(ViewDef::new("v", single("X", "Y")), &other),
+            Err(StoreError::GraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let g = graph();
+        let cache = ViewCache::build(two_views(), &g);
+        let store = ViewStore::from_cache(cache.clone(), 4);
+        let back = store.to_cache();
+        assert_eq!(back.graph_fingerprint, cache.graph_fingerprint);
+        assert_eq!(back.views, cache.views);
+        assert_eq!(back.extensions, cache.extensions);
+    }
+
+    #[test]
+    fn occupancy_sums_to_store_contents() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 4);
+        let occ = store.occupancy();
+        assert_eq!(occ.len(), 4);
+        assert_eq!(occ.iter().map(|o| o.views).sum::<usize>(), 2);
+        let total_pairs: u64 = occ.iter().map(|o| o.pairs).sum();
+        assert_eq!(total_pairs, store.snapshot().extensions().size() as u64);
+    }
+
+    #[test]
+    fn concurrent_inserts_land_once() {
+        let g = graph();
+        let store = ViewStore::for_graph(&g, 8);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = &store;
+                let g = &g;
+                s.spawn(move || {
+                    for i in 0..8 {
+                        store
+                            .insert(ViewDef::new(format!("v{t}-{i}"), single("A", "B")), g)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 32);
+        let snap = store.snapshot();
+        let ids = snap.ids();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "ids unique and snapshot id-ordered");
+    }
+}

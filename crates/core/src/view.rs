@@ -103,6 +103,15 @@ impl ViewExtensions {
         self.extensions.iter().map(MatchResult::size).sum()
     }
 
+    /// Appends one more materialized extension, keeping positions aligned
+    /// with the owning [`ViewSet`] (the caller appends the definition too —
+    /// [`QueryEngine::add_view`](crate::engine::QueryEngine::add_view) does
+    /// both; for concurrent registration go through
+    /// [`ViewStore`](crate::store::ViewStore) instead).
+    pub fn push(&mut self, ext: MatchResult) {
+        self.extensions.push(ext);
+    }
+
     /// The match set `S_eV` of edge `eV` of view `i` (empty slice when the
     /// extension is empty).
     pub fn edge_set(&self, view: usize, e: PatternEdgeId) -> &[(NodeId, NodeId)] {

@@ -73,19 +73,25 @@ fn main() {
     // The s2/f2 chain is pruned: only s1's chain survives.
     assert_eq!(r.node_set(PatternNodeId(0)), &[s1]);
 
-    // The QueryEngine reaches the same hybrid plan on its own: it detects
-    // the partial coverage, prices the graph scan for the uncovered edges,
-    // and falls back gracefully — `answer` equals Match(G) no matter how
-    // much the views cover.
+    // The QueryEngine detects the partial coverage on its own and prices
+    // the alternatives: a hybrid plan (views for covered edges + surgical
+    // G scans for the rest) against the direct Match baseline. On a graph
+    // this tiny the baseline wins — 3 of 4 edges would need G anyway — so
+    // the planner picks Direct; on large graphs with good coverage it
+    // picks Hybrid. Either way `answer` equals Match(G).
     let engine = QueryEngine::materialize(views, &g);
     println!("\n{}", engine.explain(&q));
-    assert!(matches!(engine.plan(&q), QueryPlan::Hybrid { .. }));
+    let plan = engine.plan(&q);
+    assert!(
+        matches!(plan, QueryPlan::Hybrid { .. } | QueryPlan::Direct { .. }) && plan.needs_graph(),
+        "partially-covered query must fall back to a graph-reading plan"
+    );
     assert_eq!(engine.answer(&q, &g).unwrap(), r);
     assert!(
         engine.answer_from_views(&q).is_err(),
         "strict views-only answering refuses partially-covered queries"
     );
-    println!("QueryEngine chose the hybrid plan and matched Match(G) ✓");
+    println!("QueryEngine fell back to a graph-reading plan and matched Match(G) ✓");
 
     // --- Workload-driven view selection -------------------------------
     let workload = vec![

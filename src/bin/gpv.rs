@@ -8,6 +8,8 @@
 //! gpv answer   --graph G.txt --pattern Q.txt --view V1.txt ... [--bounded]
 //!              [--select auto|all|minimal|minimum] [--threads N]
 //! gpv plan     --graph G.txt --pattern Q.txt --view V1.txt ...   # EXPLAIN
+//! gpv serve    --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
+//!              [--shards N] [--clients N] [--repeat K] [--explain]
 //! gpv minimize --pattern Q.txt
 //! ```
 //!
@@ -15,6 +17,13 @@
 //! engine analyzes containment, costs the candidate view selections against
 //! the materialized extension sizes (`--select auto`, the default), and
 //! picks a sequential or parallel executor (`--threads 0` = auto-detect).
+//!
+//! `serve` is the batch-serving front end over [`core::ViewService`]: it
+//! shards the materialized views into a [`core::ViewStore`] (`--shards`),
+//! then has `--clients` threads each submit the query batch (`--pattern`
+//! repeated, times `--repeat`) concurrently — deduplicated and
+//! plan-cached — and reports the answers once plus the service stats
+//! (plan-cache hit rate, shard occupancy, queue depth, latency quantiles).
 //!
 //! Graphs use the `gpv-graph` text format (`node <id> <labels> [k=v ...]` /
 //! `edge <src> <dst>`); patterns use the `gpv-pattern` format
@@ -27,19 +36,24 @@ use std::process::ExitCode;
 
 struct Args {
     graph: Option<String>,
-    pattern: Option<String>,
+    patterns: Vec<String>,
     views: Vec<String>,
     bounded: bool,
     dual: bool,
+    explain: bool,
     select: String,
     threads: usize,
+    shards: usize,
+    clients: usize,
+    repeat: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|minimize> \
-         [--graph F] [--pattern F] [--view F]... [--bounded] [--dual] \
-         [--select auto|all|minimal|minimum] [--threads N]"
+        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|serve|minimize> \
+         [--graph F] [--pattern F]... [--view F]... [--bounded] [--dual] \
+         [--select auto|all|minimal|minimum] [--threads N] \
+         [--shards N] [--clients N] [--repeat K] [--explain]"
     );
     ExitCode::from(2)
 }
@@ -47,14 +61,23 @@ fn usage() -> ExitCode {
 fn parse_args(rest: &[String]) -> Result<Args, String> {
     let mut a = Args {
         graph: None,
-        pattern: None,
+        patterns: Vec::new(),
         views: Vec::new(),
         bounded: false,
         dual: false,
+        explain: false,
         select: "auto".into(),
         threads: 0,
+        shards: 8,
+        clients: 1,
+        repeat: 1,
     };
     let mut i = 0;
+    let uint = |flag: &str, v: Option<&String>| -> Result<usize, String> {
+        v.ok_or(format!("{flag} needs a count"))?
+            .parse()
+            .map_err(|_| format!("{flag} needs an integer"))
+    };
     while i < rest.len() {
         match rest[i].as_str() {
             "--graph" => {
@@ -62,7 +85,8 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 i += 2;
             }
             "--pattern" => {
-                a.pattern = Some(rest.get(i + 1).ok_or("--pattern needs a file")?.clone());
+                a.patterns
+                    .push(rest.get(i + 1).ok_or("--pattern needs a file")?.clone());
                 i += 2;
             }
             "--view" => {
@@ -75,11 +99,19 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 i += 2;
             }
             "--threads" => {
-                a.threads = rest
-                    .get(i + 1)
-                    .ok_or("--threads needs a count")?
-                    .parse()
-                    .map_err(|_| "--threads needs an integer".to_string())?;
+                a.threads = uint("--threads", rest.get(i + 1))?;
+                i += 2;
+            }
+            "--shards" => {
+                a.shards = uint("--shards", rest.get(i + 1))?.max(1);
+                i += 2;
+            }
+            "--clients" => {
+                a.clients = uint("--clients", rest.get(i + 1))?.max(1);
+                i += 2;
+            }
+            "--repeat" => {
+                a.repeat = uint("--repeat", rest.get(i + 1))?.max(1);
                 i += 2;
             }
             "--bounded" => {
@@ -88,6 +120,10 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--dual" => {
                 a.dual = true;
+                i += 1;
+            }
+            "--explain" => {
+                a.explain = true;
                 i += 1;
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -108,7 +144,13 @@ fn load_pattern(path: &str) -> Result<BoundedPattern, String> {
 }
 
 fn load_query(a: &Args) -> Result<BoundedPattern, String> {
-    load_pattern(a.pattern.as_ref().ok_or("missing --pattern")?)
+    if a.patterns.len() > 1 {
+        return Err(format!(
+            "this command takes exactly one --pattern, got {} (only `serve` accepts several)",
+            a.patterns.len()
+        ));
+    }
+    load_pattern(a.patterns.first().ok_or("missing --pattern")?)
 }
 
 fn load_views(a: &Args) -> Result<Vec<(String, BoundedPattern)>, String> {
@@ -231,6 +273,7 @@ fn run() -> Result<(), String> {
             let engine = core::QueryEngine::materialize(vs, &g).with_config(engine_config(&a)?);
             println!("{}", engine.explain(&q));
         }
+        "serve" => serve(&a)?,
         "minimize" => {
             let qb = load_query(&a)?;
             let q = require_plain(&qb, "pattern")?;
@@ -246,6 +289,121 @@ fn run() -> Result<(), String> {
         }
         _ => return Err(format!("unknown command `{cmd}`")),
     }
+    Ok(())
+}
+
+/// The `serve` command: shard views into a [`core::ViewStore`], stand up a
+/// [`core::ViewService`], fire the batch from `--clients` concurrent client
+/// threads, then print the answers (once) and the service-level stats.
+fn serve(a: &Args) -> Result<(), String> {
+    use std::sync::Arc;
+    let g = load_graph(a)?;
+    let views = load_views(a)?;
+    let vs = plain_view_set(&views)?;
+    if a.patterns.is_empty() {
+        return Err("missing --pattern".into());
+    }
+    let mut batch: Vec<gpv_pattern::Pattern> = Vec::new();
+    for p in &a.patterns {
+        batch.push(require_plain(&load_pattern(p)?, "pattern")?);
+    }
+    let batch: Vec<gpv_pattern::Pattern> = batch
+        .iter()
+        .cycle()
+        .take(batch.len() * a.repeat)
+        .cloned()
+        .collect();
+
+    let store = Arc::new(core::ViewStore::materialize(vs, &g, a.shards));
+    let service = core::ViewService::with_config(
+        store,
+        core::ServiceConfig {
+            engine: engine_config(a)?,
+            ..core::ServiceConfig::default()
+        },
+    );
+
+    // Every client thread submits the same batch concurrently; answers are
+    // identical across clients (asserted by tests/service.rs), so only the
+    // first client's batch is printed.
+    let t0 = std::time::Instant::now();
+    let mut answers = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..a.clients)
+            .map(|_| s.spawn(|| service.serve_batch(&batch, Some(&g))))
+            .collect();
+        for h in handles {
+            answers.push(h.join().expect("client thread panicked"));
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    for (i, r) in answers[0].iter().enumerate() {
+        match r {
+            Ok(ans) => println!(
+                "query {i}: {} pairs ({}{}{} µs)",
+                ans.result.size(),
+                if ans.deduplicated {
+                    "deduped, "
+                } else if ans.plan_cached {
+                    "plan cached, "
+                } else {
+                    "planned, "
+                },
+                if ans.plan.needs_graph() {
+                    "graph fallback, "
+                } else {
+                    "views only, "
+                },
+                ans.latency_micros
+            ),
+            Err(e) => println!("query {i}: error: {e}"),
+        }
+        if a.explain {
+            if let Ok(ans) = r {
+                for line in ans.plan.to_string().lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+    }
+
+    let stats = service.stats();
+    let served: usize = answers.iter().map(Vec::len).sum();
+    println!("---");
+    println!(
+        "served {served} queries in {wall:.3}s ({:.0} q/s) from {} clients x {} queries",
+        served as f64 / wall.max(1e-9),
+        a.clients,
+        batch.len()
+    );
+    println!(
+        "plan cache: {} hits / {} misses ({:.0}% hit rate), {} plans cached, {} batch-deduped",
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        stats.plan_cache_hit_rate * 100.0,
+        stats.plan_cache_size,
+        stats.dedup_saved
+    );
+    println!(
+        "latency: p50 {}, p99 {}; max queue depth {}",
+        stats.latency.quantile_label(0.5),
+        stats.latency.quantile_label(0.99),
+        stats.max_in_flight
+    );
+    let occupied = stats.shard_occupancy.iter().filter(|o| o.views > 0).count();
+    println!(
+        "store: {} views over {} shards ({} occupied): {}",
+        stats.shard_occupancy.iter().map(|o| o.views).sum::<usize>(),
+        stats.shard_occupancy.len(),
+        occupied,
+        stats
+            .shard_occupancy
+            .iter()
+            .map(|o| format!("{}v/{}p", o.views, o.pairs))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     Ok(())
 }
 

@@ -175,6 +175,50 @@ fn bounded_answer() {
 }
 
 #[test]
+fn serve_batch_command() {
+    let g = write_tmp("srv-g.txt", GRAPH);
+    let q = write_tmp("srv-q.txt", QUERY);
+    let v1 = write_tmp("srv-v1.txt", VIEW1);
+    let v2 = write_tmp("srv-v2.txt", VIEW2);
+    let out = gpv()
+        .args([
+            "serve",
+            "--graph",
+            g.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--clients",
+            "2",
+            "--repeat",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    // 2 patterns x 3 repeats x 2 clients, all identical: the first is
+    // planned, the rest of the first client's batch dedupes.
+    assert!(s.contains("served 12 queries"), "{s}");
+    assert!(s.contains("query 0: 3 pairs"), "{s}");
+    assert!(s.contains("query 5: 3 pairs"), "{s}");
+    assert!(s.contains("deduped"), "{s}");
+    assert!(s.contains("2 views over 4 shards"), "{s}");
+    assert!(s.contains("plan cache:"), "{s}");
+}
+
+#[test]
 fn minimize_command() {
     let q = write_tmp(
         "min-q.txt",
@@ -187,6 +231,26 @@ fn minimize_command() {
     assert!(out.status.success());
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("3 -> 2 nodes"), "{s}");
+}
+
+#[test]
+fn single_pattern_commands_reject_multiple_patterns() {
+    let g = write_tmp("mp-g.txt", GRAPH);
+    let q = write_tmp("mp-q.txt", QUERY);
+    let out = gpv()
+        .args([
+            "match",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one --pattern"));
 }
 
 #[test]

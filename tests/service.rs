@@ -1,0 +1,237 @@
+//! Serving-layer contract tests: `ViewService` batch answers must be
+//! byte-identical to sequential `QueryEngine::answer`, under concurrency,
+//! across every plan shape the planner can pick, and the plan cache must
+//! hand out *the same* plan for identical (query, view-set) fingerprints.
+
+use gpv_generator::{covering_views, random_graph, random_pattern, PatternShape};
+use graph_views::prelude::*;
+use graph_views::views::service::query_fingerprint;
+use graph_views::views::store::ViewStore;
+use graph_views::views::{ServiceError, ViewService};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+
+fn build_service(views: ViewSet, g: &DataGraph, shards: usize) -> ViewService {
+    ViewService::new(Arc::new(ViewStore::materialize(views, g, shards)))
+}
+
+/// N threads, overlapping duplicated batches: every answer equals the
+/// single-threaded `QueryEngine::answer` ground truth, identical
+/// fingerprints share one cached plan, and the cache records hits.
+#[test]
+fn concurrent_batches_match_sequential_engine() {
+    let g = random_graph(40, 120, &LABELS, 7);
+    let queries: Vec<Pattern> = (0..5)
+        .map(|i| random_pattern(3, 4, &LABELS, PatternShape::Any, 100 + i))
+        .collect();
+    let views = covering_views(&queries, 2, 9);
+    let engine = QueryEngine::materialize(views.clone(), &g);
+    let ground_truth: Vec<MatchResult> = queries
+        .iter()
+        .map(|q| engine.answer(q, &g).unwrap())
+        .collect();
+
+    let service = build_service(views, &g, 4);
+    // Overlapping batches: each client rotates the same query set and
+    // duplicates it, so clients race on the same plan-cache keys.
+    let n_clients = 8;
+    let answers: Vec<Vec<_>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|c| {
+                let service = &service;
+                let queries = &queries;
+                let g = &g;
+                s.spawn(move || {
+                    let mut batch: Vec<Pattern> = Vec::new();
+                    for i in 0..queries.len() * 2 {
+                        batch.push(queries[(c + i) % queries.len()].clone());
+                    }
+                    service.serve_batch(&batch, Some(g))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut plans_by_fingerprint: std::collections::HashMap<u64, Arc<QueryPlan>> =
+        std::collections::HashMap::new();
+    for (c, client_answers) in answers.iter().enumerate() {
+        assert_eq!(client_answers.len(), queries.len() * 2);
+        for (i, r) in client_answers.iter().enumerate() {
+            let a = r.as_ref().expect("all queries covered");
+            let qi = (c + i) % queries.len();
+            assert_eq!(
+                a.result, ground_truth[qi],
+                "client {c} answer {i} ≡ sequential QueryEngine::answer"
+            );
+            assert_eq!(a.query_fingerprint, query_fingerprint(&queries[qi]));
+            // One plan per fingerprint, service-wide: every answer for the
+            // same query must carry the identical cached plan.
+            match plans_by_fingerprint.entry(a.query_fingerprint) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_eq!(
+                        **e.get(),
+                        *a.plan,
+                        "identical fingerprints produce identical plans"
+                    );
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(a.plan.clone());
+                }
+            }
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(
+        stats.queries,
+        (n_clients * queries.len() * 2) as u64,
+        "every submitted query was counted"
+    );
+    assert!(
+        stats.plan_cache_hits > 0,
+        "duplicated batches must hit the plan cache: {stats:?}"
+    );
+    assert!(
+        stats.plan_cache_size <= queries.len(),
+        "at most one cached plan per distinct query"
+    );
+    assert_eq!(stats.in_flight, 0, "queue drains");
+    assert_eq!(stats.latency.count(), stats.queries, "every query timed");
+}
+
+/// Concurrent mutation: clients keep serving while a writer registers
+/// views; every answer must still equal the ground truth of *some* valid
+/// store state (here: always the ground truth, since extra views never
+/// change answers — Theorem 1).
+#[test]
+fn serving_stays_correct_under_concurrent_registration() {
+    let g = random_graph(30, 90, &LABELS, 11);
+    let q = random_pattern(3, 4, &LABELS, PatternShape::Any, 5);
+    let views = covering_views(std::slice::from_ref(&q), 2, 13);
+    let truth = match_pattern(&q, &g);
+
+    let service = build_service(views, &g, 8);
+    std::thread::scope(|s| {
+        // Writer: registers fresh (redundant) views, bumping the store
+        // version and invalidating the engine snapshot repeatedly.
+        let writer = {
+            let service = &service;
+            let g = &g;
+            s.spawn(move || {
+                for i in 0..10 {
+                    let extra = random_pattern(2, 2, &LABELS, PatternShape::Any, 50 + i);
+                    service
+                        .store()
+                        .insert(ViewDef::new(format!("w{i}"), extra), g)
+                        .unwrap();
+                }
+            })
+        };
+        for _ in 0..4 {
+            let service = &service;
+            let q = &q;
+            let g = &g;
+            let truth = &truth;
+            s.spawn(move || {
+                for _ in 0..10 {
+                    let a = service.serve(q, Some(g)).unwrap();
+                    assert_eq!(&a.result, truth);
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    assert!(service.stats().engine_rebuilds >= 1);
+}
+
+/// Strict views-only serving refuses when the plan needs the graph.
+#[test]
+fn strict_mode_refuses_uncovered_queries() {
+    let g = random_graph(30, 90, &LABELS, 3);
+    let q = random_pattern(4, 5, &LABELS, PatternShape::Any, 8);
+    // No views at all: every plan is Direct, which needs G.
+    let service = build_service(ViewSet::default(), &g, 2);
+    assert!(matches!(
+        service.serve(&q, None),
+        Err(ServiceError::NeedsGraph)
+    ));
+    // Same query with the graph: answered, equal to ground truth.
+    let a = service.serve(&q, Some(&g)).unwrap();
+    assert_eq!(a.result, match_pattern(&q, &g));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The acceptance property: for random (graph, views, queries), a
+    /// duplicated service batch answers byte-identically to sequential
+    /// `QueryEngine::answer` across all plan shapes (views-only, hybrid,
+    /// direct — whatever the planner picks per query), and duplicated
+    /// entries hit the dedup/plan-cache path.
+    #[test]
+    fn batch_equals_sequential_engine(
+        (n, m, gseed) in (5usize..50, 10usize..120, any::<u64>()),
+        qseeds in proptest::collection::vec(any::<u64>(), 1..4),
+        vseed in any::<u64>(),
+        keep_probe in any::<u64>(),
+        shards in 1usize..9,
+    ) {
+        let g = random_graph(n, m, &LABELS, gseed);
+        let queries: Vec<Pattern> = qseeds
+            .iter()
+            .map(|&s| random_pattern(3, 4, &LABELS, PatternShape::Any, s))
+            .collect();
+        // Random subset of covering views: full, partial, or no coverage,
+        // so the planner exercises every plan shape.
+        let full = covering_views(&queries, 2, vseed);
+        let keep: Vec<usize> = (0..full.card())
+            .filter(|i| (keep_probe >> (i % 64)) & 1 == 1)
+            .collect();
+        let views = full.subset(&keep);
+
+        let engine = QueryEngine::materialize(views.clone(), &g);
+        let service = build_service(views, &g, shards);
+
+        // Batch = each query twice (dedup path) in interleaved order.
+        let mut batch: Vec<Pattern> = Vec::new();
+        batch.extend(queries.iter().cloned());
+        batch.extend(queries.iter().cloned());
+
+        let answers = service.serve_batch(&batch, Some(&g));
+        prop_assert_eq!(answers.len(), batch.len());
+        for (i, r) in answers.iter().enumerate() {
+            let expected = engine.answer(&batch[i], &g).unwrap();
+            let a = r.as_ref().expect("graph fallback always answers");
+            prop_assert_eq!(&a.result, &expected, "batch slot {} diverged", i);
+        }
+        // The second copy of each distinct query deduplicated.
+        let distinct: std::collections::HashSet<u64> =
+            batch.iter().map(query_fingerprint).collect();
+        prop_assert_eq!(
+            service.stats().dedup_saved,
+            (batch.len() - distinct.len()) as u64
+        );
+    }
+
+    /// Serving through a store round-tripped to/from the durable cache
+    /// changes nothing.
+    #[test]
+    fn cache_roundtripped_store_serves_identically(
+        (n, m, gseed) in (5usize..40, 10usize..100, any::<u64>()),
+        qseed in any::<u64>(),
+        vseed in any::<u64>(),
+    ) {
+        let g = random_graph(n, m, &LABELS, gseed);
+        let q = random_pattern(3, 4, &LABELS, PatternShape::Any, qseed);
+        let views = covering_views(std::slice::from_ref(&q), 2, vseed);
+        let direct = build_service(views.clone(), &g, 4);
+        let store = ViewStore::materialize(views, &g, 4);
+        let revived = ViewService::new(Arc::new(ViewStore::from_cache(store.to_cache(), 2)));
+        let a = direct.serve(&q, Some(&g)).unwrap();
+        let b = revived.serve(&q, Some(&g)).unwrap();
+        prop_assert_eq!(a.result, b.result);
+    }
+}
