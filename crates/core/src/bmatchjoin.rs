@@ -100,7 +100,7 @@ pub fn bmatch_join_threaded(
             } else {
                 threads
             };
-            crate::parallel::par_ranked_fixpoint(q, merged, &mut stats, threads)
+            crate::parallel::par_ranked_fixpoint(q, merged, &mut stats, threads)?
         }
     };
 

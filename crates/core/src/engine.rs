@@ -12,9 +12,17 @@
 //!   coverage) — one shared view-match sweep per query;
 //! * **Select** — `all` vs [`minimal`](crate::minimal::minimal) vs
 //!   [`minimum`](crate::minimum::minimum) view selection, costed
-//!   by the [`CostModel`] against the actual extension sizes;
+//!   by the [`CostModel`] against the actual extension sizes, plus the
+//!   per-edge [`EdgeSource`] decision (smallest covering extension vs
+//!   surgical graph scan — cost-based hybrid sourcing);
 //! * **Execute** — sequential or thread-parallel `MatchJoin` /
-//!   `BMatchJoin`, hybrid join, or direct `Match` fallback.
+//!   `BMatchJoin`, hybrid join, or direct `Match` fallback, honoring the
+//!   plan's per-edge sources verbatim.
+//!
+//! The engine is **adaptive**: every execution records a [`CostSample`]
+//! (estimate, executor stats, wall time) into a bounded [`CostLog`], and
+//! [`QueryEngine::apply_calibration`] least-squares-fits the cost weights
+//! from those measurements, closing the estimate→measure→re-fit loop.
 //!
 //! The contract (Theorem 1/8), now as an engine guarantee: for every query
 //! and graph, [`QueryEngine::answer`] equals
@@ -23,12 +31,13 @@
 
 use crate::bmatchjoin::bmatch_join_threaded;
 use crate::bview::{bmaterialize, BoundedViewExtensions, BoundedViewSet};
-use crate::containment::ContainmentPlan;
-use crate::cost::{CostEstimate, CostModel};
-use crate::matchjoin::{match_join_with, JoinError, JoinStats, JoinStrategy};
-use crate::parallel::{auto_threads, par_match_join};
-use crate::partial::hybrid_match_join;
-use crate::plan::{ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan};
+use crate::containment::{ContainmentPlan, ViewEdgeRef};
+use crate::cost::{CostEstimate, CostLog, CostModel, CostSample, SharedCostLog};
+use crate::matchjoin::{run_fixpoint, JoinError, JoinStats, JoinStrategy};
+use crate::parallel::{auto_threads, par_fixpoint};
+use crate::partial::{best_cover, merged_from_sources, PartialPlan};
+use crate::plan::{EdgeSource, ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan};
+use crate::selection::{select_views_for_workload, WorkloadSelection};
 use crate::storage::{graph_fingerprint, BoundedViewCache, ViewCache};
 use crate::store::{StoreSnapshot, ViewStore};
 use crate::view::{materialize, ViewDef, ViewExtensions, ViewSet};
@@ -37,6 +46,7 @@ use gpv_graph::DataGraph;
 use gpv_matching::result::{BoundedMatchResult, MatchResult};
 use gpv_matching::simulation::match_pattern;
 use gpv_pattern::{BoundedPattern, Pattern};
+use std::time::Instant;
 
 /// Engine tuning knobs.
 #[derive(Clone, Debug, Default)]
@@ -158,6 +168,11 @@ pub struct QueryEngine {
     fingerprint: u64,
     graph_stats: Option<GraphStats>,
     config: EngineConfig,
+    /// Estimate-vs-actual feedback: every executed plan records a
+    /// [`CostSample`] here; [`Self::apply_calibration`] re-fits the cost
+    /// weights from it. Shared (`Arc`) so clones — and the serving layer
+    /// across engine rebuilds — accumulate into one history.
+    cost_log: SharedCostLog,
 }
 
 impl QueryEngine {
@@ -171,6 +186,7 @@ impl QueryEngine {
             fingerprint: graph_fingerprint(g),
             graph_stats: Some(gpv_graph::stats::stats(g)),
             config: EngineConfig::default(),
+            cost_log: SharedCostLog::default(),
         }
     }
 
@@ -183,6 +199,7 @@ impl QueryEngine {
             fingerprint: cache.graph_fingerprint,
             graph_stats: cache.graph_stats,
             config: EngineConfig::default(),
+            cost_log: SharedCostLog::default(),
         }
     }
 
@@ -198,6 +215,7 @@ impl QueryEngine {
             fingerprint: snap.graph_fingerprint,
             graph_stats: snap.graph_stats.clone(),
             config: EngineConfig::default(),
+            cost_log: SharedCostLog::default(),
         }
     }
 
@@ -227,6 +245,99 @@ impl QueryEngine {
     /// registry under different forced modes, without re-materializing).
     pub fn set_config(&mut self, config: EngineConfig) {
         self.config = config;
+    }
+
+    /// Shares an external [`CostLog`] handle — the serving layer passes the
+    /// same handle into every rebuilt engine so calibration sees the whole
+    /// measurement history, not just the current snapshot's.
+    pub fn with_cost_log(mut self, log: SharedCostLog) -> Self {
+        self.cost_log = log;
+        self
+    }
+
+    /// A point-in-time copy of the recorded estimate-vs-actual samples.
+    pub fn cost_log(&self) -> CostLog {
+        self.cost_log.snapshot()
+    }
+
+    /// The shared cost-log handle (records survive engine rebuilds when the
+    /// caller keeps it).
+    pub fn cost_log_handle(&self) -> SharedCostLog {
+        self.cost_log.clone()
+    }
+
+    /// The active cost model (default or calibrated).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    /// Least-squares re-fit of the cost weights from the recorded samples
+    /// ([`CostModel::calibrate`]), without installing it. `None` when the
+    /// log is too small or degenerate.
+    pub fn calibrate(&self) -> Option<CostModel> {
+        self.config.cost.calibrate(&self.cost_log.snapshot())
+    }
+
+    /// Calibrates and installs the fitted weights, so subsequent plans are
+    /// priced in measured units. Returns whether a fit was applied.
+    pub fn apply_calibration(&mut self) -> bool {
+        match self.calibrate() {
+            Some(cm) => {
+                self.config.cost = cm;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Mean relative estimate error of the *active* weights over the
+    /// recorded samples — the calibration-drift gauge (`None` with no
+    /// samples). Calibration should drive this down; it creeping back up
+    /// means the workload shifted and a re-fit is due.
+    pub fn estimate_error(&self) -> Option<f64> {
+        self.config
+            .cost
+            .mean_relative_error(&self.cost_log.snapshot())
+    }
+
+    /// Workload-aware view advisor (the ROADMAP's "wire
+    /// [`select_views_for_workload`] into the registry"): greedily picks at
+    /// most `budget` of the *registered* views maximizing the (weighted)
+    /// number of fully-answered workload queries — i.e. which materialized
+    /// views earn their keep for this traffic, and which queries would
+    /// still fall back to `G`.
+    ///
+    /// ```
+    /// use gpv_core::engine::QueryEngine;
+    /// use gpv_core::view::{ViewDef, ViewSet};
+    /// use gpv_graph::GraphBuilder;
+    /// use gpv_pattern::PatternBuilder;
+    ///
+    /// let mut b = GraphBuilder::new();
+    /// let a = b.add_node(["A"]);
+    /// let c = b.add_node(["B"]);
+    /// b.add_edge(a, c);
+    /// let g = b.build();
+    ///
+    /// let mut p = PatternBuilder::new();
+    /// let u = p.node_labeled("A");
+    /// let v = p.node_labeled("B");
+    /// p.edge(u, v);
+    /// let q = p.build().unwrap();
+    ///
+    /// let views = ViewSet::new(vec![ViewDef::new("v", q.clone())]);
+    /// let engine = QueryEngine::materialize(views, &g);
+    /// let advice = engine.advise_views(&[q], 1, None);
+    /// assert_eq!(advice.views, vec![0]);
+    /// assert!(advice.answered[0]);
+    /// ```
+    pub fn advise_views(
+        &self,
+        workload: &[Pattern],
+        budget: usize,
+        weights: Option<&[f64]>,
+    ) -> WorkloadSelection {
+        select_views_for_workload(workload, &self.views, budget, weights)
     }
 
     /// Registers bounded views (materializing their distance index) so
@@ -308,6 +419,49 @@ impl QueryEngine {
         }
     }
 
+    /// Per-edge cost-based sourcing over a (full or partial) λ: every
+    /// covered edge picks the cheaper of its pinned smallest covering
+    /// extension and a surgical graph scan
+    /// ([`CostModel::edge_prefers_graph`]); uncovered edges scan `G`.
+    /// Returns the source vector plus the view pairs read and the number of
+    /// graph-sourced edges. With the default unit-free weights every
+    /// covered edge stays on its view (the paper's behaviour); calibrated
+    /// weights can demote bloated extensions to scans.
+    fn source_edges(
+        &self,
+        q: &Pattern,
+        lambda: &[Vec<ViewEdgeRef>],
+    ) -> (Vec<EdgeSource>, u64, usize) {
+        let cm = &self.config.cost;
+        let ne = q.edge_count();
+        let mut sources = Vec::with_capacity(lambda.len());
+        let mut pairs = 0u64;
+        let mut graph_edges = 0usize;
+        for entries in lambda {
+            match best_cover(entries, &self.ext) {
+                Some(r) => {
+                    let size = self.ext.edge_set(r.view, r.edge).len() as u64;
+                    let prefer_graph = self
+                        .graph_stats
+                        .as_ref()
+                        .is_some_and(|gs| cm.edge_prefers_graph(ne, size, gs));
+                    if prefer_graph {
+                        sources.push(EdgeSource::Graph);
+                        graph_edges += 1;
+                    } else {
+                        sources.push(EdgeSource::View(r));
+                        pairs += size;
+                    }
+                }
+                None => {
+                    sources.push(EdgeSource::Graph);
+                    graph_edges += 1;
+                }
+            }
+        }
+        (sources, pairs, graph_edges)
+    }
+
     /// **Analyze → Select**: produces the costed plan for `q` without
     /// executing anything.
     pub fn plan(&self, q: &Pattern) -> QueryPlan {
@@ -343,12 +497,34 @@ impl QueryEngine {
         match table.full_plan(q) {
             Some(full) => {
                 let chosen = self.select(q, full, &table);
-                let exec = self.exec_for(chosen.cost.pairs_read);
-                QueryPlan::ViewsOnly(ViewPlan { exec, ..chosen })
+                let (sources, view_pairs, graph_edges) = self.source_edges(q, &chosen.plan.lambda);
+                if graph_edges == 0 {
+                    let exec = self.exec_for(chosen.cost.pairs_read);
+                    return QueryPlan::ViewsOnly(ViewPlan {
+                        exec,
+                        sources,
+                        ..chosen
+                    });
+                }
+                // Calibrated weights priced some covered edges cheaper from
+                // G: emit a cost-based hybrid. Always Hybrid (never Direct),
+                // even when every edge is demoted — the total-coverage λ
+                // rides along so execution can fall back to the views when
+                // no graph is supplied ([`QueryPlan::graph_optional`]).
+                let mut cost = cm.hybrid_plan(q, view_pairs, graph_edges, &gstats);
+                cost.planning = chosen.cost.planning;
+                QueryPlan::Hybrid {
+                    partial: PartialPlan {
+                        lambda: chosen.plan.lambda,
+                        uncovered: Vec::new(),
+                    },
+                    sources,
+                    reason: FallbackReason::CostBased,
+                    cost,
+                }
             }
             None => {
                 let partial = table.partial_plan(q);
-                let covered = cm.pairs_read(&partial.lambda, &self.ext);
                 let direct_cost = cm.direct(q, &gstats);
                 if partial.uncovered.len() == q.edge_count() {
                     return QueryPlan::Direct {
@@ -356,7 +532,8 @@ impl QueryEngine {
                         cost: direct_cost,
                     };
                 }
-                let cost = cm.hybrid_plan(q, covered, partial.uncovered.len(), &gstats);
+                let (sources, view_pairs, graph_edges) = self.source_edges(q, &partial.lambda);
+                let cost = cm.hybrid_plan(q, view_pairs, graph_edges, &gstats);
                 // With known graph stats, take the direct baseline when the
                 // covered extensions are so bloated that the hybrid plan
                 // costs more than just scanning G (unknown stats keep the
@@ -369,6 +546,7 @@ impl QueryEngine {
                 } else {
                     QueryPlan::Hybrid {
                         partial,
+                        sources,
                         reason: FallbackReason::NotContained,
                         cost,
                     }
@@ -396,6 +574,8 @@ impl QueryEngine {
         let cm = &self.config.cost;
         let placeholder = ExecStrategy::Sequential(JoinStrategy::RankedBottomUp);
         let premium = cm.selection_overhead(q, self.views.card());
+        // `sources` and `exec` are placeholders here: `plan` resolves the
+        // per-edge sourcing and the executor for the winning candidate only.
         let candidate = |selection: SelectionMode, sel: crate::minimal::Selection| {
             let mut cost = cm.view_plan(q, &sel.plan, &self.ext);
             cost.planning = premium;
@@ -403,6 +583,7 @@ impl QueryEngine {
                 selection,
                 views: sel.views,
                 plan: sel.plan,
+                sources: Vec::new(),
                 exec: placeholder,
                 cost,
             }
@@ -412,6 +593,7 @@ impl QueryEngine {
             views: full.used_views.clone(),
             cost: cm.view_plan(q, &full, &self.ext),
             plan: full,
+            sources: Vec::new(),
             exec: placeholder,
         };
 
@@ -448,11 +630,17 @@ impl QueryEngine {
         }
     }
 
-    /// **Execute**: runs a previously-produced plan. `g` is required for
-    /// hybrid/direct plans ([`QueryPlan::needs_graph`]) and must be the
-    /// graph this registry was materialized against — extensions from one
-    /// graph say nothing about another (use [`Self::validate_graph`] when
-    /// in doubt; debug builds assert it).
+    /// **Execute**: runs a previously-produced plan, honoring its per-edge
+    /// [`EdgeSource`]s verbatim (both executors read exactly what the
+    /// planner pinned). `g` is required for hybrid/direct plans
+    /// ([`QueryPlan::needs_graph`]) and must be the graph this registry was
+    /// materialized against — extensions from one graph say nothing about
+    /// another (use [`Self::validate_graph`] when in doubt; debug builds
+    /// assert it).
+    ///
+    /// Every execution also records a [`CostSample`] (the plan's estimate,
+    /// the executor's [`JoinStats`], and the measured wall time) into the
+    /// engine's [`CostLog`] — the feedback half of the calibration loop.
     pub fn execute(
         &self,
         q: &Pattern,
@@ -466,24 +654,51 @@ impl QueryEngine {
                  view registry was materialized against"
             );
         }
-        match plan {
-            QueryPlan::ViewsOnly(vp) => match vp.exec {
-                ExecStrategy::Sequential(strategy) => {
-                    Ok(match_join_with(q, &vp.plan, &self.ext, strategy)?)
+        let t0 = Instant::now();
+        // The view-source fallback below executes different sources than
+        // the plan priced; logging that run would pollute the calibration
+        // features (scan terms with no scan executed).
+        let mut record_sample = true;
+        let out = match plan {
+            QueryPlan::ViewsOnly(vp) => {
+                let merged = merged_from_sources(q, &vp.sources, &self.ext, None)?;
+                match vp.exec {
+                    ExecStrategy::Sequential(strategy) => run_fixpoint(q, merged, strategy)?,
+                    ExecStrategy::Parallel { threads } => par_fixpoint(q, merged, threads)?,
                 }
-                ExecStrategy::Parallel { threads } => {
-                    Ok(par_match_join(q, &vp.plan, &self.ext, threads)?)
-                }
-            },
-            QueryPlan::Hybrid { partial, .. } => {
-                let g = g.ok_or(EngineError::NeedsGraph)?;
-                Ok(hybrid_match_join(q, partial, &self.ext, g)?)
+            }
+            QueryPlan::Hybrid {
+                partial, sources, ..
+            } => {
+                let merged = match g {
+                    Some(g) => merged_from_sources(q, sources, &self.ext, Some(g))?,
+                    // No graph supplied: a *fully-covered* (cost-based)
+                    // hybrid falls back to its view sources — demoting an
+                    // edge to a scan is a performance preference and must
+                    // never cost availability ([`QueryPlan::graph_optional`]).
+                    None if partial.is_total() => {
+                        record_sample = false;
+                        let fallback = crate::partial::sources_from_partial(partial, &self.ext)?;
+                        merged_from_sources(q, &fallback, &self.ext, None)?
+                    }
+                    None => return Err(EngineError::NeedsGraph),
+                };
+                run_fixpoint(q, merged, JoinStrategy::RankedBottomUp)?
             }
             QueryPlan::Direct { .. } => {
                 let g = g.ok_or(EngineError::NeedsGraph)?;
-                Ok((match_pattern(q, g), JoinStats::default()))
+                (match_pattern(q, g), JoinStats::default())
             }
+        };
+        if record_sample {
+            self.cost_log.record(CostSample {
+                estimate: *plan.cost(),
+                stats: out.1,
+                edge_count: q.edge_count(),
+                wall_micros: t0.elapsed().as_secs_f64() * 1e6,
+            });
         }
+        Ok(out)
     }
 
     /// Plans and executes `q`, allowing graph fallback: equals
@@ -502,9 +717,13 @@ impl QueryEngine {
     /// [`EngineError::NotContained`] when `Qs ⋢ V`.
     pub fn answer_from_views(&self, q: &Pattern) -> Result<MatchResult, EngineError> {
         let plan = self.plan(q);
-        match &plan {
-            QueryPlan::ViewsOnly(_) => self.execute(q, &plan, None).map(|(r, _)| r),
-            _ => Err(EngineError::NotContained),
+        if plan.graph_optional() {
+            // Views-only, or a fully-covered cost-based hybrid (which
+            // `execute` serves from its view-source fallback when no graph
+            // is supplied).
+            self.execute(q, &plan, None).map(|(r, _)| r)
+        } else {
+            Err(EngineError::NotContained)
         }
     }
 
@@ -530,6 +749,7 @@ impl QueryEngine {
                 graph_edges_scanned: 0,
                 planning,
                 total: cm.join_exec_cost(qb.pattern().edge_count(), pairs),
+                weights: *cm,
             }
         };
         let candidate = |selection: SelectionMode, sel: crate::minimal::Selection| BoundedPlan {

@@ -63,7 +63,7 @@ pub use bcontainment::{bcontain, bminimal, bminimum, bounded_query_contained, bo
 pub use bmatchjoin::{bmatch_join, bmatch_join_threaded, bmatch_join_with};
 pub use bview::{bmaterialize, BoundedViewDef, BoundedViewExtensions, BoundedViewSet};
 pub use containment::{contain, query_contained, view_match, ContainmentPlan, ViewEdgeRef};
-pub use cost::{CostEstimate, CostModel};
+pub use cost::{CostEstimate, CostLog, CostModel, CostSample, SharedCostLog};
 pub use dualjoin::{dual_contain, dual_match_join, dual_materialize};
 pub use engine::{BoundedPlan, EngineConfig, EngineError, QueryEngine};
 pub use maintenance::IncrementalView;
@@ -72,8 +72,11 @@ pub use minimal::{minimal, Selection};
 pub use minimize::{minimize, Minimized};
 pub use minimum::{alpha, minimum};
 pub use parallel::par_match_join;
-pub use partial::{answer_with_partial_views, hybrid_match_join, partial_contain, PartialPlan};
-pub use plan::{ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan};
+pub use partial::{
+    answer_with_partial_views, hybrid_match_join, partial_contain, sources_from_partial,
+    PartialPlan,
+};
+pub use plan::{EdgeSource, ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan};
 pub use selection::{select_views_for_workload, WorkloadSelection};
 pub use service::{
     query_fingerprint, LatencyHistogram, ServedAnswer, ServiceConfig, ServiceError, ServiceStats,

@@ -67,6 +67,12 @@ pub enum JoinError {
     ViewOutOfRange(usize),
     /// The query has no edges; `Qs(G)` is defined via edge match sets.
     NoEdges,
+    /// A plan source is [`EdgeSource::Graph`](crate::plan::EdgeSource) but
+    /// no data graph was supplied to the executor.
+    GraphRequired,
+    /// A parallel worker panicked while processing the given pattern-edge
+    /// index (caught and resurfaced instead of aborting the process).
+    WorkerPanicked(usize),
 }
 
 impl std::fmt::Display for JoinError {
@@ -75,6 +81,21 @@ impl std::fmt::Display for JoinError {
             JoinError::PlanMismatch => write!(f, "containment plan does not match the query"),
             JoinError::ViewOutOfRange(i) => write!(f, "plan references missing view {i}"),
             JoinError::NoEdges => write!(f, "query has no edges"),
+            JoinError::GraphRequired => {
+                write!(f, "plan sources an edge from G but no graph was supplied")
+            }
+            JoinError::WorkerPanicked(e) if *e == usize::MAX => {
+                // Sentinel from the defensive join-failure branch: the
+                // worker died outside the per-item catch, so no edge index
+                // is known.
+                write!(f, "parallel worker panicked (failing pattern edge unknown)")
+            }
+            JoinError::WorkerPanicked(e) => {
+                write!(
+                    f,
+                    "parallel worker panicked while processing pattern edge {e}"
+                )
+            }
         }
     }
 }
@@ -126,7 +147,11 @@ pub(crate) fn run_fixpoint_public(
     run_fixpoint(q, merged, JoinStrategy::RankedBottomUp)
 }
 
-fn run_fixpoint(
+/// Runs the fixpoint phase over caller-supplied merged sets with an
+/// explicit strategy — the execution backend behind both the λ-based entry
+/// points and the [`EdgeSource`](crate::plan::EdgeSource)-honoring engine
+/// path (whose merge is built by `partial::merged_from_sources`).
+pub(crate) fn run_fixpoint(
     q: &Pattern,
     merged: Vec<Vec<(NodeId, NodeId)>>,
     strategy: JoinStrategy,
@@ -143,7 +168,7 @@ fn run_fixpoint(
             merged,
             &mut stats,
             crate::parallel::auto_threads(),
-        ),
+        )?,
     };
     Ok((assemble(q, sets), stats))
 }

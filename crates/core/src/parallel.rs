@@ -28,18 +28,24 @@ pub fn auto_threads() -> usize {
 
 /// Runs `f(0..n)` across `threads` workers (atomic work-stealing counter),
 /// returning results in index order. Inline when `threads <= 1` or the job
-/// is trivially small.
-pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+/// is trivially small (where a panic propagates normally, exactly like the
+/// sequential executor). In the threaded path a panicking worker no longer
+/// takes the whole process down through a context-free `expect`: the panic
+/// is caught per work item and resurfaced as `Err(index)` carrying the
+/// failing index, so callers can attach executor context
+/// ([`JoinError::WorkerPanicked`]).
+pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, usize>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return Ok((0..n).map(f).collect());
     }
     let counter = AtomicUsize::new(0);
     let workers = threads.min(n);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut failed: Option<usize> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -50,21 +56,37 @@ where
                     loop {
                         let i = counter.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
-                            break;
+                            break Ok(local);
                         }
-                        local.push((i, f(i)));
+                        // `f` is a pure per-index computation shared by all
+                        // workers; observing it mid-panic is safe because a
+                        // failed index aborts the whole map.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => local.push((i, v)),
+                            Err(_) => break Err(i),
+                        }
                     }
-                    local
                 })
             })
             .collect();
         for h in handles {
-            for (i, v) in h.join().expect("parallel worker panicked") {
-                slots[i] = Some(v);
+            match h.join() {
+                Ok(Ok(local)) => {
+                    for (i, v) in local {
+                        slots[i] = Some(v);
+                    }
+                }
+                Ok(Err(i)) => failed = Some(failed.map_or(i, |p: usize| p.min(i))),
+                // Unreachable in practice (worker bodies catch panics), but
+                // keep the process alive if it ever happens.
+                Err(_) => failed = Some(failed.unwrap_or(usize::MAX)),
             }
         }
     });
-    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    if let Some(i) = failed {
+        return Err(i);
+    }
+    Ok(slots.into_iter().map(|s| s.expect("slot filled")).collect())
 }
 
 /// Answers `Qs` from views with the parallel executor and an explicit
@@ -76,33 +98,50 @@ pub fn par_match_join(
     ext: &ViewExtensions,
     threads: usize,
 ) -> Result<(MatchResult, JoinStats), JoinError> {
+    let merged = merge_step(q, plan, ext)?;
+    par_fixpoint(q, merged, threads)
+}
+
+/// The parallel executor over caller-supplied merged sets (e.g. built by
+/// the [`EdgeSource`](crate::plan::EdgeSource)-honoring merge): fans the
+/// build/support phases across `threads` workers (`0` = auto), then runs
+/// the sequential drain.
+pub(crate) fn par_fixpoint(
+    q: &Pattern,
+    merged: Vec<Vec<(NodeId, NodeId)>>,
+    threads: usize,
+) -> Result<(MatchResult, JoinStats), JoinError> {
     let threads = if threads == 0 {
         auto_threads()
     } else {
         threads
     };
-    let merged = merge_step(q, plan, ext)?;
     let mut stats = JoinStats {
         merged_pairs: merged.iter().map(|s| s.len() as u64).sum(),
         ..JoinStats::default()
     };
-    let sets = par_ranked_fixpoint(q, merged, &mut stats, threads);
+    let sets = par_ranked_fixpoint(q, merged, &mut stats, threads)?;
     Ok((matchjoin::assemble(q, sets), stats))
 }
 
+/// Refined per-edge match sets (`None` = empty result), or a caught worker
+/// panic.
+pub(crate) type FixpointOutcome = Result<Option<Vec<Vec<(NodeId, NodeId)>>>, JoinError>;
+
 /// The ranked fixpoint with parallel build/support phases. Semantically
 /// identical to [`matchjoin::ranked_fixpoint`]; stage results merge in edge
-/// order.
+/// order. `Err` only on a caught worker panic
+/// ([`JoinError::WorkerPanicked`] with the failing edge index).
 pub(crate) fn par_ranked_fixpoint(
     q: &Pattern,
     merged: Vec<Vec<(NodeId, NodeId)>>,
     stats: &mut JoinStats,
     threads: usize,
-) -> Option<Vec<Vec<(NodeId, NodeId)>>> {
+) -> FixpointOutcome {
     if threads <= 1 {
         // No spare workers: take the sequential path exactly (identical
         // output either way; this avoids the staging allocations).
-        return matchjoin::ranked_fixpoint(q, merged, stats);
+        return Ok(matchjoin::ranked_fixpoint(q, merged, stats));
     }
     let ne = q.edge_count();
     // Compaction must assign dense ids in first-occurrence order to stay
@@ -113,11 +152,14 @@ pub(crate) fn par_ranked_fixpoint(
     // Stage 1 (parallel): per-edge CSR build.
     let csrs: Vec<EdgeCsr> = par_map(ne, threads, |ei| {
         matchjoin::build_edge_csr(&merged[ei], &index, m)
-    });
+    })
+    .map_err(JoinError::WorkerPanicked)?;
     stats.edge_visits += ne as u64;
 
     // Stage 2 (sequential, cheap): candidate sets over pattern nodes.
-    let cand = matchjoin::build_candidates(q, &csrs, m)?;
+    let Some(cand) = matchjoin::build_candidates(q, &csrs, m) else {
+        return Ok(None);
+    };
 
     // Stage 3 (parallel): per-edge support counters + zero-support seeds.
     // Work unit = one (source node, out-edge) pair, keyed by edge index.
@@ -127,7 +169,8 @@ pub(crate) fn par_ranked_fixpoint(
     let per_edge: Vec<(Vec<u32>, Vec<u32>)> = par_map(ne, threads, |ei| {
         let (u, t) = edge_src[ei];
         matchjoin::edge_support(&csrs[ei], &cand[u.index()], &cand[t.index()], m)
-    });
+    })
+    .map_err(JoinError::WorkerPanicked)?;
     stats.edge_visits += ne as u64;
     let mut support: Vec<Vec<u32>> = Vec::with_capacity(ne);
     let mut seeds: Vec<(PatternNodeId, Vec<u32>)> = Vec::with_capacity(ne);
@@ -137,7 +180,9 @@ pub(crate) fn par_ranked_fixpoint(
     }
 
     // Stage 4 (sequential): the confluent drain + final filter.
-    matchjoin::drain_and_extract(q, &csrs, cand, support, &seeds, &rev_index, stats)
+    Ok(matchjoin::drain_and_extract(
+        q, &csrs, cand, support, &seeds, &rev_index, stats,
+    ))
 }
 
 #[cfg(test)]
@@ -147,13 +192,29 @@ mod tests {
     #[test]
     fn par_map_preserves_order() {
         for threads in [1, 2, 4] {
-            let out = par_map(100, threads, |i| i * i);
+            let out = par_map(100, threads, |i| i * i).unwrap();
             assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn par_map_empty() {
-        assert_eq!(par_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(0, 4, |i| i), Ok(Vec::<usize>::new()));
+    }
+
+    #[test]
+    fn par_map_catches_worker_panic() {
+        // Silence the default panic hook for the intentional panics below
+        // (the worker catches them; the hook would still print backtraces).
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = par_map(16, 4, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(out, Err(3), "failing index resurfaces, process survives");
     }
 }

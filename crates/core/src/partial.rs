@@ -16,6 +16,7 @@
 
 use crate::containment::{ContainmentPlan, ViewEdgeRef};
 use crate::matchjoin::{match_join_with, JoinError, JoinStats, JoinStrategy};
+use crate::plan::EdgeSource;
 use crate::view::{ViewExtensions, ViewSet};
 use gpv_graph::{DataGraph, NodeId};
 use gpv_matching::pattern_sim::simulate_pattern;
@@ -81,6 +82,104 @@ pub fn partial_contain(q: &Pattern, views: &ViewSet) -> PartialPlan {
     PartialPlan { lambda, uncovered }
 }
 
+/// The surgical per-edge scan of `g` for one query edge `(u, t)`: exactly
+/// the candidate pairs satisfying the two node conditions — the per-edge
+/// work `Match` would do, limited to this edge.
+pub(crate) fn scan_edge_pairs(
+    q: &Pattern,
+    e: PatternEdgeId,
+    g: &DataGraph,
+) -> Vec<(NodeId, NodeId)> {
+    let (u, t) = q.edge(e);
+    let pu = q.pred(u).resolve(g);
+    let pt = q.pred(t).resolve(g);
+    let mut set = Vec::new();
+    for v in g.nodes() {
+        if !pu.satisfied_by(g, v) {
+            continue;
+        }
+        for &w in g.out_neighbors(v) {
+            if pt.satisfied_by(g, w) {
+                set.push((v, w));
+            }
+        }
+    }
+    set
+}
+
+/// The smallest covering extension among a λ entry's candidates — the one
+/// the witness-narrowing merge reads, and therefore the one the planner
+/// pins into [`EdgeSource::View`] (same tie-break: first minimum).
+pub(crate) fn best_cover(entries: &[ViewEdgeRef], ext: &ViewExtensions) -> Option<ViewEdgeRef> {
+    entries
+        .iter()
+        .min_by_key(|r| ext.edge_set(r.view, r.edge).len())
+        .copied()
+}
+
+/// Derives the per-edge source vector a partial λ implies: covered edges
+/// read their smallest covering extension, uncovered edges scan `G`.
+/// (The engine's cost-based planner may instead emit `Graph` for a
+/// *covered* edge when calibrated weights price the scan cheaper.)
+pub fn sources_from_partial(
+    partial: &PartialPlan,
+    ext: &ViewExtensions,
+) -> Result<Vec<EdgeSource>, JoinError> {
+    partial
+        .lambda
+        .iter()
+        .map(|entries| {
+            if entries.is_empty() {
+                return Ok(EdgeSource::Graph);
+            }
+            for r in entries {
+                if r.view >= ext.extensions.len() {
+                    return Err(JoinError::ViewOutOfRange(r.view));
+                }
+            }
+            Ok(EdgeSource::View(
+                best_cover(entries, ext).expect("nonempty entries"),
+            ))
+        })
+        .collect()
+}
+
+/// The source-honoring merge step: builds each edge's initial match set
+/// from exactly the source the plan pinned — the materialized extension for
+/// [`EdgeSource::View`], a surgical scan for [`EdgeSource::Graph`]. Both
+/// the sequential and the parallel executor consume this, so the planner's
+/// per-edge decision is what actually runs. `g` may be `None` only for
+/// all-view source vectors ([`JoinError::GraphRequired`] otherwise).
+pub(crate) fn merged_from_sources(
+    q: &Pattern,
+    sources: &[EdgeSource],
+    ext: &ViewExtensions,
+    g: Option<&DataGraph>,
+) -> Result<Vec<Vec<(NodeId, NodeId)>>, JoinError> {
+    if q.edge_count() == 0 {
+        return Err(JoinError::NoEdges);
+    }
+    if sources.len() != q.edge_count() {
+        return Err(JoinError::PlanMismatch);
+    }
+    let mut merged: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(q.edge_count());
+    for (ei, source) in sources.iter().enumerate() {
+        match source {
+            EdgeSource::View(r) => {
+                if r.view >= ext.extensions.len() {
+                    return Err(JoinError::ViewOutOfRange(r.view));
+                }
+                merged.push(ext.edge_set(r.view, r.edge).to_vec());
+            }
+            EdgeSource::Graph => {
+                let g = g.ok_or(JoinError::GraphRequired)?;
+                merged.push(scan_edge_pairs(q, PatternEdgeId(ei as u32), g));
+            }
+        }
+    }
+    Ok(merged)
+}
+
 /// Answers `q` using views for the covered edges and a surgical scan of `g`
 /// for the uncovered ones. Equivalent to `Match(q, g)` on every graph (the
 /// property tests assert it), with `G` access proportional to the uncovered
@@ -97,43 +196,9 @@ pub fn hybrid_match_join(
     if partial.lambda.len() != q.edge_count() {
         return Err(JoinError::PlanMismatch);
     }
-    // Build a full λ by adding a sentinel for uncovered edges, then merge:
-    // covered edges read their (smallest) extension, uncovered edges scan g.
-    let mut merged: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(q.edge_count());
-    for (ei, entries) in partial.lambda.iter().enumerate() {
-        if entries.is_empty() {
-            let (u, t) = q.edge(PatternEdgeId(ei as u32));
-            let pu = q.pred(u).resolve(g);
-            let pt = q.pred(t).resolve(g);
-            let mut set = Vec::new();
-            for v in g.nodes() {
-                if !pu.satisfied_by(g, v) {
-                    continue;
-                }
-                for &w in g.out_neighbors(v) {
-                    if pt.satisfied_by(g, w) {
-                        set.push((v, w));
-                    }
-                }
-            }
-            merged.push(set);
-        } else {
-            for r in entries {
-                if r.view >= ext.extensions.len() {
-                    return Err(JoinError::ViewOutOfRange(r.view));
-                }
-            }
-            let best = entries
-                .iter()
-                .min_by_key(|r| ext.edge_set(r.view, r.edge).len())
-                .expect("nonempty entries");
-            merged.push(ext.edge_set(best.view, best.edge).to_vec());
-        }
-    }
-    // Same refinement as MatchJoin from here on: build a plan-shaped call by
-    // reusing the internal fixpoint through a fabricated total plan.
-    // (`match_join_with` only needs the merged sets; we inline via the
-    // public union API by constructing a single-view extension.)
+    let sources = sources_from_partial(partial, ext)?;
+    let merged = merged_from_sources(q, &sources, ext, Some(g))?;
+    // Same refinement as MatchJoin from here on.
     crate::matchjoin::run_fixpoint_public(q, merged)
 }
 

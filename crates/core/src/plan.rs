@@ -10,11 +10,15 @@
 //!    [`contain`](crate::containment::contain), the irreducible subset from
 //!    [`minimal`](crate::minimal::minimal), or the greedy set-cover subset
 //!    from [`minimum`](crate::minimum::minimum), chosen by the
-//!    [`CostModel`](crate::cost::CostModel);
+//!    [`CostModel`](crate::cost::CostModel) — plus, per query edge, the
+//!    cost-based **source** decision ([`EdgeSource`]): read the smallest
+//!    covering extension, or scan `G` surgically when the calibrated
+//!    weights price the extension as more expensive than the scan;
 //! 3. **Execute** — sequential or parallel `MatchJoin`, hybrid join, or
-//!    direct `Match` fallback.
+//!    direct `Match` fallback. The merge honors the per-edge sources
+//!    verbatim (both executors), so EXPLAIN shows exactly what will run.
 
-use crate::containment::ContainmentPlan;
+use crate::containment::{ContainmentPlan, ViewEdgeRef};
 use crate::cost::CostEstimate;
 use crate::matchjoin::JoinStrategy;
 use crate::partial::PartialPlan;
@@ -39,6 +43,57 @@ impl std::fmt::Display for SelectionMode {
             SelectionMode::Minimum => "minimum",
         })
     }
+}
+
+/// Where the merge step reads one query edge's initial match set from —
+/// the per-edge outcome of cost-based hybrid sourcing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgeSource {
+    /// Read the materialized extension of this view edge (the smallest
+    /// covering one; pinned here so the executor reads exactly what the
+    /// planner priced).
+    View(ViewEdgeRef),
+    /// Scan the data graph surgically for this edge's candidate pairs.
+    Graph,
+}
+
+impl std::fmt::Display for EdgeSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeSource::View(r) => write!(f, "view {} edge {}", r.view, r.edge.index()),
+            EdgeSource::Graph => f.write_str("graph scan"),
+        }
+    }
+}
+
+/// Renders a source vector as one compact EXPLAIN line fragment, e.g.
+/// `e0<-V0.e0 e1<-G`.
+pub(crate) fn fmt_sources(sources: &[EdgeSource]) -> String {
+    sources
+        .iter()
+        .enumerate()
+        .map(|(ei, s)| match s {
+            EdgeSource::View(r) => format!("e{ei}<-V{}.e{}", r.view, r.edge.index()),
+            EdgeSource::Graph => format!("e{ei}<-G"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders the active cost weights for EXPLAIN output.
+pub(crate) fn fmt_weights(cost: &CostEstimate) -> String {
+    let w = &cost.weights;
+    format!(
+        "read_pair={:.3} refine_pair={:.3} scan_edge={:.3} ({})",
+        w.read_pair,
+        w.refine_pair,
+        w.scan_edge,
+        if w.calibrated {
+            "calibrated"
+        } else {
+            "default"
+        }
+    )
 }
 
 /// How the join executes.
@@ -72,6 +127,9 @@ pub struct ViewPlan {
     pub views: Vec<usize>,
     /// The λ the executor consumes.
     pub plan: ContainmentPlan,
+    /// Per-edge merge source (all [`EdgeSource::View`] here — the pinned
+    /// smallest covering extension per edge).
+    pub sources: Vec<EdgeSource>,
     /// Join execution strategy.
     pub exec: ExecStrategy,
     /// The planner's estimate for this plan.
@@ -88,6 +146,10 @@ pub enum FallbackReason {
     /// The query has no edges; `MatchJoin` is defined via edge match sets,
     /// so node-only queries evaluate directly.
     NoEdges,
+    /// The views cover the query, but the (calibrated) cost model priced
+    /// some covered edges cheaper as surgical graph scans than as
+    /// extension reads.
+    CostBased,
 }
 
 /// The planner's decision for one query.
@@ -95,12 +157,15 @@ pub enum FallbackReason {
 pub enum QueryPlan {
     /// Answer from materialized views only (Theorem 1 path).
     ViewsOnly(ViewPlan),
-    /// Partial coverage: covered edges from views, uncovered from `G`
-    /// (the [`crate::partial`] hybrid).
+    /// Mixed sourcing: some edges read views, some scan `G` — either
+    /// because coverage is partial (the [`crate::partial`] hybrid) or
+    /// because the cost model priced a covered edge cheaper from `G`.
     Hybrid {
         /// The maximal-coverage λ with its uncovered edges.
         partial: PartialPlan,
-        /// Why views alone were insufficient.
+        /// Per-edge merge source (what the executor honors).
+        sources: Vec<EdgeSource>,
+        /// Why views alone were insufficient (or not worth it).
         reason: FallbackReason,
         /// The planner's estimate for this plan.
         cost: CostEstimate,
@@ -131,12 +196,37 @@ impl QueryPlan {
         !matches!(self, QueryPlan::ViewsOnly(_))
     }
 
+    /// Whether the plan can still execute when no graph is supplied:
+    /// views-only plans trivially, and cost-based hybrids whose coverage
+    /// is *total* — every graph-sourced edge there has a covering
+    /// extension to fall back to, so the demotion is a performance
+    /// preference, never an availability requirement. Strict Theorem-1
+    /// serving uses this to keep answering covered queries after a
+    /// calibration demotes some of their edges.
+    pub fn graph_optional(&self) -> bool {
+        match self {
+            QueryPlan::ViewsOnly(_) => true,
+            QueryPlan::Hybrid { partial, .. } => partial.is_total(),
+            QueryPlan::Direct { .. } => false,
+        }
+    }
+
     /// The planner's cost estimate.
     pub fn cost(&self) -> &CostEstimate {
         match self {
             QueryPlan::ViewsOnly(vp) => &vp.cost,
             QueryPlan::Hybrid { cost, .. } => cost,
             QueryPlan::Direct { cost, .. } => cost,
+        }
+    }
+
+    /// The per-edge merge sources, when the plan has a merge step
+    /// (`None` for direct plans, which bypass `MatchJoin` entirely).
+    pub fn sources(&self) -> Option<&[EdgeSource]> {
+        match self {
+            QueryPlan::ViewsOnly(vp) => Some(&vp.sources),
+            QueryPlan::Hybrid { sources, .. } => Some(sources),
+            QueryPlan::Direct { .. } => None,
         }
     }
 }
@@ -147,6 +237,7 @@ impl std::fmt::Display for QueryPlan {
             QueryPlan::ViewsOnly(vp) => {
                 writeln!(f, "Plan: views-only MatchJoin (Qs ⊑ V)")?;
                 writeln!(f, "  select : {} -> views {:?}", vp.selection, vp.views)?;
+                writeln!(f, "  sources: {}", fmt_sources(&vp.sources))?;
                 writeln!(f, "  execute: {}", vp.exec)?;
                 write!(
                     f,
@@ -156,21 +247,30 @@ impl std::fmt::Display for QueryPlan {
                 if vp.cost.planning > 0.0 {
                     write!(f, " + {:.0} planning", vp.cost.planning)?;
                 }
-                Ok(())
+                write!(f, "\n  weights: {}", fmt_weights(&vp.cost))
             }
-            QueryPlan::Hybrid { partial, cost, .. } => {
-                let covered = partial.lambda.iter().filter(|l| !l.is_empty()).count();
+            QueryPlan::Hybrid {
+                sources,
+                reason,
+                cost,
+                ..
+            } => {
+                let from_views = sources
+                    .iter()
+                    .filter(|s| matches!(s, EdgeSource::View(_)))
+                    .count();
+                let from_graph = sources.len() - from_views;
                 writeln!(
                     f,
-                    "Plan: hybrid join ({} covered, {} uncovered edges)",
-                    covered,
-                    partial.uncovered.len()
+                    "Plan: hybrid join ({from_views} view-sourced, {from_graph} graph-sourced edges; {reason:?})"
                 )?;
+                writeln!(f, "  sources: {}", fmt_sources(sources))?;
                 write!(
                     f,
                     "  cost   : {:.0} ({} pairs read, {} graph edges scanned)",
                     cost.total, cost.pairs_read, cost.graph_edges_scanned
-                )
+                )?;
+                write!(f, "\n  weights: {}", fmt_weights(cost))
             }
             QueryPlan::Direct { reason, cost } => {
                 writeln!(f, "Plan: direct Match on G ({reason:?})")?;
@@ -178,7 +278,8 @@ impl std::fmt::Display for QueryPlan {
                     f,
                     "  cost   : {:.0} ({} graph edges scanned)",
                     cost.total, cost.graph_edges_scanned
-                )
+                )?;
+                write!(f, "\n  weights: {}", fmt_weights(cost))
             }
         }
     }

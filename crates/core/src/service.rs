@@ -16,9 +16,11 @@
 //! * executes against a lock-free
 //!   [`StoreSnapshot`](crate::store::StoreSnapshot) of the sharded
 //!   [`ViewStore`], rebuilding its internal [`QueryEngine`] only when the
-//!   store version moves;
+//!   store version moves or a recalibration
+//!   ([`ServiceConfig::recalibrate_every`]) changes the cost model;
 //! * keeps service-level statistics: plan-cache hit rate, per-shard
-//!   occupancy, in-flight queue depth, and a log₂ latency histogram.
+//!   occupancy, in-flight queue depth, a log₂ latency histogram, and the
+//!   calibration state (active weights, sample count, drift).
 //!
 //! Answers are **byte-identical** to calling
 //! [`QueryEngine::answer`] sequentially (asserted by `tests/service.rs`):
@@ -57,6 +59,7 @@
 //! assert!(service.stats().queries == 2);
 //! ```
 
+use crate::cost::{CostModel, SharedCostLog};
 use crate::engine::{EngineConfig, EngineError, QueryEngine};
 use crate::matchjoin::{JoinError, JoinStats};
 use crate::plan::QueryPlan;
@@ -151,9 +154,15 @@ fn bucket_of(micros: u64) -> usize {
 pub struct ServiceConfig {
     /// Engine configuration applied to the planner/executor.
     pub engine: EngineConfig,
-    /// Maximum cached plans; when full, the cache is reset (`0` disables
-    /// plan caching entirely).
+    /// Maximum cached plans; when full, the least-recently-used entry is
+    /// evicted — hot entries survive a flood of distinct cold queries
+    /// (`0` disables plan caching entirely).
     pub plan_cache_capacity: usize,
+    /// Re-fit the cost weights from the measured [`CostSample`](crate::cost::CostSample)
+    /// log every this many batches (`0` disables recalibration). A re-fit
+    /// that changes the weights invalidates cached plans and rebuilds the
+    /// engine snapshot, so subsequent planning is priced in measured units.
+    pub recalibrate_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -161,6 +170,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             engine: EngineConfig::default(),
             plan_cache_capacity: 4096,
+            recalibrate_every: 0,
         }
     }
 }
@@ -265,6 +275,18 @@ pub struct ServiceStats {
     pub shard_occupancy: Vec<ShardOccupancy>,
     /// Log₂ latency histogram over all served queries.
     pub latency: LatencyHistogram,
+    /// The active cost model (calibrated when a re-fit has been applied).
+    pub cost_model: CostModel,
+    /// Estimate-vs-actual samples currently retained in the cost log.
+    pub cost_samples: usize,
+    /// Calibration drift: mean relative error of the active weights'
+    /// predictions against the measured executions (`None` before any
+    /// execution). Rising drift under a calibrated model means the
+    /// workload shifted and the next re-fit will move the weights.
+    pub estimate_error: Option<f64>,
+    /// Times a re-fit changed the weights (each one invalidated the plan
+    /// cache and rebuilt the engine snapshot).
+    pub recalibrations: u64,
 }
 
 /// Internal atomic counters (one cache line of independently-updated
@@ -277,16 +299,18 @@ struct Counters {
     plan_misses: AtomicU64,
     dedup_saved: AtomicU64,
     engine_rebuilds: AtomicU64,
+    recalibrations: AtomicU64,
     in_flight: AtomicU64,
     max_in_flight: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
 }
 
 /// The engine snapshot the service executes against, tagged with the store
-/// version it was built from.
+/// version and the calibration epoch it was built from.
 #[derive(Clone, Debug)]
 struct EngineSnapshot {
     version: u64,
+    calib_epoch: u64,
     view_fingerprint: u64,
     engine: Arc<QueryEngine>,
 }
@@ -303,12 +327,68 @@ pub struct ViewService {
     /// keeps the query's canonical JSON so a fingerprint collision is
     /// detected by equality instead of silently serving the wrong plan.
     plan_cache: RwLock<PlanCache>,
+    /// The estimate-vs-actual history, shared into every rebuilt engine so
+    /// recalibration sees all measurements, not just the latest snapshot's.
+    cost_log: SharedCostLog,
+    /// The last applied re-fit (`None` = still on the configured weights).
+    calibrated: RwLock<Option<CostModel>>,
+    /// Bumped whenever a re-fit changes the weights, invalidating the
+    /// engine snapshot (same mechanism as a store-version move).
+    calib_epoch: AtomicU64,
     counters: Counters,
 }
 
-/// `(query fingerprint, view-set fingerprint)` → (canonical query JSON,
-/// shared plan).
-type PlanCache = HashMap<(u64, u64), (Arc<str>, Arc<QueryPlan>)>;
+/// One cached plan: the canonical query JSON (the fingerprint-collision
+/// witness), the shared plan, the calibration epoch it was priced under
+/// (an in-flight batch holding a pre-recalibration engine could otherwise
+/// re-insert a stale-weights plan *after* the recalibration clear, and the
+/// key alone would serve it forever), and an LRU stamp updated on hits.
+#[derive(Debug)]
+struct PlanCacheEntry {
+    qkey: Arc<str>,
+    plan: Arc<QueryPlan>,
+    epoch: u64,
+    last_used: AtomicU64,
+}
+
+/// `(query fingerprint, view-set fingerprint)` → cached plan, with
+/// least-recently-used eviction at capacity (a flood of distinct cold
+/// queries evicts only the coldest entries, never the hot ones).
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: HashMap<(u64, u64), PlanCacheEntry>,
+    /// Monotonic LRU clock (ticked under the read lock on hits).
+    clock: AtomicU64,
+}
+
+impl PlanCache {
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Marks an entry as just-used.
+    fn touch(&self, entry: &PlanCacheEntry) {
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+    }
+
+    /// Removes the least-recently-used entry. The scan is O(capacity), but
+    /// an eviction only ever happens on a cache *miss*, which has just paid
+    /// for a full `QueryEngine::plan` (view-match simulations over every
+    /// registered view) — orders of magnitude more than one pass over the
+    /// bounded map's `u64` stamps — so exact LRU costs a rounding error per
+    /// miss and never makes any entry immortal (sampled/windowed schemes
+    /// trade that guarantee away for savings that don't show up here).
+    fn evict_lru(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+            .map(|(k, _)| *k);
+        if let Some(k) = victim {
+            self.map.remove(&k);
+        }
+    }
+}
 
 impl ViewService {
     /// A service over `store` with the default configuration.
@@ -322,7 +402,10 @@ impl ViewService {
             store,
             config,
             engine: RwLock::new(None),
-            plan_cache: RwLock::new(HashMap::new()),
+            plan_cache: RwLock::new(PlanCache::default()),
+            cost_log: SharedCostLog::default(),
+            calibrated: RwLock::new(None),
+            calib_epoch: AtomicU64::new(0),
             counters: Counters::default(),
         }
     }
@@ -333,28 +416,49 @@ impl ViewService {
         &self.store
     }
 
-    /// Current engine snapshot, rebuilding if the store version moved.
+    /// The cost model planning should run under: the last applied re-fit,
+    /// or the configured weights before any calibration.
+    fn active_cost_model(&self) -> CostModel {
+        self.calibrated
+            .read()
+            .expect("calibration lock poisoned")
+            .unwrap_or(self.config.engine.cost)
+    }
+
+    /// Current engine snapshot, rebuilding if the store version moved or a
+    /// recalibration changed the active cost model.
     fn engine(&self) -> EngineSnapshot {
         let version = self.store.version();
+        let epoch = self.calib_epoch.load(Ordering::Relaxed);
+        let valid = |s: &&EngineSnapshot| s.version == version && s.calib_epoch == epoch;
         if let Some(snap) = self
             .engine
             .read()
             .expect("engine lock poisoned")
             .as_ref()
-            .filter(|s| s.version == version)
+            .filter(valid)
         {
             return snap.clone();
         }
         let mut guard = self.engine.write().expect("engine lock poisoned");
         // Another thread may have rebuilt while we waited for the lock.
-        if let Some(snap) = guard.as_ref().filter(|s| s.version == self.store.version()) {
+        let version = self.store.version();
+        let epoch = self.calib_epoch.load(Ordering::Relaxed);
+        if let Some(snap) = guard
+            .as_ref()
+            .filter(|s| s.version == version && s.calib_epoch == epoch)
+        {
             return snap.clone();
         }
         let store_snap = self.store.snapshot();
-        let engine =
-            QueryEngine::from_snapshot(&store_snap).with_config(self.config.engine.clone());
+        let mut config = self.config.engine.clone();
+        config.cost = self.active_cost_model();
+        let engine = QueryEngine::from_snapshot(&store_snap)
+            .with_config(config)
+            .with_cost_log(self.cost_log.clone());
         let snap = EngineSnapshot {
             version: store_snap.version,
+            calib_epoch: epoch,
             view_fingerprint: store_snap.fingerprint,
             engine: Arc::new(engine),
         };
@@ -365,15 +469,69 @@ impl ViewService {
         snap
     }
 
+    /// Whether two fits are close enough to count as converged. A fit over
+    /// an ever-growing log moves in low-order float bits on *every* batch;
+    /// exact equality would therefore re-install, drop the plan cache, and
+    /// rebuild the engine each batch under `recalibrate_every = 1` —
+    /// permanently-cold caches in exchange for noise. Only a ≥5% move in
+    /// some fitted weight is worth repricing plans over.
+    fn converged(a: &CostModel, b: &CostModel) -> bool {
+        let close =
+            |x: f64, y: f64| (x - y).abs() <= 0.05 * x.abs().max(y.abs()).max(f64::MIN_POSITIVE);
+        close(a.read_pair, b.read_pair)
+            && close(a.refine_pair, b.refine_pair)
+            && close(a.scan_edge, b.scan_edge)
+    }
+
+    /// Re-fits the cost weights from the measured log when the batch cadence
+    /// says so. A fit that moves the weights installs itself, drops every
+    /// cached plan (they were priced under the old weights) and invalidates
+    /// the engine snapshot; a fit within tolerance of the active one is a
+    /// no-op.
+    fn maybe_recalibrate(&self) {
+        let every = self.config.recalibrate_every;
+        if every == 0 {
+            return;
+        }
+        if self.counters.batches.load(Ordering::Relaxed) % every != 0 {
+            return;
+        }
+        let Some(fitted) = self
+            .active_cost_model()
+            .calibrate(&self.cost_log.snapshot())
+        else {
+            return;
+        };
+        {
+            let mut slot = self.calibrated.write().expect("calibration lock poisoned");
+            if let Some(prev) = slot.as_ref() {
+                if Self::converged(prev, &fitted) {
+                    return; // keep serving with the installed weights
+                }
+            }
+            *slot = Some(fitted);
+        }
+        self.plan_cache
+            .write()
+            .expect("plan cache lock poisoned")
+            .map
+            .clear();
+        self.calib_epoch.fetch_add(1, Ordering::Relaxed);
+        self.counters.recalibrations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The plan for `q` under view-set fingerprint `vfp`, from the cache
     /// when present. Returns `(plan, was_cached)`. A cache hit requires
     /// both the fingerprint *and* the canonical form `qkey` to match — a
     /// colliding distinct query is planned fresh (and left uncached, so
-    /// the resident entry keeps working).
+    /// the resident entry keeps working). At capacity the LRU entry is
+    /// evicted (regression: the cache used to clear wholesale, so a
+    /// sustained stream of distinct queries dumped the hot entries too).
     fn plan_for(
         &self,
         engine: &QueryEngine,
         vfp: u64,
+        epoch: u64,
         qfp: u64,
         qkey: &str,
         q: &Pattern,
@@ -383,34 +541,59 @@ impl ViewService {
             return (Arc::new(engine.plan(q)), false);
         }
         let key = (qfp, vfp);
-        if let Some((cached_key, plan)) = self
-            .plan_cache
-            .read()
-            .expect("plan cache lock poisoned")
-            .get(&key)
         {
-            if **cached_key == *qkey {
-                self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
-                return (plan.clone(), true);
+            let cache = self.plan_cache.read().expect("plan cache lock poisoned");
+            if let Some(entry) = cache.map.get(&key) {
+                if *entry.qkey == *qkey && entry.epoch == epoch {
+                    cache.touch(entry);
+                    self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    return (entry.plan.clone(), true);
+                }
+                if *entry.qkey != *qkey {
+                    // Fingerprint collision with a different query: plan
+                    // fresh, don't disturb the resident entry.
+                    self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+                    return (Arc::new(engine.plan(q)), false);
+                }
+                // Same query, stale epoch: fall through and replace below.
             }
-            // Fingerprint collision with a different query: plan fresh,
-            // don't disturb the resident entry.
-            self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
-            return (Arc::new(engine.plan(q)), false);
         }
         let plan = Arc::new(engine.plan(q));
         let mut cache = self.plan_cache.write().expect("plan cache lock poisoned");
         // Racing planners produce identical plans (planning is
         // deterministic), so last-writer-wins is safe; prefer the resident
         // entry to keep `Arc` identity stable for callers comparing plans.
-        let entry = match cache.get(&key) {
-            Some((cached_key, existing)) if **cached_key == *qkey => existing.clone(),
-            Some(_) => plan, // collision: serve fresh, keep resident entry
-            None => {
-                if cache.len() >= self.config.plan_cache_capacity {
-                    cache.clear();
+        enum Resident {
+            Fresh(Arc<QueryPlan>),
+            Collision,
+            Stale,
+        }
+        let resident = cache.map.get(&key).map(|e| {
+            if *e.qkey != *qkey {
+                Resident::Collision
+            } else if e.epoch == epoch {
+                Resident::Fresh(e.plan.clone())
+            } else {
+                Resident::Stale
+            }
+        });
+        let entry = match resident {
+            Some(Resident::Fresh(existing)) => existing,
+            Some(Resident::Collision) => plan, // serve fresh, keep resident
+            stale_or_vacant => {
+                if stale_or_vacant.is_none() && cache.map.len() >= self.config.plan_cache_capacity {
+                    cache.evict_lru();
                 }
-                cache.insert(key, (Arc::from(qkey), plan.clone()));
+                let stamp = cache.tick();
+                cache.map.insert(
+                    key,
+                    PlanCacheEntry {
+                        qkey: Arc::from(qkey),
+                        plan: plan.clone(),
+                        epoch,
+                        last_used: AtomicU64::new(stamp),
+                    },
+                );
                 plan
             }
         };
@@ -509,13 +692,27 @@ impl ViewService {
                     })
                 }
                 None => {
-                    let (plan, plan_cached) =
-                        self.plan_for(&snap.engine, snap.view_fingerprint, qfp, &qkey, q);
+                    let (plan, plan_cached) = self.plan_for(
+                        &snap.engine,
+                        snap.view_fingerprint,
+                        snap.calib_epoch,
+                        qfp,
+                        &qkey,
+                        q,
+                    );
                     // Views-only plans execute with no graph at all; plans
                     // that do read G first validate it belongs to this
-                    // store (once per batch).
+                    // store (once per batch). A graph-*optional* plan (a
+                    // fully-covered cost-based hybrid) uses G when
+                    // supplied and falls back to its view sources when
+                    // not — calibration never costs strict-mode
+                    // availability.
                     let exec = if plan.needs_graph() {
                         match g {
+                            None if plan.graph_optional() => snap
+                                .engine
+                                .execute(q, &plan, None)
+                                .map_err(ServiceError::from),
                             None => Err(ServiceError::NeedsGraph),
                             Some(g) => check_graph(g).and_then(|()| {
                                 snap.engine
@@ -554,6 +751,10 @@ impl ViewService {
             self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
             out.push(answer);
         }
+        // Adaptive planning: between batches, re-fit the cost weights from
+        // the measurements this batch just added (no-op unless
+        // [`ServiceConfig::recalibrate_every`] is set).
+        self.maybe_recalibrate();
         out
     }
 
@@ -570,9 +771,10 @@ impl ViewService {
             .plan_cache
             .read()
             .expect("plan cache lock poisoned")
+            .map
             .get(&(qfp, snap.view_fingerprint))
-            .filter(|(cached_key, _)| **cached_key == *qkey)
-            .map(|(_, plan)| plan.clone());
+            .filter(|entry| *entry.qkey == *qkey && entry.epoch == snap.calib_epoch)
+            .map(|entry| entry.plan.clone());
         let cached = cached_plan.is_some();
         let plan = cached_plan.unwrap_or_else(|| Arc::new(snap.engine.plan(q)));
         format!(
@@ -586,6 +788,8 @@ impl ViewService {
     pub fn stats(&self) -> ServiceStats {
         let hits = self.counters.plan_hits.load(Ordering::Relaxed);
         let misses = self.counters.plan_misses.load(Ordering::Relaxed);
+        let active = self.active_cost_model();
+        let log = self.cost_log.snapshot();
         let mut latency = LatencyHistogram::default();
         for (i, b) in self.counters.latency.iter().enumerate() {
             latency.buckets[i] = b.load(Ordering::Relaxed);
@@ -599,6 +803,7 @@ impl ViewService {
                 .plan_cache
                 .read()
                 .expect("plan cache lock poisoned")
+                .map
                 .len(),
             plan_cache_hit_rate: if hits + misses > 0 {
                 hits as f64 / (hits + misses) as f64
@@ -611,6 +816,10 @@ impl ViewService {
             max_in_flight: self.counters.max_in_flight.load(Ordering::Relaxed),
             shard_occupancy: self.store.occupancy(),
             latency,
+            cost_model: active,
+            cost_samples: log.len(),
+            estimate_error: active.mean_relative_error(&log),
+            recalibrations: self.counters.recalibrations.load(Ordering::Relaxed),
         }
     }
 }

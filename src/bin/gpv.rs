@@ -7,7 +7,9 @@
 //! gpv minimal  --pattern Q.txt --view V1.txt ... (also: minimum)
 //! gpv answer   --graph G.txt --pattern Q.txt --view V1.txt ... [--bounded]
 //!              [--select auto|all|minimal|minimum] [--threads N]
-//! gpv plan     --graph G.txt --pattern Q.txt --view V1.txt ...   # EXPLAIN
+//! gpv plan     --graph G.txt --pattern Q.txt --view V1.txt ... [--calibrated]  # EXPLAIN
+//! gpv calibrate --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
+//!              [--repeat K]
 //! gpv serve    --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
 //!              [--shards N] [--clients N] [--repeat K] [--explain]
 //! gpv minimize --pattern Q.txt
@@ -17,6 +19,15 @@
 //! engine analyzes containment, costs the candidate view selections against
 //! the materialized extension sizes (`--select auto`, the default), and
 //! picks a sequential or parallel executor (`--threads 0` = auto-detect).
+//! The EXPLAIN output shows the per-edge merge sources (`View`/`Graph`) and
+//! the active cost weights; `plan --calibrated` first executes the query a
+//! few times (`--repeat`, min 3) to fill the estimate-vs-actual log,
+//! re-fits the weights, and EXPLAINs under the calibrated model.
+//!
+//! `calibrate` runs a whole workload (`--pattern` repeated) `--repeat`
+//! times, least-squares-fits the cost weights against the measured wall
+//! times, and prints the fitted microsecond weights plus the estimate
+//! error before and after the fit.
 //!
 //! `serve` is the batch-serving front end over [`core::ViewService`]: it
 //! shards the materialized views into a [`core::ViewStore`] (`--shards`),
@@ -41,6 +52,7 @@ struct Args {
     bounded: bool,
     dual: bool,
     explain: bool,
+    calibrated: bool,
     select: String,
     threads: usize,
     shards: usize,
@@ -50,9 +62,9 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|serve|minimize> \
+        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|minimize> \
          [--graph F] [--pattern F]... [--view F]... [--bounded] [--dual] \
-         [--select auto|all|minimal|minimum] [--threads N] \
+         [--select auto|all|minimal|minimum] [--threads N] [--calibrated] \
          [--shards N] [--clients N] [--repeat K] [--explain]"
     );
     ExitCode::from(2)
@@ -66,6 +78,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         bounded: false,
         dual: false,
         explain: false,
+        calibrated: false,
         select: "auto".into(),
         threads: 0,
         shards: 8,
@@ -124,6 +137,10 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--explain" => {
                 a.explain = true;
+                i += 1;
+            }
+            "--calibrated" => {
+                a.calibrated = true;
                 i += 1;
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -270,9 +287,31 @@ fn run() -> Result<(), String> {
             let q = require_plain(&qb, "pattern")?;
             let views = load_views(&a)?;
             let vs = plain_view_set(&views)?;
-            let engine = core::QueryEngine::materialize(vs, &g).with_config(engine_config(&a)?);
+            let mut engine = core::QueryEngine::materialize(vs, &g).with_config(engine_config(&a)?);
+            if a.calibrated {
+                // Fill the estimate-vs-actual log by executing the query a
+                // few times, then re-plan under the fitted weights.
+                for _ in 0..a.repeat.max(3) {
+                    let plan = engine.plan(&q);
+                    engine
+                        .execute(&q, &plan, Some(&g))
+                        .map_err(|e| e.to_string())?;
+                }
+                let before = engine.estimate_error();
+                if engine.apply_calibration() {
+                    if let (Some(b), Some(after)) = (before, engine.estimate_error()) {
+                        println!(
+                            "# calibrated over {} runs: mean relative estimate error {b:.3} -> {after:.3}",
+                            engine.cost_log().len()
+                        );
+                    }
+                } else {
+                    eprintln!("gpv: not enough measurements to calibrate; showing default weights");
+                }
+            }
             println!("{}", engine.explain(&q));
         }
+        "calibrate" => calibrate(&a)?,
         "serve" => serve(&a)?,
         "minimize" => {
             let qb = load_query(&a)?;
@@ -288,6 +327,48 @@ fn run() -> Result<(), String> {
             print!("{}", gpv_pattern::write_pattern(&m.pattern));
         }
         _ => return Err(format!("unknown command `{cmd}`")),
+    }
+    Ok(())
+}
+
+/// The `calibrate` command: run a workload against the engine a few times,
+/// least-squares-fit the cost weights from the measured executions
+/// ([`core::CostModel::calibrate`]), and report the fitted microsecond
+/// weights plus the estimate error before/after the fit.
+fn calibrate(a: &Args) -> Result<(), String> {
+    let g = load_graph(a)?;
+    let views = load_views(a)?;
+    let vs = plain_view_set(&views)?;
+    if a.patterns.is_empty() {
+        return Err("missing --pattern".into());
+    }
+    let mut queries: Vec<gpv_pattern::Pattern> = Vec::new();
+    for p in &a.patterns {
+        queries.push(require_plain(&load_pattern(p)?, "pattern")?);
+    }
+    let mut engine = core::QueryEngine::materialize(vs, &g).with_config(engine_config(a)?);
+    for _ in 0..a.repeat.max(3) {
+        for q in &queries {
+            let plan = engine.plan(q);
+            engine
+                .execute(q, &plan, Some(&g))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let before = engine.estimate_error();
+    if !engine.apply_calibration() {
+        return Err(
+            "not enough measurements to calibrate (add --pattern files or raise --repeat)".into(),
+        );
+    }
+    let after = engine.estimate_error();
+    let cm = engine.cost_model();
+    println!("samples    : {}", engine.cost_log().len());
+    println!("read_pair  : {:.6} us/pair", cm.read_pair);
+    println!("refine_pair: {:.6} us/pair", cm.refine_pair);
+    println!("scan_edge  : {:.6} us/edge", cm.scan_edge);
+    if let (Some(b), Some(af)) = (before, after) {
+        println!("est. error : {b:.3} -> {af:.3} (mean relative, lower is better)");
     }
     Ok(())
 }
@@ -319,6 +400,9 @@ fn serve(a: &Args) -> Result<(), String> {
         store,
         core::ServiceConfig {
             engine: engine_config(a)?,
+            // `--calibrated`: re-fit the cost weights from measurements
+            // after every batch, so later batches plan adaptively.
+            recalibrate_every: if a.calibrated { 1 } else { 0 },
             ..core::ServiceConfig::default()
         },
     );
@@ -390,6 +474,22 @@ fn serve(a: &Args) -> Result<(), String> {
         stats.latency.quantile_label(0.5),
         stats.latency.quantile_label(0.99),
         stats.max_in_flight
+    );
+    println!(
+        "cost model: read={:.3} refine={:.3} scan={:.3} ({}), {} samples, est. error {}, {} recalibrations",
+        stats.cost_model.read_pair,
+        stats.cost_model.refine_pair,
+        stats.cost_model.scan_edge,
+        if stats.cost_model.calibrated {
+            "calibrated"
+        } else {
+            "default"
+        },
+        stats.cost_samples,
+        stats
+            .estimate_error
+            .map_or("n/a".into(), |e| format!("{e:.3}")),
+        stats.recalibrations
     );
     let occupied = stats.shard_occupancy.iter().filter(|o| o.views > 0).count();
     println!(

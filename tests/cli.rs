@@ -260,3 +260,116 @@ fn bad_usage() {
     let out = gpv().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+/// Golden-file contract for `gpv plan` EXPLAIN output. The per-edge
+/// `View`/`Graph` sources and the active cost weights are part of the plan
+/// IR contract (the serving layer EXPLAINs cached plans with the same
+/// renderer), so format drift must be a deliberate edit to `tests/golden/`,
+/// not a side effect. CI runs this via `cargo test`.
+#[test]
+fn plan_explain_matches_golden() {
+    let g = write_tmp("gold-g.txt", GRAPH);
+    let q = write_tmp("gold-q.txt", QUERY);
+    let v1 = write_tmp("gold-v1.txt", VIEW1);
+    let v2 = write_tmp("gold-v2.txt", VIEW2);
+    let chain = write_tmp(
+        "gold-chain.txt",
+        "node pm PM\nnode dba DBA\nnode prg PRG\nedge pm dba\nedge dba prg\n",
+    );
+    let vxy = write_tmp("gold-vxy.txt", "node x X\nnode y Y\nedge x y\n");
+    let run = |args: &[&std::path::PathBuf], views: &[&std::path::PathBuf]| -> String {
+        let mut cmd = gpv();
+        cmd.args(["plan", "--graph", args[0].to_str().unwrap()]);
+        cmd.args(["--pattern", args[1].to_str().unwrap()]);
+        for v in views {
+            cmd.args(["--view", v.to_str().unwrap()]);
+        }
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(
+        run(&[&g, &q], &[&v1, &v2]),
+        include_str!("golden/plan_views_only.txt"),
+        "views-only EXPLAIN drifted; update tests/golden/ deliberately"
+    );
+    assert_eq!(
+        run(&[&g, &chain], &[&v1]),
+        include_str!("golden/plan_hybrid.txt"),
+        "hybrid EXPLAIN drifted; update tests/golden/ deliberately"
+    );
+    assert_eq!(
+        run(&[&g, &q], &[&vxy]),
+        include_str!("golden/plan_direct.txt"),
+        "direct EXPLAIN drifted; update tests/golden/ deliberately"
+    );
+}
+
+/// `gpv calibrate` fits measured weights and reports the error reduction.
+#[test]
+fn calibrate_command_reports_fit() {
+    let g = write_tmp("cal-g.txt", GRAPH);
+    let q = write_tmp("cal-q.txt", QUERY);
+    let v1 = write_tmp("cal-v1.txt", VIEW1);
+    let v2 = write_tmp("cal-v2.txt", VIEW2);
+    let out = gpv()
+        .args([
+            "calibrate",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--repeat",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("read_pair"), "{s}");
+    assert!(s.contains("est. error"), "{s}");
+}
+
+/// `gpv plan --calibrated` EXPLAINs under re-fitted weights.
+#[test]
+fn plan_calibrated_shows_fitted_weights() {
+    let g = write_tmp("pc-g.txt", GRAPH);
+    let q = write_tmp("pc-q.txt", QUERY);
+    let v1 = write_tmp("pc-v1.txt", VIEW1);
+    let v2 = write_tmp("pc-v2.txt", VIEW2);
+    let out = gpv()
+        .args([
+            "plan",
+            "--calibrated",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("sources:"), "{s}");
+    assert!(s.contains("(calibrated)"), "{s}");
+}

@@ -235,3 +235,120 @@ proptest! {
         prop_assert_eq!(a.result, b.result);
     }
 }
+
+/// The LRU regression (the cache used to clear wholesale when full): a hot
+/// entry that keeps being served must survive a sustained flood of distinct
+/// cold queries, and the cache never exceeds its capacity.
+#[test]
+fn plan_cache_lru_keeps_hot_entries_under_cold_flood() {
+    use graph_views::views::ServiceConfig;
+    let g = random_graph(30, 80, &LABELS, 3);
+    let hot = random_pattern(3, 3, &LABELS, PatternShape::Any, 1);
+    let views = covering_views(std::slice::from_ref(&hot), 2, 5);
+    let store = Arc::new(ViewStore::materialize(views, &g, 2));
+    let svc = ViewService::with_config(
+        store,
+        ServiceConfig {
+            plan_cache_capacity: 8,
+            ..ServiceConfig::default()
+        },
+    );
+    // Warm the hot entry, then flood with distinct cold queries while the
+    // hot query keeps arriving in between (staying most-recently-used).
+    svc.serve(&hot, Some(&g)).unwrap();
+    for i in 0..50u64 {
+        let cold = random_pattern(3, 3, &LABELS, PatternShape::Any, 1_000 + i);
+        svc.serve(&cold, Some(&g)).unwrap();
+        let again = svc.serve(&hot, Some(&g)).unwrap();
+        assert!(
+            again.plan_cached,
+            "hot entry evicted by the cold flood at i={i}"
+        );
+    }
+    let stats = svc.stats();
+    assert!(
+        stats.plan_cache_size <= 8,
+        "LRU keeps the cache bounded: {}",
+        stats.plan_cache_size
+    );
+}
+
+/// Between-batch recalibration: with `recalibrate_every` set the service
+/// re-fits the cost weights from measured executions, exposes the
+/// calibrated model and its drift in the stats — and answers stay
+/// byte-identical to the sequential engine throughout.
+#[test]
+fn recalibration_between_batches_keeps_answers_and_updates_model() {
+    use graph_views::views::ServiceConfig;
+    let g = random_graph(40, 120, &LABELS, 17);
+    let covered = random_pattern(3, 4, &LABELS, PatternShape::Any, 21);
+    let uncovered = random_pattern(4, 5, &LABELS, PatternShape::Any, 22);
+    // Views cover only the first query: the batch mixes views-only and
+    // graph-reading plans, giving the fit signal on every weight.
+    let views = covering_views(std::slice::from_ref(&covered), 2, 23);
+    let engine = QueryEngine::materialize(views.clone(), &g);
+    let store = Arc::new(ViewStore::materialize(views, &g, 4));
+    let svc = ViewService::with_config(
+        store,
+        ServiceConfig {
+            recalibrate_every: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let batch = vec![covered.clone(), uncovered.clone(), covered.clone()];
+    for round in 0..4 {
+        let answers = svc.serve_batch(&batch, Some(&g));
+        for (i, r) in answers.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().result,
+                engine.answer(&batch[i], &g).unwrap(),
+                "round {round} slot {i} diverged under recalibration"
+            );
+        }
+    }
+    let stats = svc.stats();
+    assert!(stats.cost_samples > 0, "executions were recorded");
+    assert!(
+        stats.recalibrations >= 1,
+        "the cadence re-fit at least once: {stats:?}"
+    );
+    assert!(stats.cost_model.calibrated, "active model is the re-fit");
+    assert!(
+        stats.estimate_error.is_some(),
+        "drift gauge exposed once samples exist"
+    );
+}
+
+/// Strict views-only serving survives calibration: a cost model that
+/// demotes covered edges to graph scans must not make a fully-covered
+/// query unanswerable when no graph is supplied — the service executes the
+/// hybrid's view-source fallback instead of failing with NeedsGraph.
+#[test]
+fn strict_mode_serves_cost_based_hybrids_without_graph() {
+    use graph_views::views::ServiceConfig;
+    let g = random_graph(40, 120, &LABELS, 29);
+    let q = random_pattern(3, 4, &LABELS, PatternShape::Any, 31);
+    let views = covering_views(std::slice::from_ref(&q), 2, 33);
+    let truth = match_pattern(&q, &g);
+    let cheap_scan = CostModel {
+        scan_edge: 0.0001,
+        refine_pair: 0.001,
+        calibrated: true,
+        ..CostModel::default()
+    };
+    let store = Arc::new(ViewStore::materialize(views, &g, 2));
+    let svc = ViewService::with_config(
+        store,
+        ServiceConfig {
+            engine: EngineConfig {
+                cost: cheap_scan,
+                ..EngineConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    // With the graph: the demoted plan executes as planned.
+    assert_eq!(svc.serve(&q, Some(&g)).unwrap().result, truth);
+    // Without the graph: still answered (view-source fallback).
+    assert_eq!(svc.serve(&q, None).unwrap().result, truth);
+}
