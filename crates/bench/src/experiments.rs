@@ -904,11 +904,13 @@ pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
 /// [`ViewService`](gpv_core::service::ViewService) facade over a sharded
 /// [`ViewStore`](gpv_core::store::ViewStore). For each client count
 /// (1/2/4/8), every client thread submits the same duplicated query batch
+/// **twice** (two separate batches — the repeat is what exercises the
+/// cross-batch result cache; in-batch duplicates only exercise dedup)
 /// concurrently against a fresh service; the rows record wall-clock,
-/// throughput, and the plan-cache hit rate. On a 1-core host the client
-/// threads time-slice one core, so throughput cannot scale with clients —
-/// the experiment still exercises (and records) contention on the shared
-/// plan cache and store; see CHANGES.md.
+/// throughput, and the plan-/result-cache hit and miss counts. On a 1-core
+/// host the client threads time-slice one core, so throughput cannot scale
+/// with clients — the experiment still exercises (and records) contention
+/// on the shared caches and store; see CHANGES.md.
 pub fn service_experiment(scale: Scale, seed: u64) -> ExperimentResult {
     use gpv_core::service::ViewService;
     use gpv_core::store::ViewStore;
@@ -928,6 +930,7 @@ pub fn service_experiment(scale: Scale, seed: u64) -> ExperimentResult {
         .flat_map(|q| std::iter::repeat_n(q, 4))
         .cloned()
         .collect();
+    const ROUNDS: usize = 2;
 
     let mut rows = Vec::new();
     for clients in [1usize, 2, 4, 8] {
@@ -939,8 +942,10 @@ pub fn service_experiment(scale: Scale, seed: u64) -> ExperimentResult {
                 let handles: Vec<_> = (0..clients)
                     .map(|_| {
                         s.spawn(|| {
-                            for r in service.serve_batch(&batch, Some(&g)) {
-                                std::hint::black_box(r.expect("batch serves"));
+                            for _ in 0..ROUNDS {
+                                for r in service.serve_batch(&batch, Some(&g)) {
+                                    std::hint::black_box(r.expect("batch serves"));
+                                }
                             }
                         })
                     })
@@ -951,13 +956,19 @@ pub fn service_experiment(scale: Scale, seed: u64) -> ExperimentResult {
             });
         });
         let stats = service.stats();
-        let served = (clients * batch.len()) as f64;
+        let served = (clients * ROUNDS * batch.len()) as f64;
         rows.push(Row {
             x: format!("{clients}"),
             series: vec![
                 ("wall_s".into(), wall),
                 ("throughput_qps".into(), served / wall.max(1e-9)),
                 ("plan_cache_hit_rate".into(), stats.plan_cache_hit_rate),
+                ("result_cache_hits".into(), stats.result_cache_hits as f64),
+                (
+                    "result_cache_misses".into(),
+                    stats.result_cache_misses as f64,
+                ),
+                ("result_cache_hit_rate".into(), stats.result_cache_hit_rate),
                 ("dedup_saved".into(), stats.dedup_saved as f64),
                 ("max_queue_depth".into(), stats.max_in_flight as f64),
             ],
@@ -1217,6 +1228,19 @@ mod tests {
             // either the intra-batch dedup or the plan cache.
             assert!(get("plan_cache_hit_rate") >= 0.0);
             assert!(get("dedup_saved") >= 18.0 - 1e-9, "per-client dedup");
+            // Every client's second round repeats the first at an
+            // unchanged store version: the result cache must hit (the
+            // CI-level guard against a silent always-miss regression).
+            assert!(
+                get("result_cache_hits") >= 6.0 - 1e-9,
+                "second round must be served from the result cache"
+            );
+            let hits = get("result_cache_hits");
+            let misses = get("result_cache_misses");
+            assert!(
+                (get("result_cache_hit_rate") - hits / (hits + misses)).abs() < 1e-9,
+                "hit rate consistent with the raw counts"
+            );
         }
     }
 }

@@ -70,7 +70,7 @@ pub fn dual_materialize(views: &ViewSet, g: &gpv_graph::DataGraph) -> ViewExtens
         extensions: views
             .views()
             .iter()
-            .map(|v| dual_match_pattern(&v.pattern, g))
+            .map(|v| std::sync::Arc::new(dual_match_pattern(&v.pattern, g)))
             .collect(),
     }
 }

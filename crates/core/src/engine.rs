@@ -46,6 +46,7 @@ use gpv_graph::DataGraph;
 use gpv_matching::result::{BoundedMatchResult, MatchResult};
 use gpv_matching::simulation::match_pattern;
 use gpv_pattern::{BoundedPattern, Pattern};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine tuning knobs.
@@ -162,8 +163,13 @@ pub struct BoundedPlan {
 /// ```
 #[derive(Clone, Debug)]
 pub struct QueryEngine {
-    views: ViewSet,
-    ext: ViewExtensions,
+    /// `Arc`-shared with the snapshot/store the engine was built from, so
+    /// rebuilding after a store mutation never copies definitions…
+    views: Arc<ViewSet>,
+    /// …or materialized pairs: the executors only borrow the extensions,
+    /// and each per-view extension is itself `Arc`-shared
+    /// ([`ViewExtensions`]).
+    ext: Arc<ViewExtensions>,
     bounded: Option<(BoundedViewSet, BoundedViewExtensions)>,
     fingerprint: u64,
     graph_stats: Option<GraphStats>,
@@ -180,8 +186,8 @@ impl QueryEngine {
     pub fn materialize(views: ViewSet, g: &DataGraph) -> Self {
         let ext = materialize(&views, g);
         QueryEngine {
-            views,
-            ext,
+            views: Arc::new(views),
+            ext: Arc::new(ext),
             bounded: None,
             fingerprint: graph_fingerprint(g),
             graph_stats: Some(gpv_graph::stats::stats(g)),
@@ -193,8 +199,8 @@ impl QueryEngine {
     /// Wraps an already-materialized (e.g. loaded) view cache.
     pub fn from_cache(cache: ViewCache) -> Self {
         QueryEngine {
-            views: cache.views,
-            ext: cache.extensions,
+            views: Arc::new(cache.views),
+            ext: Arc::new(cache.extensions),
             bounded: None,
             fingerprint: cache.graph_fingerprint,
             graph_stats: cache.graph_stats,
@@ -207,6 +213,11 @@ impl QueryEngine {
     /// [`ViewStore`] — the serving-layer path:
     /// [`ViewService`](crate::service::ViewService) takes one snapshot per
     /// store version and plans/executes against it lock-free.
+    ///
+    /// **Zero-copy**: the snapshot's view set and extensions are shared by
+    /// `Arc`, so this is O(1) regardless of how many pairs the store
+    /// materializes — a rebuild after a single-view insert costs the
+    /// snapshot assembly (O(card(V)) handle clones), never a deep copy.
     pub fn from_snapshot(snap: &StoreSnapshot) -> Self {
         QueryEngine {
             views: snap.view_set(),
@@ -225,13 +236,14 @@ impl QueryEngine {
         ViewStore::from_cache(self.to_cache(), shards)
     }
 
-    /// Extracts a durable [`ViewCache`] snapshot of the plain-view registry.
+    /// Extracts a durable [`ViewCache`] snapshot of the plain-view registry
+    /// (the extensions stay `Arc`-shared; only handles are cloned).
     pub fn to_cache(&self) -> ViewCache {
         ViewCache {
             graph_fingerprint: self.fingerprint,
             graph_stats: self.graph_stats.clone(),
-            views: self.views.clone(),
-            extensions: self.ext.clone(),
+            views: (*self.views).clone(),
+            extensions: (*self.ext).clone(),
         }
     }
 
@@ -359,7 +371,9 @@ impl QueryEngine {
         &self.views
     }
 
-    /// The materialized extensions `V(G)`.
+    /// The materialized extensions `V(G)` (shared with the snapshot/store
+    /// this engine was built from; see [`ViewExtensions`] for the sharing
+    /// contract).
     pub fn extensions(&self) -> &ViewExtensions {
         &self.ext
     }
@@ -381,13 +395,15 @@ impl QueryEngine {
         }
         let single = ViewSet::new(vec![def.clone()]);
         let ext = materialize(&single, g);
-        self.ext.push(
+        // Copy-on-write: an engine sharing its registry with a snapshot
+        // detaches (cloning `Arc` handles, not pairs) before mutating.
+        Arc::make_mut(&mut self.ext).push_shared(
             ext.extensions
                 .into_iter()
                 .next()
                 .expect("one view in, one out"),
         );
-        Ok(self.views.push(def))
+        Ok(Arc::make_mut(&mut self.views).push(def))
     }
 
     /// Checks that `g` is the graph this registry was materialized against.
@@ -988,6 +1004,24 @@ mod tests {
             .is_ok());
         assert_eq!(engine.views().card(), 1);
         assert_eq!(engine.extensions().extensions.len(), 1);
+    }
+
+    /// `to_store(0)` must hand back a usable (1-shard) store, not one that
+    /// panics with a division by zero on its first id hash.
+    #[test]
+    fn to_store_zero_shards_clamps() {
+        let g = graph();
+        let views = ViewSet::new(vec![ViewDef::new("vab", single("A", "B"))]);
+        let engine = QueryEngine::materialize(views, &g);
+        let store = engine.to_store(0);
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(store.len(), 1);
+        let revived = QueryEngine::from_snapshot(&store.snapshot());
+        let q = single("A", "B");
+        assert_eq!(
+            revived.answer_from_views(&q).unwrap(),
+            engine.answer_from_views(&q).unwrap()
+        );
     }
 
     #[test]

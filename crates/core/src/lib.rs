@@ -76,7 +76,9 @@ pub use partial::{
     answer_with_partial_views, hybrid_match_join, partial_contain, sources_from_partial,
     PartialPlan,
 };
-pub use plan::{EdgeSource, ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan};
+pub use plan::{
+    CacheDisposition, EdgeSource, ExecStrategy, FallbackReason, QueryPlan, SelectionMode, ViewPlan,
+};
 pub use selection::{select_views_for_workload, WorkloadSelection};
 pub use service::{
     query_fingerprint, LatencyHistogram, ServedAnswer, ServiceConfig, ServiceError, ServiceStats,

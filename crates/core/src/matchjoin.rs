@@ -73,6 +73,21 @@ pub enum JoinError {
     /// A parallel worker panicked while processing the given pattern-edge
     /// index (caught and resurfaced instead of aborting the process).
     WorkerPanicked(usize),
+    /// A parallel worker thread died outside the per-item panic catch, so
+    /// no failing edge index is known. Distinct from
+    /// [`WorkerPanicked`](Self::WorkerPanicked) — this used to be encoded
+    /// as `WorkerPanicked(usize::MAX)`, which callers reported as a
+    /// nonsense edge index.
+    WorkerLost,
+}
+
+impl From<crate::parallel::ParError> for JoinError {
+    fn from(e: crate::parallel::ParError) -> Self {
+        match e {
+            crate::parallel::ParError::Panicked(i) => JoinError::WorkerPanicked(i),
+            crate::parallel::ParError::Lost => JoinError::WorkerLost,
+        }
+    }
 }
 
 impl std::fmt::Display for JoinError {
@@ -84,17 +99,14 @@ impl std::fmt::Display for JoinError {
             JoinError::GraphRequired => {
                 write!(f, "plan sources an edge from G but no graph was supplied")
             }
-            JoinError::WorkerPanicked(e) if *e == usize::MAX => {
-                // Sentinel from the defensive join-failure branch: the
-                // worker died outside the per-item catch, so no edge index
-                // is known.
-                write!(f, "parallel worker panicked (failing pattern edge unknown)")
-            }
             JoinError::WorkerPanicked(e) => {
                 write!(
                     f,
                     "parallel worker panicked while processing pattern edge {e}"
                 )
+            }
+            JoinError::WorkerLost => {
+                write!(f, "parallel worker lost (failing pattern edge unknown)")
             }
         }
     }

@@ -20,10 +20,28 @@ use gpv_graph::NodeId;
 use gpv_matching::result::MatchResult;
 use gpv_pattern::{Pattern, PatternNodeId};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Default worker count: the machine's available parallelism.
+/// Default worker count: the machine's available parallelism, probed once
+/// and cached. `available_parallelism` is a syscall, and this sits on the
+/// per-execution hot path (`QueryEngine::exec_for`, `run_fixpoint`), so
+/// paying it per query would tax every single plan/join for a value that
+/// never changes over the process lifetime.
 pub fn auto_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// How a [`par_map`] worker failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ParError {
+    /// A work item panicked; the payload is the failing index.
+    Panicked(usize),
+    /// A worker thread died outside the per-item catch (its `join` failed),
+    /// so no item index is known. Callers must *not* invent one — this used
+    /// to surface as the sentinel `usize::MAX`, which
+    /// [`JoinError::WorkerPanicked`] then reported as a nonsense edge index.
+    Lost,
 }
 
 /// Runs `f(0..n)` across `threads` workers (atomic work-stealing counter),
@@ -31,10 +49,11 @@ pub fn auto_threads() -> usize {
 /// is trivially small (where a panic propagates normally, exactly like the
 /// sequential executor). In the threaded path a panicking worker no longer
 /// takes the whole process down through a context-free `expect`: the panic
-/// is caught per work item and resurfaced as `Err(index)` carrying the
-/// failing index, so callers can attach executor context
-/// ([`JoinError::WorkerPanicked`]).
-pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, usize>
+/// is caught per work item and resurfaced as [`ParError::Panicked`] with
+/// the failing index, so callers can attach executor context
+/// ([`JoinError::WorkerPanicked`]); a worker lost outside the per-item
+/// catch resurfaces as [`ParError::Lost`] ([`JoinError::WorkerLost`]).
+pub(crate) fn par_map<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, ParError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -45,7 +64,16 @@ where
     let counter = AtomicUsize::new(0);
     let workers = threads.min(n);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let mut failed: Option<usize> = None;
+    let mut failed: Option<ParError> = None;
+    // Prefer the lowest panicked index as the reported failure; a lost
+    // worker only wins when no indexed panic was observed.
+    let mut note = |e: ParError| {
+        failed = Some(match (failed, e) {
+            (Some(ParError::Panicked(p)), ParError::Panicked(i)) => ParError::Panicked(p.min(i)),
+            (Some(ParError::Panicked(p)), ParError::Lost) => ParError::Panicked(p),
+            (_, e) => e,
+        });
+    };
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -76,15 +104,16 @@ where
                         slots[i] = Some(v);
                     }
                 }
-                Ok(Err(i)) => failed = Some(failed.map_or(i, |p: usize| p.min(i))),
+                Ok(Err(i)) => note(ParError::Panicked(i)),
                 // Unreachable in practice (worker bodies catch panics), but
-                // keep the process alive if it ever happens.
-                Err(_) => failed = Some(failed.unwrap_or(usize::MAX)),
+                // keep the process alive if it ever happens — and say "a
+                // worker was lost" instead of fabricating an edge index.
+                Err(_) => note(ParError::Lost),
             }
         }
     });
-    if let Some(i) = failed {
-        return Err(i);
+    if let Some(e) = failed {
+        return Err(e);
     }
     Ok(slots.into_iter().map(|s| s.expect("slot filled")).collect())
 }
@@ -153,7 +182,7 @@ pub(crate) fn par_ranked_fixpoint(
     let csrs: Vec<EdgeCsr> = par_map(ne, threads, |ei| {
         matchjoin::build_edge_csr(&merged[ei], &index, m)
     })
-    .map_err(JoinError::WorkerPanicked)?;
+    .map_err(JoinError::from)?;
     stats.edge_visits += ne as u64;
 
     // Stage 2 (sequential, cheap): candidate sets over pattern nodes.
@@ -170,7 +199,7 @@ pub(crate) fn par_ranked_fixpoint(
         let (u, t) = edge_src[ei];
         matchjoin::edge_support(&csrs[ei], &cand[u.index()], &cand[t.index()], m)
     })
-    .map_err(JoinError::WorkerPanicked)?;
+    .map_err(JoinError::from)?;
     stats.edge_visits += ne as u64;
     let mut support: Vec<Vec<u32>> = Vec::with_capacity(ne);
     let mut seeds: Vec<(PatternNodeId, Vec<u32>)> = Vec::with_capacity(ne);
@@ -215,6 +244,38 @@ mod tests {
             i
         });
         std::panic::set_hook(hook);
-        assert_eq!(out, Err(3), "failing index resurfaces, process survives");
+        assert_eq!(
+            out,
+            Err(ParError::Panicked(3)),
+            "failing index resurfaces, process survives"
+        );
+    }
+
+    /// Regression: a worker lost outside the per-item catch used to be
+    /// reported as `WorkerPanicked(usize::MAX)` — a nonsense edge index
+    /// that callers would happily print. The conversion must produce the
+    /// distinct `WorkerLost` variant instead, and `Panicked` must never
+    /// carry the old sentinel.
+    #[test]
+    fn lost_worker_maps_to_worker_lost_not_a_fake_index() {
+        assert_eq!(JoinError::from(ParError::Lost), JoinError::WorkerLost);
+        assert_eq!(
+            JoinError::from(ParError::Panicked(3)),
+            JoinError::WorkerPanicked(3)
+        );
+        let msg = JoinError::WorkerLost.to_string();
+        assert!(
+            !msg.contains(&usize::MAX.to_string()),
+            "no fabricated edge index in: {msg}"
+        );
+    }
+
+    #[test]
+    fn auto_threads_is_cached_and_stable() {
+        let first = auto_threads();
+        assert!(first >= 1);
+        for _ in 0..3 {
+            assert_eq!(auto_threads(), first);
+        }
     }
 }

@@ -96,6 +96,34 @@ pub(crate) fn fmt_weights(cost: &CostEstimate) -> String {
     )
 }
 
+/// How the serving layer satisfied one query — the per-query cache
+/// disposition surfaced in EXPLAIN output and the `gpv serve` report.
+/// Ordered from cheapest to most expensive path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheDisposition {
+    /// The answer was fanned out from an identical query earlier in the
+    /// same batch (no cache probe, no planning, no execution).
+    Deduplicated,
+    /// The answer came from the cross-batch result cache (no planning, no
+    /// execution).
+    ResultCache,
+    /// The plan came from the plan cache; only execution ran.
+    PlanCache,
+    /// Planned and executed from scratch.
+    Planned,
+}
+
+impl std::fmt::Display for CacheDisposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheDisposition::Deduplicated => "deduped",
+            CacheDisposition::ResultCache => "result cached",
+            CacheDisposition::PlanCache => "plan cached",
+            CacheDisposition::Planned => "planned",
+        })
+    }
+}
+
 /// How the join executes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecStrategy {

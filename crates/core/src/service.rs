@@ -11,16 +11,26 @@
 //!   keyed by `(query fingerprint, view-set fingerprint)` turns repeated
 //!   queries into a hash lookup (the plan IR is immutable and shared by
 //!   `Arc`);
+//! * **answers repeated queries across batches without executing** — a
+//!   byte-budgeted, LRU-evicted **result cache** keyed by `(query
+//!   fingerprint, store version, calibration epoch)` returns the shared
+//!   `Arc<MatchResult>` computed the first time (the memo-over-recompute
+//!   move the paper makes for views, applied one level up the stack);
+//!   keying on version and epoch makes invalidation exact on every store
+//!   mutation and recalibration;
 //! * **deduplicates identical queries inside a batch**, executing each
 //!   distinct query once and fanning the result out;
 //! * executes against a lock-free
 //!   [`StoreSnapshot`](crate::store::StoreSnapshot) of the sharded
 //!   [`ViewStore`], rebuilding its internal [`QueryEngine`] only when the
 //!   store version moves or a recalibration
-//!   ([`ServiceConfig::recalibrate_every`]) changes the cost model;
-//! * keeps service-level statistics: plan-cache hit rate, per-shard
-//!   occupancy, in-flight queue depth, a log₂ latency histogram, and the
-//!   calibration state (active weights, sample count, drift).
+//!   ([`ServiceConfig::recalibrate_every`]) changes the cost model — a
+//!   rebuild shares the snapshot's extensions by `Arc`
+//!   ([`QueryEngine::from_snapshot`]), so it costs O(card(V)) handle
+//!   clones, never a deep copy of the materialized pairs;
+//! * keeps service-level statistics: plan- and result-cache hit rates,
+//!   per-shard occupancy, in-flight queue depth, a log₂ latency histogram,
+//!   and the calibration state (active weights, sample count, drift).
 //!
 //! Answers are **byte-identical** to calling
 //! [`QueryEngine::answer`] sequentially (asserted by `tests/service.rs`):
@@ -62,7 +72,7 @@
 use crate::cost::{CostModel, SharedCostLog};
 use crate::engine::{EngineConfig, EngineError, QueryEngine};
 use crate::matchjoin::{JoinError, JoinStats};
-use crate::plan::QueryPlan;
+use crate::plan::{CacheDisposition, QueryPlan};
 use crate::store::{ShardOccupancy, ViewStore};
 use gpv_graph::DataGraph;
 use gpv_matching::result::MatchResult;
@@ -110,17 +120,21 @@ impl LatencyHistogram {
     }
 
     /// Upper bound (µs) of the bucket containing the `p`-quantile
-    /// (`0.0 < p <= 1.0`). Returns `None` when there are no observations
-    /// *or* the quantile falls in the unbounded overflow bucket — the
-    /// histogram then only knows the latency is `≥ 2^(LATENCY_BUCKETS-2)`
-    /// µs, not an upper bound. Coarse by design: a `Some(x)` answers
-    /// "the quantile is under `x` µs", not "the quantile is `x`".
+    /// (`0.0 < p <= 1.0`; `p` above 1 is clamped to 1). Returns `None` when
+    /// there are no observations, when `p` is not positive (a `p ≤ 0` — or
+    /// NaN — quantile is meaningless: clamping used to produce `target = 0`,
+    /// making `seen >= target` vacuously true and returning `Some(1)` even
+    /// with zero observations in bucket 0), *or* when the quantile falls in
+    /// the unbounded overflow bucket — the histogram then only knows the
+    /// latency is `≥ 2^(LATENCY_BUCKETS-2)` µs, not an upper bound. Coarse
+    /// by design: a `Some(x)` answers "the quantile is under `x` µs", not
+    /// "the quantile is `x`".
     pub fn quantile_upper_micros(&self, p: f64) -> Option<u64> {
         let total = self.count();
-        if total == 0 {
+        if total == 0 || p.is_nan() || p <= 0.0 {
             return None;
         }
-        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let target = (p.min(1.0) * total as f64).ceil() as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate().take(LATENCY_BUCKETS - 1) {
             seen += c;
@@ -133,11 +147,11 @@ impl LatencyHistogram {
 
     /// Human-readable bound for the `p`-quantile: `"< X µs"`, or
     /// `">= X µs"` when it falls in the overflow bucket, or `"n/a"` with
-    /// no observations.
+    /// no observations or a non-positive `p`.
     pub fn quantile_label(&self, p: f64) -> String {
         match self.quantile_upper_micros(p) {
             Some(upper) => format!("< {upper} µs"),
-            None if self.count() > 0 => {
+            None if self.count() > 0 && p > 0.0 => {
                 format!(">= {} µs", 1u64 << (LATENCY_BUCKETS - 2))
             }
             None => "n/a".into(),
@@ -158,10 +172,22 @@ pub struct ServiceConfig {
     /// evicted — hot entries survive a flood of distinct cold queries
     /// (`0` disables plan caching entirely).
     pub plan_cache_capacity: usize,
+    /// Byte budget for the cross-batch **result** cache (`0` disables it).
+    /// The plan cache skips planning; this cache skips *execution*: a
+    /// repeated identical query at an unchanged store version and
+    /// calibration epoch returns the shared `Arc<MatchResult>` computed the
+    /// first time. When an insertion pushes the estimated resident bytes
+    /// over the budget, least-recently-used entries are evicted until it
+    /// fits (an answer larger than the whole budget is simply not cached).
+    pub result_cache_bytes: usize,
     /// Re-fit the cost weights from the measured [`CostSample`](crate::cost::CostSample)
     /// log every this many batches (`0` disables recalibration). A re-fit
-    /// that changes the weights invalidates cached plans and rebuilds the
-    /// engine snapshot, so subsequent planning is priced in measured units.
+    /// that changes the weights invalidates cached plans *and results* and
+    /// rebuilds the engine snapshot, so subsequent planning is priced in
+    /// measured units. Note that result-cache hits skip execution and thus
+    /// record no [`CostSample`](crate::cost::CostSample) — a fully cached
+    /// steady state stops feeding the calibration loop (by design: there is
+    /// nothing new to measure).
     pub recalibrate_every: u64,
 }
 
@@ -170,6 +196,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             engine: EngineConfig::default(),
             plan_cache_capacity: 4096,
+            result_cache_bytes: 64 << 20,
             recalibrate_every: 0,
         }
     }
@@ -230,22 +257,44 @@ impl From<EngineError> for ServiceError {
 /// One served answer: the result plus everything needed to EXPLAIN it.
 #[derive(Clone, Debug)]
 pub struct ServedAnswer {
-    /// The query result (≡ [`QueryEngine::answer`]).
-    pub result: MatchResult,
+    /// The query result (≡ [`QueryEngine::answer`]), shared by `Arc` with
+    /// the result cache and every other consumer of the same answer —
+    /// fanning a cached answer out copies a pointer, never the match sets.
+    pub result: Arc<MatchResult>,
     /// The executed plan (shared with the plan cache; `Display` renders the
     /// EXPLAIN text).
     pub plan: Arc<QueryPlan>,
-    /// Executor instrumentation.
+    /// Executor instrumentation (for a result-cache hit: the stats of the
+    /// execution that originally produced the cached answer).
     pub join_stats: JoinStats,
-    /// The query's fingerprint (the plan-cache key component).
+    /// The query's fingerprint (the cache key component).
     pub query_fingerprint: u64,
     /// Whether the plan came from the plan cache.
     pub plan_cached: bool,
-    /// Whether the *answer* was copied from an identical query earlier in
-    /// the same batch (no planning or execution at all).
+    /// Whether the *answer* came from the cross-batch result cache (no
+    /// planning or execution in this call).
+    pub result_cached: bool,
+    /// Whether the answer was copied from an identical query earlier in
+    /// the same batch (no cache probe, planning, or execution at all).
     pub deduplicated: bool,
     /// End-to-end service latency for this query, in microseconds.
     pub latency_micros: u64,
+}
+
+impl ServedAnswer {
+    /// The per-query cache disposition: which (if any) caching layer
+    /// satisfied this query.
+    pub fn disposition(&self) -> CacheDisposition {
+        if self.deduplicated {
+            CacheDisposition::Deduplicated
+        } else if self.result_cached {
+            CacheDisposition::ResultCache
+        } else if self.plan_cached {
+            CacheDisposition::PlanCache
+        } else {
+            CacheDisposition::Planned
+        }
+    }
 }
 
 /// A point-in-time snapshot of the service counters.
@@ -263,6 +312,20 @@ pub struct ServiceStats {
     pub plan_cache_size: usize,
     /// `hits / (hits + misses)`, 0.0 before any planning.
     pub plan_cache_hit_rate: f64,
+    /// Result-cache hits (answers served without planning or executing).
+    pub result_cache_hits: u64,
+    /// Result-cache misses (the query was planned/executed; successful
+    /// answers populate the cache).
+    pub result_cache_misses: u64,
+    /// Answers currently cached.
+    pub result_cache_size: usize,
+    /// Estimated resident bytes of the cached answers (the quantity the
+    /// [`ServiceConfig::result_cache_bytes`] budget bounds).
+    pub result_cache_bytes: usize,
+    /// `hits / (hits + misses)`, 0.0 before any probe.
+    pub result_cache_hit_rate: f64,
+    /// Answers evicted to stay within the byte budget.
+    pub result_cache_evictions: u64,
     /// Queries answered by intra-batch deduplication.
     pub dedup_saved: u64,
     /// Times the engine snapshot was rebuilt because the store changed.
@@ -297,6 +360,9 @@ struct Counters {
     batches: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    result_evictions: AtomicU64,
     dedup_saved: AtomicU64,
     engine_rebuilds: AtomicU64,
     recalibrations: AtomicU64,
@@ -327,6 +393,10 @@ pub struct ViewService {
     /// keeps the query's canonical JSON so a fingerprint collision is
     /// detected by equality instead of silently serving the wrong plan.
     plan_cache: RwLock<PlanCache>,
+    /// Cross-batch answers, keyed by `(query fingerprint, store version,
+    /// calibration epoch)` — the same collision-witness discipline as the
+    /// plan cache, byte-budgeted ([`ServiceConfig::result_cache_bytes`]).
+    result_cache: RwLock<ResultCache>,
     /// The estimate-vs-actual history, shared into every rebuilt engine so
     /// recalibration sees all measurements, not just the latest snapshot's.
     cost_log: SharedCostLog,
@@ -390,6 +460,101 @@ impl PlanCache {
     }
 }
 
+/// Estimated resident bytes of one cached answer: the per-set `Vec`
+/// headers plus 8 bytes per edge pair and 4 per node id. An estimate is
+/// all the budget needs — it bounds memory to the right order, it does not
+/// account allocator slack.
+fn approx_result_bytes(r: &MatchResult) -> usize {
+    let edges: usize = r.edge_matches.iter().map(|s| 24 + s.len() * 8).sum();
+    let nodes: usize = r.node_matches.iter().map(|s| 24 + s.len() * 4).sum();
+    64 + edges + nodes
+}
+
+/// One cached answer. `qkey` is the canonical-JSON collision witness (same
+/// discipline as the plan cache: a fingerprint hit counts only when the
+/// canonical forms match). `graph_free` records whether this answer is
+/// servable without graph access — a plan that *may* read `G`
+/// ([`QueryPlan::graph_optional`] false) must not satisfy a strict
+/// views-only (`g = None`) call that would otherwise have failed with
+/// [`ServiceError::NeedsGraph`]: the cache must never change which queries
+/// a serving mode accepts, only how fast it answers them.
+#[derive(Debug)]
+struct ResultCacheEntry {
+    qkey: Arc<str>,
+    result: Arc<MatchResult>,
+    plan: Arc<QueryPlan>,
+    join_stats: JoinStats,
+    graph_free: bool,
+    bytes: usize,
+    last_used: AtomicU64,
+}
+
+/// The cross-batch result cache: `(query fingerprint, store version,
+/// calibration epoch)` → answer, bounded by an estimated-byte budget with
+/// LRU eviction.
+///
+/// Keying on the store version and the calibration epoch makes invalidation
+/// *exact*: any [`ViewStore`] mutation or applied re-fit changes the key,
+/// so a stale answer can never hit. Entries for dead `(version, epoch)`
+/// pairs are purged wholesale when the engine snapshot rebuilds
+/// ([`ViewService::engine`]), so a version bump also releases their budget
+/// immediately instead of waiting for LRU pressure.
+#[derive(Debug, Default)]
+struct ResultCache {
+    map: HashMap<(u64, u64, u64), ResultCacheEntry>,
+    /// Estimated resident bytes across all entries.
+    bytes: usize,
+    /// Monotonic LRU clock (ticked under the read lock on hits).
+    clock: AtomicU64,
+}
+
+impl ResultCache {
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Marks an entry as just-used.
+    fn touch(&self, entry: &ResultCacheEntry) {
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+    }
+
+    /// Drops every entry not keyed at (`version`, `epoch`) — called on
+    /// engine rebuild, when those keys can never hit again.
+    fn purge_stale(&mut self, version: u64, epoch: u64) {
+        let mut freed = 0usize;
+        self.map.retain(|&(_, v, e), entry| {
+            let keep = v == version && e == epoch;
+            if !keep {
+                freed += entry.bytes;
+            }
+            keep
+        });
+        self.bytes -= freed;
+    }
+
+    /// Evicts least-recently-used entries until the resident estimate fits
+    /// `budget`. Same exact-LRU rationale as the plan cache: eviction only
+    /// runs on the insert path, which has just paid for a full plan *and*
+    /// execution, so an O(entries) stamp scan is a rounding error.
+    fn evict_to(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.bytes > budget && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            if let Some(k) = victim {
+                if let Some(e) = self.map.remove(&k) {
+                    self.bytes -= e.bytes;
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+}
+
 impl ViewService {
     /// A service over `store` with the default configuration.
     pub fn new(store: Arc<ViewStore>) -> Self {
@@ -403,6 +568,7 @@ impl ViewService {
             config,
             engine: RwLock::new(None),
             plan_cache: RwLock::new(PlanCache::default()),
+            result_cache: RwLock::new(ResultCache::default()),
             cost_log: SharedCostLog::default(),
             calibrated: RwLock::new(None),
             calib_epoch: AtomicU64::new(0),
@@ -466,6 +632,15 @@ impl ViewService {
             .engine_rebuilds
             .fetch_add(1, Ordering::Relaxed);
         *guard = Some(snap.clone());
+        // The keys of every result cached under the previous (version,
+        // epoch) can never hit again — release their budget now instead of
+        // letting dead entries squat until LRU pressure finds them.
+        if self.config.result_cache_bytes > 0 {
+            self.result_cache
+                .write()
+                .expect("result cache lock poisoned")
+                .purge_stale(snap.version, snap.calib_epoch);
+        }
         snap
     }
 
@@ -605,6 +780,108 @@ impl ViewService {
         self.counters.latency[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Probes the cross-batch result cache for `qfp`/`qkey` at this engine
+    /// snapshot. A hit requires the key `(fingerprint, store version,
+    /// calibration epoch)` *and* the canonical form to match — and, for a
+    /// views-only (`has_graph = false`) call, an answer that was provably
+    /// computable without the graph: caching must never let a strict call
+    /// succeed where the uncached path would have returned
+    /// [`ServiceError::NeedsGraph`]. Counts a hit or a miss per probe.
+    fn cached_result(
+        &self,
+        snap: &EngineSnapshot,
+        qfp: u64,
+        qkey: &str,
+        has_graph: bool,
+    ) -> Option<ServedAnswer> {
+        if self.config.result_cache_bytes == 0 {
+            return None;
+        }
+        let hit = {
+            let cache = self
+                .result_cache
+                .read()
+                .expect("result cache lock poisoned");
+            cache
+                .map
+                .get(&(qfp, snap.version, snap.calib_epoch))
+                .filter(|e| *e.qkey == *qkey && (has_graph || e.graph_free))
+                .map(|e| {
+                    cache.touch(e);
+                    ServedAnswer {
+                        result: e.result.clone(),
+                        plan: e.plan.clone(),
+                        join_stats: e.join_stats,
+                        query_fingerprint: qfp,
+                        plan_cached: false,
+                        result_cached: true,
+                        deduplicated: false,
+                        latency_micros: 0,
+                    }
+                })
+        };
+        match &hit {
+            Some(_) => self.counters.result_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.result_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Caches a freshly-executed answer for cross-batch reuse (no-op when
+    /// the cache is disabled or the answer alone exceeds the budget). First
+    /// writer wins; a colliding distinct query is simply never cached, so
+    /// the resident entry keeps serving its own query.
+    fn cache_result(&self, snap: &EngineSnapshot, qfp: u64, qkey: &str, a: &ServedAnswer) {
+        let budget = self.config.result_cache_bytes;
+        if budget == 0 {
+            return;
+        }
+        let bytes = approx_result_bytes(&a.result);
+        if bytes > budget {
+            return;
+        }
+        let key = (qfp, snap.version, snap.calib_epoch);
+        let mut cache = self
+            .result_cache
+            .write()
+            .expect("result cache lock poisoned");
+        // An in-flight batch can finish executing *after* the store moved
+        // on and `engine()` already purged this batch's (version, epoch):
+        // inserting now would park a dead-keyed entry in the budget until
+        // the next purge. Recheck under the same lock `purge_stale` runs
+        // under, so a stale insert is dropped instead. (A version bump
+        // racing in right after this check still gets cleaned by the purge
+        // on the next engine rebuild, which every later batch performs.)
+        if snap.version != self.store.version()
+            || snap.calib_epoch != self.calib_epoch.load(Ordering::Relaxed)
+        {
+            return;
+        }
+        if cache.map.contains_key(&key) {
+            return;
+        }
+        let stamp = cache.tick();
+        cache.bytes += bytes;
+        cache.map.insert(
+            key,
+            ResultCacheEntry {
+                qkey: Arc::from(qkey),
+                result: a.result.clone(),
+                plan: a.plan.clone(),
+                join_stats: a.join_stats,
+                graph_free: a.plan.graph_optional(),
+                bytes,
+                last_used: AtomicU64::new(stamp),
+            },
+        );
+        let evicted = cache.evict_to(budget);
+        if evicted > 0 {
+            self.counters
+                .result_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
     /// Serves one query. `g` enables hybrid/direct fallback for queries the
     /// views do not fully cover; with `None` such queries fail with
     /// [`ServiceError::NeedsGraph`] (the strict Theorem-1 mode).
@@ -691,62 +968,96 @@ impl ViewService {
                         a
                     })
                 }
-                None => {
-                    let (plan, plan_cached) = self.plan_for(
-                        &snap.engine,
-                        snap.view_fingerprint,
-                        snap.calib_epoch,
-                        qfp,
-                        &qkey,
-                        q,
-                    );
-                    // Views-only plans execute with no graph at all; plans
-                    // that do read G first validate it belongs to this
-                    // store (once per batch). A graph-*optional* plan (a
-                    // fully-covered cost-based hybrid) uses G when
-                    // supplied and falls back to its view sources when
-                    // not — calibration never costs strict-mode
-                    // availability.
-                    let exec = if plan.needs_graph() {
-                        match g {
-                            None if plan.graph_optional() => snap
-                                .engine
+                // Cross-batch result cache: an identical query served at
+                // this store version and calibration epoch returns the
+                // shared answer without planning or executing anything.
+                None => match self.cached_result(&snap, qfp, &qkey, g.is_some()) {
+                    Some(hit) => {
+                        // Mirror the uncached path's graph validation: a
+                        // graph-reading plan supplied with the *wrong*
+                        // graph fails with GraphMismatch there, and a warm
+                        // cache must not mask that — caching changes
+                        // latency, never which calls are accepted.
+                        let validated = match (hit.plan.needs_graph(), g) {
+                            (true, Some(g)) => check_graph(g).map(|()| hit),
+                            _ => Ok(hit),
+                        };
+                        let micros = t0.elapsed().as_micros() as u64;
+                        self.record_latency(micros);
+                        let answer = validated.map(|mut a| {
+                            a.latency_micros = micros;
+                            a
+                        });
+                        answered
+                            .entry(qfp)
+                            .or_insert_with(|| (qkey, answer.clone()));
+                        answer
+                    }
+                    None => {
+                        let (plan, plan_cached) = self.plan_for(
+                            &snap.engine,
+                            snap.view_fingerprint,
+                            snap.calib_epoch,
+                            qfp,
+                            &qkey,
+                            q,
+                        );
+                        // Views-only plans execute with no graph at all;
+                        // plans that do read G first validate it belongs to
+                        // this store (once per batch). A graph-*optional*
+                        // plan (a fully-covered cost-based hybrid) uses G
+                        // when supplied and falls back to its view sources
+                        // when not — calibration never costs strict-mode
+                        // availability.
+                        let exec = if plan.needs_graph() {
+                            match g {
+                                None if plan.graph_optional() => snap
+                                    .engine
+                                    .execute(q, &plan, None)
+                                    .map_err(ServiceError::from),
+                                None => Err(ServiceError::NeedsGraph),
+                                Some(g) => check_graph(g).and_then(|()| {
+                                    snap.engine
+                                        .execute(q, &plan, Some(g))
+                                        .map_err(ServiceError::from)
+                                }),
+                            }
+                        } else {
+                            snap.engine
                                 .execute(q, &plan, None)
-                                .map_err(ServiceError::from),
-                            None => Err(ServiceError::NeedsGraph),
-                            Some(g) => check_graph(g).and_then(|()| {
-                                snap.engine
-                                    .execute(q, &plan, Some(g))
-                                    .map_err(ServiceError::from)
-                            }),
+                                .map_err(ServiceError::from)
+                        };
+                        let executed = exec.map(|(result, join_stats)| ServedAnswer {
+                            result: Arc::new(result),
+                            plan: plan.clone(),
+                            join_stats,
+                            query_fingerprint: qfp,
+                            plan_cached,
+                            result_cached: false,
+                            deduplicated: false,
+                            latency_micros: 0,
+                        });
+                        // Successful answers enter the result cache;
+                        // failures (NeedsGraph, mismatches) are never
+                        // cached, so a later call with the graph supplied
+                        // still executes.
+                        if let Ok(a) = &executed {
+                            self.cache_result(&snap, qfp, &qkey, a);
                         }
-                    } else {
-                        snap.engine
-                            .execute(q, &plan, None)
-                            .map_err(ServiceError::from)
-                    };
-                    let executed = exec.map(|(result, join_stats)| ServedAnswer {
-                        result,
-                        plan: plan.clone(),
-                        join_stats,
-                        query_fingerprint: qfp,
-                        plan_cached,
-                        deduplicated: false,
-                        latency_micros: 0,
-                    });
-                    let micros = t0.elapsed().as_micros() as u64;
-                    self.record_latency(micros);
-                    let executed = executed.map(|mut a| {
-                        a.latency_micros = micros;
-                        a
-                    });
-                    // First occurrence wins the dedup slot; a colliding
-                    // later query simply never dedups.
-                    answered
-                        .entry(qfp)
-                        .or_insert_with(|| (qkey, executed.clone()));
-                    executed
-                }
+                        let micros = t0.elapsed().as_micros() as u64;
+                        self.record_latency(micros);
+                        let executed = executed.map(|mut a| {
+                            a.latency_micros = micros;
+                            a
+                        });
+                        // First occurrence wins the dedup slot; a colliding
+                        // later query simply never dedups.
+                        answered
+                            .entry(qfp)
+                            .or_insert_with(|| (qkey, executed.clone()));
+                        executed
+                    }
+                },
             };
             self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
             out.push(answer);
@@ -759,14 +1070,16 @@ impl ViewService {
     }
 
     /// EXPLAIN for `q` against the current view set — the same plan text a
-    /// served answer's `plan` renders, plus the cache-key fingerprints.
+    /// served answer's `plan` renders, plus the cache-key fingerprints and
+    /// the per-query cache disposition: whether the plan cache and the
+    /// cross-batch result cache would serve this query right now.
     pub fn explain(&self, q: &Pattern) -> String {
         let snap = self.engine();
         let qkey = query_key(q);
         let qfp = crate::fnv::fnv1a(qkey.as_bytes());
-        // Observability must not perturb what it observes: probe the plan
-        // cache read-only (no hit/miss counters, no insertion, no
-        // clear-on-full) and plan fresh on a miss.
+        // Observability must not perturb what it observes: probe both
+        // caches read-only (no hit/miss counters, no insertion, no LRU
+        // touch) and plan fresh on a miss.
         let cached_plan = self
             .plan_cache
             .read()
@@ -775,12 +1088,20 @@ impl ViewService {
             .get(&(qfp, snap.view_fingerprint))
             .filter(|entry| *entry.qkey == *qkey && entry.epoch == snap.calib_epoch)
             .map(|entry| entry.plan.clone());
-        let cached = cached_plan.is_some();
+        let plan_cached = cached_plan.is_some();
+        let result_cached = self
+            .result_cache
+            .read()
+            .expect("result cache lock poisoned")
+            .map
+            .get(&(qfp, snap.version, snap.calib_epoch))
+            .is_some_and(|entry| *entry.qkey == *qkey);
         let plan = cached_plan.unwrap_or_else(|| Arc::new(snap.engine.plan(q)));
         format!(
-            "{plan}\n  cache  : query {qfp:#018x} / views {:#018x} ({})",
+            "{plan}\n  cache  : query {qfp:#018x} / views {:#018x} (plan {}, result {})",
             snap.view_fingerprint,
-            if cached { "hit" } else { "miss" }
+            if plan_cached { "hit" } else { "miss" },
+            if result_cached { "hit" } else { "miss" }
         )
     }
 
@@ -788,6 +1109,15 @@ impl ViewService {
     pub fn stats(&self) -> ServiceStats {
         let hits = self.counters.plan_hits.load(Ordering::Relaxed);
         let misses = self.counters.plan_misses.load(Ordering::Relaxed);
+        let rhits = self.counters.result_hits.load(Ordering::Relaxed);
+        let rmisses = self.counters.result_misses.load(Ordering::Relaxed);
+        let (rsize, rbytes) = {
+            let cache = self
+                .result_cache
+                .read()
+                .expect("result cache lock poisoned");
+            (cache.map.len(), cache.bytes)
+        };
         let active = self.active_cost_model();
         let log = self.cost_log.snapshot();
         let mut latency = LatencyHistogram::default();
@@ -810,6 +1140,16 @@ impl ViewService {
             } else {
                 0.0
             },
+            result_cache_hits: rhits,
+            result_cache_misses: rmisses,
+            result_cache_size: rsize,
+            result_cache_bytes: rbytes,
+            result_cache_hit_rate: if rhits + rmisses > 0 {
+                rhits as f64 / (rhits + rmisses) as f64
+            } else {
+                0.0
+            },
+            result_cache_evictions: self.counters.result_evictions.load(Ordering::Relaxed),
             dedup_saved: self.counters.dedup_saved.load(Ordering::Relaxed),
             engine_rebuilds: self.counters.engine_rebuilds.load(Ordering::Relaxed),
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
@@ -881,16 +1221,31 @@ mod tests {
 
     #[test]
     fn serve_matches_engine_and_caches_plans() {
-        let (svc, g) = service();
+        // Result caching off: the repeated serve must fall through to (and
+        // therefore exercise) the plan cache. The result-cache layer above
+        // it is covered by `repeated_serve_hits_result_cache`.
+        let g = graph();
+        let views = ViewSet::new(vec![
+            ViewDef::new("vab", single("A", "B")),
+            ViewDef::new("vbc", single("B", "C")),
+        ]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 4));
+        let svc = ViewService::with_config(
+            store,
+            ServiceConfig {
+                result_cache_bytes: 0,
+                ..ServiceConfig::default()
+            },
+        );
         let q = chain3();
         let direct = match_pattern(&q, &g);
 
         let first = svc.serve(&q, None).unwrap();
-        assert_eq!(first.result, direct);
+        assert_eq!(*first.result, direct);
         assert!(!first.plan_cached, "cold cache");
 
         let second = svc.serve(&q, None).unwrap();
-        assert_eq!(second.result, direct);
+        assert_eq!(*second.result, direct);
         assert!(second.plan_cached, "warm cache");
         assert!(
             Arc::ptr_eq(&first.plan, &second.plan),
@@ -902,7 +1257,124 @@ mod tests {
         assert_eq!(stats.plan_cache_misses, 1);
         assert_eq!(stats.plan_cache_size, 1);
         assert!(stats.plan_cache_hit_rate > 0.0);
+        assert_eq!(stats.result_cache_hits, 0, "result cache disabled");
+        assert_eq!(stats.result_cache_size, 0);
         assert_eq!(stats.latency.count(), 2);
+    }
+
+    /// The tentpole contract at unit scale: a repeated identical query
+    /// across batches returns the *shared* `Arc<MatchResult>` from the
+    /// result cache — no planning, no execution — and the answer is
+    /// bit-identical to the uncached one.
+    #[test]
+    fn repeated_serve_hits_result_cache() {
+        let (svc, g) = service();
+        let q = chain3();
+        let first = svc.serve(&q, None).unwrap();
+        assert!(!first.result_cached, "cold cache executes");
+        assert_eq!(first.disposition(), CacheDisposition::Planned);
+
+        let second = svc.serve(&q, None).unwrap();
+        assert!(second.result_cached, "warm cache skips the executor");
+        assert_eq!(second.disposition(), CacheDisposition::ResultCache);
+        assert!(
+            Arc::ptr_eq(&first.result, &second.result),
+            "one shared answer, not a copy"
+        );
+        assert_eq!(*second.result, match_pattern(&q, &g));
+
+        let stats = svc.stats();
+        assert_eq!(stats.result_cache_hits, 1);
+        assert_eq!(stats.result_cache_misses, 1);
+        assert_eq!(stats.result_cache_size, 1);
+        assert!(stats.result_cache_bytes > 0);
+        assert!(stats.result_cache_hit_rate > 0.0);
+    }
+
+    /// A store mutation must invalidate cached *answers* exactly: the same
+    /// query re-executes at the new version (and the dead entry's budget is
+    /// released), never serves the pre-mutation answer object.
+    #[test]
+    fn result_cache_invalidated_by_store_mutation_and_recalibration_epoch() {
+        let (svc, g) = service();
+        let q = chain3();
+        let first = svc.serve(&q, Some(&g)).unwrap();
+        assert!(svc.serve(&q, Some(&g)).unwrap().result_cached);
+
+        svc.store()
+            .insert(ViewDef::new("vac", single("A", "C")), &g)
+            .unwrap();
+        let after = svc.serve(&q, Some(&g)).unwrap();
+        assert!(!after.result_cached, "version bump must miss");
+        assert!(
+            !Arc::ptr_eq(&first.result, &after.result),
+            "post-mutation answer is a fresh execution"
+        );
+        assert_eq!(*after.result, match_pattern(&q, &g));
+        // Exact invalidation: the stale entry was purged on rebuild, so
+        // only the new version's entry is resident.
+        assert_eq!(svc.stats().result_cache_size, 1);
+
+        // An epoch bump (recalibration) invalidates the same way.
+        svc.calib_epoch.fetch_add(1, Ordering::Relaxed);
+        let repriced = svc.serve(&q, Some(&g)).unwrap();
+        assert!(!repriced.result_cached, "epoch bump must miss");
+        assert_eq!(*repriced.result, match_pattern(&q, &g));
+    }
+
+    /// A strict (`g = None`) call must never be satisfied by an answer
+    /// whose plan needed the graph: caching changes latency, not which
+    /// queries a serving mode accepts.
+    #[test]
+    fn result_cache_never_leaks_graph_answers_into_strict_mode() {
+        let g = graph();
+        // Only one view: chain3 plans hybrid (needs G, not graph-optional).
+        let views = ViewSet::new(vec![ViewDef::new("vab", single("A", "B"))]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 2));
+        let svc = ViewService::new(store);
+        let q = chain3();
+        let with_graph = svc.serve(&q, Some(&g)).unwrap();
+        assert_eq!(*with_graph.result, match_pattern(&q, &g));
+        // The answer is cached — but a strict call must still refuse.
+        assert!(matches!(svc.serve(&q, None), Err(ServiceError::NeedsGraph)));
+        // And with the graph again, it may serve from cache.
+        assert!(svc.serve(&q, Some(&g)).unwrap().result_cached);
+    }
+
+    /// The byte budget holds: a stream of distinct answers evicts LRU
+    /// entries instead of growing without bound.
+    #[test]
+    fn result_cache_respects_byte_budget() {
+        let g = graph();
+        let views = ViewSet::new(vec![
+            ViewDef::new("vab", single("A", "B")),
+            ViewDef::new("vbc", single("B", "C")),
+        ]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 2));
+        // A budget of ~2 small answers.
+        let budget = 2 * approx_result_bytes(&match_pattern(&single("A", "B"), &g)) + 32;
+        let svc = ViewService::with_config(
+            store,
+            ServiceConfig {
+                result_cache_bytes: budget,
+                ..ServiceConfig::default()
+            },
+        );
+        for q in [
+            single("A", "B"),
+            single("B", "C"),
+            chain3(),
+            single("A", "B"),
+        ] {
+            let _ = svc.serve(&q, Some(&g));
+        }
+        let stats = svc.stats();
+        assert!(
+            stats.result_cache_bytes <= budget,
+            "resident {} over budget {budget}",
+            stats.result_cache_bytes
+        );
+        assert!(stats.result_cache_evictions > 0, "{stats:?}");
     }
 
     #[test]
@@ -915,7 +1387,7 @@ mod tests {
         for (i, a) in answers.iter().enumerate() {
             let a = a.as_ref().unwrap();
             assert_eq!(
-                a.result,
+                *a.result,
                 match_pattern(&batch[i], &g),
                 "answer {i} equals ground truth"
             );
@@ -937,7 +1409,7 @@ mod tests {
         assert!(matches!(svc.serve(&q, None), Err(ServiceError::NeedsGraph)));
         // With the graph supplied the hybrid path answers correctly.
         let a = svc.serve(&q, Some(&g)).unwrap();
-        assert_eq!(a.result, match_pattern(&q, &g));
+        assert_eq!(*a.result, match_pattern(&q, &g));
     }
 
     #[test]
@@ -954,7 +1426,7 @@ mod tests {
             .unwrap();
         let after = svc.serve(&q, None).unwrap();
         assert!(!after.plan_cached, "view-set fingerprint changed");
-        assert_eq!(after.result, match_pattern(&q, &g));
+        assert_eq!(*after.result, match_pattern(&q, &g));
         assert_eq!(svc.stats().engine_rebuilds, 2);
     }
 
@@ -988,6 +1460,24 @@ mod tests {
         );
     }
 
+    /// Regression: `p = 0.0` used to clamp to `target = 0`, making
+    /// `seen >= target` vacuously true at bucket 0 — the histogram claimed
+    /// a `< 1 µs` "quantile" even when bucket 0 held zero observations.
+    /// Non-positive (and NaN) `p` must be rejected, never answered.
+    #[test]
+    fn quantile_rejects_non_positive_p() {
+        let mut h = LatencyHistogram::default();
+        h.buckets[10] = 100; // nothing anywhere near bucket 0
+        assert_eq!(h.quantile_upper_micros(0.0), None);
+        assert_eq!(h.quantile_upper_micros(-0.5), None);
+        assert_eq!(h.quantile_upper_micros(f64::NAN), None);
+        assert_eq!(h.quantile_label(0.0), "n/a");
+        assert_eq!(h.quantile_label(-1.0), "n/a");
+        // Sanity: positive quantiles still answered, p > 1 clamps to 1.
+        assert_eq!(h.quantile_upper_micros(0.5), Some(1024));
+        assert_eq!(h.quantile_upper_micros(2.0), Some(1024));
+    }
+
     #[test]
     fn mismatched_graph_rejected_when_plan_reads_it() {
         let (svc, g) = service();
@@ -1006,7 +1496,33 @@ mod tests {
         // Covered query: views-only plans never touch the supplied graph,
         // so the answer is correct (for the store's graph) regardless.
         let covered = svc.serve(&chain3(), Some(&other)).unwrap();
-        assert_eq!(covered.result, match_pattern(&chain3(), &g));
+        assert_eq!(*covered.result, match_pattern(&chain3(), &g));
+    }
+
+    /// Regression: a *warm* result cache must not mask the graph check.
+    /// The uncovered query's answer is cached after a correct-graph serve;
+    /// re-serving it with the wrong graph must still fail with
+    /// GraphMismatch, exactly like the cold path — the cache probe used to
+    /// run before (and bypass) the fingerprint validation.
+    #[test]
+    fn warm_result_cache_still_rejects_mismatched_graph() {
+        let (svc, g) = service();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["A"]);
+        let y = b.add_node(["B"]);
+        b.add_edge(x, y);
+        let other = b.build();
+        let uncovered = single("A", "C");
+        // Warm the cache with the right graph…
+        let warm = svc.serve(&uncovered, Some(&g)).unwrap();
+        assert_eq!(*warm.result, match_pattern(&uncovered, &g));
+        // …then the wrong graph must still be rejected, not served.
+        assert!(matches!(
+            svc.serve(&uncovered, Some(&other)),
+            Err(ServiceError::GraphMismatch { .. })
+        ));
+        // And the right graph keeps hitting.
+        assert!(svc.serve(&uncovered, Some(&g)).unwrap().result_cached);
     }
 
     #[test]

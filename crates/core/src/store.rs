@@ -44,8 +44,10 @@ pub struct StoredView {
     pub id: u64,
     /// The view definition.
     pub def: ViewDef,
-    /// The materialized extension `V(G)`.
-    pub ext: MatchResult,
+    /// The materialized extension `V(G)`, `Arc`-shared into every snapshot
+    /// (and through it into every [`QueryEngine`](crate::engine::QueryEngine)
+    /// built from one) — rebuilding an engine never copies the pairs.
+    pub ext: Arc<MatchResult>,
 }
 
 /// Errors from store mutation.
@@ -176,7 +178,8 @@ impl ViewStore {
     }
 
     /// Shards a monolithic [`ViewCache`] (ids are assigned in cache order,
-    /// so [`Self::to_cache`] round-trips).
+    /// so [`Self::to_cache`] round-trips). The cache's extensions are
+    /// `Arc`-shared into the store, not copied.
     pub fn from_cache(cache: ViewCache, shards: usize) -> Self {
         let store =
             Self::with_fingerprint(cache.graph_fingerprint, cache.graph_stats.clone(), shards);
@@ -187,20 +190,21 @@ impl ViewStore {
             .cloned()
             .zip(cache.extensions.extensions)
         {
-            store.insert_materialized(def, ext);
+            store.insert_shared(def, ext);
         }
         store
     }
 
     /// Collapses the store back into a monolithic, durable [`ViewCache`]
-    /// (views in id order).
+    /// (views in id order). The extensions stay `Arc`-shared with the
+    /// store; only the definitions are cloned.
     pub fn to_cache(&self) -> ViewCache {
         let snap = self.snapshot();
         ViewCache {
             graph_fingerprint: self.graph_fingerprint,
             graph_stats: self.graph_stats.clone(),
-            views: snap.view_set(),
-            extensions: snap.extensions(),
+            views: (*snap.view_set()).clone(),
+            extensions: (*snap.extensions()).clone(),
         }
     }
 
@@ -261,6 +265,12 @@ impl ViewStore {
     /// Registers an already-materialized extension (e.g. from a loaded
     /// cache). The caller asserts `ext = def(G)` for this store's graph.
     pub fn insert_materialized(&self, def: ViewDef, ext: MatchResult) -> u64 {
+        self.insert_shared(def, Arc::new(ext))
+    }
+
+    /// [`Self::insert_materialized`] for an extension that is already
+    /// shared — registration keeps the `Arc`, so no pairs are copied.
+    pub fn insert_shared(&self, def: ViewDef, ext: Arc<MatchResult>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let stored = Arc::new(StoredView { id, def, ext });
         let shard = self.shard_of(id);
@@ -323,12 +333,23 @@ impl ViewStore {
         }
         views.sort_by_key(|v| v.id);
         let fingerprint = view_set_fingerprint(&views);
+        // Assembled once per snapshot (i.e. once per store version) and then
+        // shared by `Arc` into every engine built from it: the positional
+        // view set clones the (small) definitions, the extensions clone one
+        // `Arc` per view — never the materialized pairs. A rebuild after a
+        // mutation therefore costs O(card(V)), not O(|V(G)|).
+        let view_set = Arc::new(ViewSet::new(views.iter().map(|v| v.def.clone()).collect()));
+        let extensions = Arc::new(ViewExtensions {
+            extensions: views.iter().map(|v| v.ext.clone()).collect(),
+        });
         StoreSnapshot {
             version,
             fingerprint,
             graph_fingerprint: self.graph_fingerprint,
             graph_stats: self.graph_stats.clone(),
             views,
+            view_set,
+            extensions,
         }
     }
 }
@@ -364,6 +385,8 @@ pub struct StoreSnapshot {
     /// Graph statistics captured at store construction.
     pub graph_stats: Option<GraphStats>,
     views: Vec<Arc<StoredView>>,
+    view_set: Arc<ViewSet>,
+    extensions: Arc<ViewExtensions>,
 }
 
 impl StoreSnapshot {
@@ -378,18 +401,19 @@ impl StoreSnapshot {
         self.views.iter().map(|v| v.id).collect()
     }
 
-    /// Assembles the positional [`ViewSet`] the planner consumes.
-    pub fn view_set(&self) -> ViewSet {
-        ViewSet::new(self.views.iter().map(|v| v.def.clone()).collect())
+    /// The positional [`ViewSet`] the planner consumes, assembled once at
+    /// snapshot time and shared by `Arc` (cloning the handle is O(1)).
+    pub fn view_set(&self) -> Arc<ViewSet> {
+        self.view_set.clone()
     }
 
-    /// Assembles the positional [`ViewExtensions`] the executor reads.
-    /// This deep-copies the extensions — done once per store version by the
-    /// serving layer, never per query.
-    pub fn extensions(&self) -> ViewExtensions {
-        ViewExtensions {
-            extensions: self.views.iter().map(|v| v.ext.clone()).collect(),
-        }
+    /// The positional [`ViewExtensions`] the executor reads, assembled once
+    /// at snapshot time. The handle — and every per-view extension inside
+    /// it — is `Arc`-shared with the store, so this never copies pairs
+    /// (the old deep-copy per engine rebuild is gone; `tests/service.rs`
+    /// pins it with `Arc::ptr_eq`).
+    pub fn extensions(&self) -> Arc<ViewExtensions> {
+        self.extensions.clone()
     }
 }
 
@@ -465,6 +489,30 @@ mod tests {
         assert!(store.get(id).is_none());
         assert!(store.remove(id).is_none());
         assert_eq!(store.len(), 2);
+    }
+
+    /// Shard-count edge case: `shards == 0` must clamp to 1 everywhere a
+    /// store is constructed — otherwise `shard_of`'s `% self.shards.len()`
+    /// panics with a division by zero on the first insert or lookup.
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 0);
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(store.len(), 2);
+        let id = store
+            .insert(ViewDef::new("vxx", single("A", "C")), &g)
+            .unwrap();
+        assert!(store.get(id).is_some());
+        assert_eq!(store.snapshot().ids().len(), 3);
+
+        let from_cache = ViewStore::from_cache(ViewCache::build(two_views(), &g), 0);
+        assert_eq!(from_cache.shard_count(), 1);
+        assert_eq!(from_cache.len(), 2);
+
+        let empty = ViewStore::for_graph(&g, 0);
+        assert_eq!(empty.shard_count(), 1);
+        assert!(empty.is_empty());
     }
 
     #[test]

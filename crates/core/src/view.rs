@@ -11,6 +11,7 @@ use gpv_matching::result::MatchResult;
 use gpv_matching::simulation::match_pattern;
 use gpv_pattern::{Pattern, PatternEdgeId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A named view definition (a plain pattern query).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -90,17 +91,25 @@ impl From<Vec<ViewDef>> for ViewSet {
 
 /// Materialized view extensions `V(G) = {V1(G), ..., Vn(G)}`, the cached
 /// query results the join algorithms read instead of `G`.
+///
+/// Each extension is held behind an [`Arc`], so assembling a new
+/// `ViewExtensions` from an existing one (or from a
+/// [`ViewStore`](crate::store::ViewStore) snapshot) shares the materialized
+/// match sets instead of deep-copying them: an engine rebuild after a store
+/// mutation clones `n` pointers, not `|V(G)|` pairs. Executors only ever
+/// *borrow* the sets ([`Self::edge_set`]), so sharing is invisible to them.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ViewExtensions {
-    /// `extensions[i]` = `Vi(G)` (may be empty when `Vi ⋬sim G`).
-    pub extensions: Vec<MatchResult>,
+    /// `extensions[i]` = `Vi(G)` (may be empty when `Vi ⋬sim G`), shared
+    /// by `Arc` with every other holder of the same materialization.
+    pub extensions: Vec<Arc<MatchResult>>,
 }
 
 impl ViewExtensions {
     /// Total number of cached match pairs — the paper's `|V(G)|` measure
     /// dominating the complexity of `MatchJoin`.
     pub fn size(&self) -> usize {
-        self.extensions.iter().map(MatchResult::size).sum()
+        self.extensions.iter().map(|e| e.size()).sum()
     }
 
     /// Appends one more materialized extension, keeping positions aligned
@@ -109,6 +118,12 @@ impl ViewExtensions {
     /// both; for concurrent registration go through
     /// [`ViewStore`](crate::store::ViewStore) instead).
     pub fn push(&mut self, ext: MatchResult) {
+        self.extensions.push(Arc::new(ext));
+    }
+
+    /// Appends an already-shared extension without copying it (the
+    /// zero-copy path used when assembling from a store snapshot).
+    pub fn push_shared(&mut self, ext: Arc<MatchResult>) {
         self.extensions.push(ext);
     }
 
@@ -131,7 +146,7 @@ pub fn materialize(views: &ViewSet, g: &DataGraph) -> ViewExtensions {
         extensions: views
             .views()
             .iter()
-            .map(|v| match_pattern(&v.pattern, g))
+            .map(|v| Arc::new(match_pattern(&v.pattern, g)))
             .collect(),
     }
 }

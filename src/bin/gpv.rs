@@ -11,7 +11,7 @@
 //! gpv calibrate --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
 //!              [--repeat K]
 //! gpv serve    --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
-//!              [--shards N] [--clients N] [--repeat K] [--explain]
+//!              [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain]
 //! gpv minimize --pattern Q.txt
 //! ```
 //!
@@ -31,10 +31,14 @@
 //!
 //! `serve` is the batch-serving front end over [`core::ViewService`]: it
 //! shards the materialized views into a [`core::ViewStore`] (`--shards`),
-//! then has `--clients` threads each submit the query batch (`--pattern`
-//! repeated, times `--repeat`) concurrently — deduplicated and
-//! plan-cached — and reports the answers once plus the service stats
-//! (plan-cache hit rate, shard occupancy, queue depth, latency quantiles).
+//! then has `--clients` threads each submit the query batch (the
+//! `--pattern` files) `--repeat` times concurrently. Repeats are separate
+//! batches on purpose: identical queries inside one batch deduplicate,
+//! identical queries *across* batches hit the cross-batch result cache
+//! (budgeted by `--result-cache-mb`, 0 disables), and only the remainder
+//! is planned (plan cache) and executed. The command reports the answers
+//! once plus the service stats (plan- and result-cache hit rates, shard
+//! occupancy, queue depth, latency quantiles).
 //!
 //! Graphs use the `gpv-graph` text format (`node <id> <labels> [k=v ...]` /
 //! `edge <src> <dst>`); patterns use the `gpv-pattern` format
@@ -58,6 +62,7 @@ struct Args {
     shards: usize,
     clients: usize,
     repeat: usize,
+    result_cache_mb: usize,
 }
 
 fn usage() -> ExitCode {
@@ -65,7 +70,7 @@ fn usage() -> ExitCode {
         "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|minimize> \
          [--graph F] [--pattern F]... [--view F]... [--bounded] [--dual] \
          [--select auto|all|minimal|minimum] [--threads N] [--calibrated] \
-         [--shards N] [--clients N] [--repeat K] [--explain]"
+         [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain]"
     );
     ExitCode::from(2)
 }
@@ -84,6 +89,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         shards: 8,
         clients: 1,
         repeat: 1,
+        result_cache_mb: 64,
     };
     let mut i = 0;
     let uint = |flag: &str, v: Option<&String>| -> Result<usize, String> {
@@ -125,6 +131,10 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--repeat" => {
                 a.repeat = uint("--repeat", rest.get(i + 1))?.max(1);
+                i += 2;
+            }
+            "--result-cache-mb" => {
+                a.result_cache_mb = uint("--result-cache-mb", rest.get(i + 1))?;
                 i += 2;
             }
             "--bounded" => {
@@ -388,18 +398,13 @@ fn serve(a: &Args) -> Result<(), String> {
     for p in &a.patterns {
         batch.push(require_plain(&load_pattern(p)?, "pattern")?);
     }
-    let batch: Vec<gpv_pattern::Pattern> = batch
-        .iter()
-        .cycle()
-        .take(batch.len() * a.repeat)
-        .cloned()
-        .collect();
 
     let store = Arc::new(core::ViewStore::materialize(vs, &g, a.shards));
     let service = core::ViewService::with_config(
         store,
         core::ServiceConfig {
             engine: engine_config(a)?,
+            result_cache_bytes: a.result_cache_mb << 20,
             // `--calibrated`: re-fit the cost weights from measurements
             // after every batch, so later batches plan adaptively.
             recalibrate_every: if a.calibrated { 1 } else { 0 },
@@ -407,14 +412,24 @@ fn serve(a: &Args) -> Result<(), String> {
         },
     );
 
-    // Every client thread submits the same batch concurrently; answers are
-    // identical across clients (asserted by tests/service.rs), so only the
-    // first client's batch is printed.
+    // Every client thread submits the batch `--repeat` times concurrently.
+    // Repeats are *separate* batches: the first exercises dedup and the
+    // plan cache, later ones the cross-batch result cache. Answers are
+    // identical across clients and repeats (asserted by tests/service.rs),
+    // so only the first client's answers are printed.
     let t0 = std::time::Instant::now();
     let mut answers = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..a.clients)
-            .map(|_| s.spawn(|| service.serve_batch(&batch, Some(&g))))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut served = Vec::new();
+                    for _ in 0..a.repeat {
+                        served.extend(service.serve_batch(&batch, Some(&g)));
+                    }
+                    served
+                })
+            })
             .collect();
         for h in handles {
             answers.push(h.join().expect("client thread panicked"));
@@ -425,15 +440,9 @@ fn serve(a: &Args) -> Result<(), String> {
     for (i, r) in answers[0].iter().enumerate() {
         match r {
             Ok(ans) => println!(
-                "query {i}: {} pairs ({}{}{} µs)",
+                "query {i}: {} pairs ({}, {}{} µs)",
                 ans.result.size(),
-                if ans.deduplicated {
-                    "deduped, "
-                } else if ans.plan_cached {
-                    "plan cached, "
-                } else {
-                    "planned, "
-                },
+                ans.disposition(),
                 if ans.plan.needs_graph() {
                     "graph fallback, "
                 } else {
@@ -456,9 +465,10 @@ fn serve(a: &Args) -> Result<(), String> {
     let served: usize = answers.iter().map(Vec::len).sum();
     println!("---");
     println!(
-        "served {served} queries in {wall:.3}s ({:.0} q/s) from {} clients x {} queries",
+        "served {served} queries in {wall:.3}s ({:.0} q/s) from {} clients x {} batches x {} queries",
         served as f64 / wall.max(1e-9),
         a.clients,
+        a.repeat,
         batch.len()
     );
     println!(
@@ -468,6 +478,15 @@ fn serve(a: &Args) -> Result<(), String> {
         stats.plan_cache_hit_rate * 100.0,
         stats.plan_cache_size,
         stats.dedup_saved
+    );
+    println!(
+        "result cache: {} hits / {} misses ({:.0}% hit rate), {} answers / {} KiB resident, {} evicted",
+        stats.result_cache_hits,
+        stats.result_cache_misses,
+        stats.result_cache_hit_rate * 100.0,
+        stats.result_cache_size,
+        stats.result_cache_bytes / 1024,
+        stats.result_cache_evictions
     );
     println!(
         "latency: p50 {}, p99 {}; max queue depth {}",

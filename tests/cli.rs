@@ -209,13 +209,85 @@ fn serve_batch_command() {
     );
     let s = String::from_utf8_lossy(&out.stdout);
     // 2 patterns x 3 repeats x 2 clients, all identical: the first is
-    // planned, the rest of the first client's batch dedupes.
+    // planned, the second dedupes inside the first batch, and the repeated
+    // batches hit the cross-batch result cache.
     assert!(s.contains("served 12 queries"), "{s}");
     assert!(s.contains("query 0: 3 pairs"), "{s}");
     assert!(s.contains("query 5: 3 pairs"), "{s}");
     assert!(s.contains("deduped"), "{s}");
+    assert!(s.contains("result cached"), "{s}");
     assert!(s.contains("2 views over 4 shards"), "{s}");
     assert!(s.contains("plan cache:"), "{s}");
+    assert!(s.contains("result cache:"), "{s}");
+}
+
+/// The CI contract: `gpv serve --repeat 2` on the example workload must
+/// report a nonzero result-cache hit rate — the second submission of the
+/// batch is answered from the cache, and a regression to always-miss is
+/// loud. (The CI workflow runs the same command against the release
+/// binary; this test pins it for `cargo test`.)
+#[test]
+fn serve_repeat_reports_nonzero_result_cache_hit_rate() {
+    let g = write_tmp("rc-g.txt", GRAPH);
+    let q = write_tmp("rc-q.txt", QUERY);
+    let v1 = write_tmp("rc-v1.txt", VIEW1);
+    let v2 = write_tmp("rc-v2.txt", VIEW2);
+    let out = gpv()
+        .args([
+            "serve",
+            "--graph",
+            g.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--repeat",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    let line = s
+        .lines()
+        .find(|l| l.starts_with("result cache:"))
+        .unwrap_or_else(|| panic!("no result-cache line in: {s}"));
+    // One client, one pattern, two repeats: exactly 1 hit / 1 miss.
+    assert!(
+        line.contains("1 hits / 1 misses (50% hit rate)"),
+        "repeat 2 must hit the result cache once: {line}"
+    );
+    // Disabling the cache must report all misses, never fake hits.
+    let off = gpv()
+        .args([
+            "serve",
+            "--graph",
+            g.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--repeat",
+            "2",
+            "--result-cache-mb",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(off.status.success());
+    let s = String::from_utf8_lossy(&off.stdout);
+    assert!(
+        s.contains("result cache: 0 hits / 0 misses"),
+        "disabled cache neither hits nor probes: {s}"
+    );
 }
 
 #[test]
