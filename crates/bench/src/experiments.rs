@@ -49,6 +49,29 @@ pub struct Row {
     pub series: Vec<(String, f64)>,
 }
 
+/// Host metadata attached to the performance-tracking experiments
+/// (`engine`, `service`), so a recorded `BENCH_*.json` is self-describing:
+/// parallel-series numbers from a 1-core container cannot be misread as a
+/// scaling result when the row says `cores: 1` next to them.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HostInfo {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub cores: usize,
+    /// What `gpv_core::auto_threads()` resolves to (the executor's default
+    /// worker count — cached `available_parallelism`).
+    pub auto_threads: usize,
+}
+
+impl HostInfo {
+    /// Probes the current host.
+    pub fn probe() -> Self {
+        HostInfo {
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            auto_threads: gpv_core::parallel::auto_threads(),
+        }
+    }
+}
+
 /// A complete experiment result.
 #[derive(Clone, Debug, Serialize)]
 pub struct ExperimentResult {
@@ -58,6 +81,11 @@ pub struct ExperimentResult {
     pub title: String,
     /// Unit of the values (`"s"`, `"ms"`, `"ratio"`, ...).
     pub unit: String,
+    /// Host metadata for performance-tracking experiments (`None` for the
+    /// paper-figure reproductions, whose series are ratios/contrasts that
+    /// do not depend on core count).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub host: Option<HostInfo>,
     /// The measured rows.
     pub rows: Vec<Row>,
 }
@@ -276,6 +304,7 @@ fn run_plain_dataset(
         });
     }
     ExperimentResult {
+        host: None,
         id: id.into(),
         title: title.into(),
         unit: "s".into(),
@@ -358,6 +387,7 @@ pub fn fig8d(scale: Scale, seed: u64) -> ExperimentResult {
         });
     }
     ExperimentResult {
+        host: None,
         id: "fig8d".into(),
         title: "Varying |G| (synthetic)".into(),
         unit: "s".into(),
@@ -406,6 +436,7 @@ pub fn fig8e(scale: Scale, seed: u64) -> ExperimentResult {
         });
     }
     ExperimentResult {
+        host: None,
         id: "fig8e".into(),
         title: "Varying |G| and |Qs| (synthetic)".into(),
         unit: "s".into(),
@@ -460,6 +491,7 @@ pub fn fig8f(scale: Scale, seed: u64) -> ExperimentResult {
         });
     }
     ExperimentResult {
+        host: None,
         id: "fig8f".into(),
         title: "Optimization: varying α (synthetic)".into(),
         unit: "s".into(),
@@ -514,6 +546,7 @@ pub fn fig8g(_scale: Scale, seed: u64) -> ExperimentResult {
         });
     }
     ExperimentResult {
+        host: None,
         id: "fig8g".into(),
         title: "contain efficiency: DAG vs cyclic patterns".into(),
         unit: "ms".into(),
@@ -592,6 +625,7 @@ pub fn fig8h(_scale: Scale, seed: u64) -> ExperimentResult {
         });
     }
     ExperimentResult {
+        host: None,
         id: "fig8h".into(),
         title: "minimum vs minimal (cyclic patterns)".into(),
         unit: "ratio".into(),
@@ -662,6 +696,7 @@ fn run_bounded_dataset(
         });
     }
     ExperimentResult {
+        host: None,
         id: id.into(),
         title: title.into(),
         unit: "s".into(),
@@ -752,6 +787,7 @@ pub fn fig8k(scale: Scale, seed: u64) -> ExperimentResult {
         });
     }
     ExperimentResult {
+        host: None,
         id: "fig8k".into(),
         title: "Varying fe(e) (YouTube)".into(),
         unit: "s".into(),
@@ -802,6 +838,7 @@ pub fn fig8l(scale: Scale, seed: u64) -> ExperimentResult {
         });
     }
     ExperimentResult {
+        host: None,
         id: "fig8l".into(),
         title: "Bounded scalability: varying |G| (synthetic)".into(),
         unit: "s".into(),
@@ -822,12 +859,19 @@ pub fn fig8l(scale: Scale, seed: u64) -> ExperimentResult {
 /// [`CostModel::calibrate`](gpv_core::CostModel::calibrate) re-fits the
 /// weights from this row's recorded executions — the `est_err_*` series
 /// are dimensionless ratios, and calibration must drive the error down.
+///
+/// **Granularity series.** `MatchJoin_par4_chunked` times the intra-edge
+/// (chunked) executor at 4 workers, and `granularity_chunk_pairs` records
+/// the chunk size the cost model would pick at `auto_threads()` for this
+/// row's per-edge pair counts (`0` = per-edge granularity; on a 1-core
+/// host it is always 0 — the [`HostInfo`] on the result says so).
 pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
-    use gpv_core::par_match_join;
+    use gpv_core::{par_match_join, par_match_join_granular, ParGranularity};
     let queries: Vec<Pattern> = (0..3)
         .map(|i| random_pattern(4, 6, &DEFAULT_ALPHABET, PatternShape::Any, seed + i))
         .collect();
     let views = selective_views(&queries, seed);
+    let host = HostInfo::probe();
 
     let mut rows = Vec::new();
     for step in 0..4 {
@@ -837,6 +881,10 @@ pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
         let mut engine = QueryEngine::materialize(views.clone(), &g);
         engine.set_config(figure_config(SelectionMode::Minimum));
         let (mut t_plan, mut t_seq, mut t_auto, mut t_par2, mut t_par4) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut t_par4c = 0.0;
+        // The granularity the cost model picks for this row's workload at
+        // the host's auto thread count (0 = per-edge).
+        let mut chunk_chosen = 0.0f64;
         for q in &queries {
             t_plan += secs(|| {
                 std::hint::black_box(engine.plan(q));
@@ -854,6 +902,13 @@ pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
             let gpv_core::QueryPlan::ViewsOnly(vp) = &plan else {
                 unreachable!("checked above");
             };
+            let per_edge = engine.per_edge_pairs(&vp.sources);
+            if let ParGranularity::Chunked { chunk_pairs } = engine
+                .cost_model()
+                .parallel_granularity(&per_edge, host.auto_threads)
+            {
+                chunk_chosen = chunk_chosen.max(chunk_pairs as f64);
+            }
             t_auto += secs(|| {
                 std::hint::black_box(par_match_join(q, &vp.plan, engine.extensions(), 0).unwrap());
             });
@@ -862,6 +917,22 @@ pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
             });
             t_par4 += secs(|| {
                 std::hint::black_box(par_match_join(q, &vp.plan, engine.extensions(), 4).unwrap());
+            });
+            // Intra-edge (chunked) executor: the largest per-edge set split
+            // four ways (floored at 1 pair so tiny rows still exercise the
+            // chunked code path).
+            let chunk = (per_edge.iter().copied().max().unwrap_or(1) as usize / 4).max(1);
+            t_par4c += secs(|| {
+                std::hint::black_box(
+                    par_match_join_granular(
+                        q,
+                        &vp.plan,
+                        engine.extensions(),
+                        4,
+                        ParGranularity::Chunked { chunk_pairs: chunk },
+                    )
+                    .unwrap(),
+                );
             });
         }
         // Feed the log some direct (graph-scan) executions too, via an
@@ -887,12 +958,15 @@ pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
                 ("MatchJoin_par_auto".into(), t_auto / c),
                 ("MatchJoin_par2".into(), t_par2 / c),
                 ("MatchJoin_par4".into(), t_par4 / c),
+                ("MatchJoin_par4_chunked".into(), t_par4c / c),
+                ("granularity_chunk_pairs".into(), chunk_chosen),
                 ("est_err_default".into(), est_err_default),
                 ("est_err_calibrated".into(), est_err_calibrated),
             ],
         });
     }
     ExperimentResult {
+        host: Some(host),
         id: "engine".into(),
         title: "QueryEngine: planner overhead + sequential vs parallel MatchJoin".into(),
         unit: "s".into(),
@@ -975,6 +1049,7 @@ pub fn service_experiment(scale: Scale, seed: u64) -> ExperimentResult {
         });
     }
     ExperimentResult {
+        host: Some(HostInfo::probe()),
         id: "service".into(),
         title: "ViewService: concurrent batch serving, varying client threads".into(),
         unit: "mixed".into(),
@@ -1199,6 +1274,33 @@ mod tests {
                  ({after} vs {before})"
             );
         }
+    }
+
+    /// The perf-tracking experiments must be self-describing: host core
+    /// count + auto thread count on the result, chunked-executor timing and
+    /// the chosen granularity in every row — so 1-core container numbers
+    /// cannot be misread as scaling results.
+    #[test]
+    fn perf_experiments_record_host_metadata() {
+        let r = engine_experiment(tiny(), 42);
+        let host = r.host.expect("engine experiment records host metadata");
+        assert!(host.cores >= 1);
+        assert!(host.auto_threads >= 1);
+        for row in &r.rows {
+            for series in ["MatchJoin_par4_chunked", "granularity_chunk_pairs"] {
+                assert!(
+                    row.series.iter().any(|(n, _)| n == series),
+                    "row {} missing {series}",
+                    row.x
+                );
+            }
+        }
+        let s = service_experiment(tiny(), 42);
+        assert!(s.host.is_some(), "service experiment records host metadata");
+        assert!(
+            fig8g(tiny(), 1).host.is_none(),
+            "figure reproductions carry no host block"
+        );
     }
 
     #[test]

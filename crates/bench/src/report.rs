@@ -83,6 +83,7 @@ mod tests {
             id: "figX".into(),
             title: "test".into(),
             unit: "s".into(),
+            host: None,
             rows: vec![Row {
                 x: "(4,6)".into(),
                 series: vec![("Match".into(), 1.25), ("MatchJoin".into(), 0.5)],

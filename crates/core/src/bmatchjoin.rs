@@ -49,6 +49,28 @@ pub fn bmatch_join_threaded(
     strategy: JoinStrategy,
     threads: usize,
 ) -> Result<(BoundedMatchResult, JoinStats), JoinError> {
+    bmatch_join_exec(
+        qb,
+        plan,
+        ext,
+        strategy,
+        threads,
+        crate::plan::ParGranularity::PerEdge,
+    )
+}
+
+/// The full-control entry point behind [`bmatch_join_threaded`]: an
+/// explicit fan-out granularity for [`JoinStrategy::Parallel`] (the engine
+/// threads its plan's [`ParGranularity`](crate::plan::ParGranularity)
+/// through here; ignored by the sequential strategies).
+pub(crate) fn bmatch_join_exec(
+    qb: &BoundedPattern,
+    plan: &ContainmentPlan,
+    ext: &BoundedViewExtensions,
+    strategy: JoinStrategy,
+    threads: usize,
+    granularity: crate::plan::ParGranularity,
+) -> Result<(BoundedMatchResult, JoinStats), JoinError> {
     let q = qb.pattern();
     if q.edge_count() == 0 {
         return Err(JoinError::NoEdges);
@@ -77,12 +99,24 @@ pub fn bmatch_join_threaded(
             .iter()
             .min_by_key(|r| ext.edge_set(r.view, r.edge).len())
             .ok_or(JoinError::PlanMismatch)?;
-        let filtered: Vec<(NodeId, NodeId, u32)> = ext
+        let mut filtered: Vec<(NodeId, NodeId, u32)> = ext
             .edge_set(best.view, best.edge)
             .iter()
             .copied()
             .filter(|&(_, _, d)| bound.admits(d))
             .collect();
+        // Canonicalize (same choke point as the plain `merge_step`): a
+        // stored extension with duplicate pairs must not inflate the
+        // working set, and the binary-search distance reattachment below
+        // requires strictly-sorted pairs. Ties on a pair keep the smallest
+        // distance (the shortest witnessing path, `I(V)`'s semantics).
+        if !filtered
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))
+        {
+            filtered.sort_unstable();
+            filtered.dedup_by_key(|&mut (v, w, _)| (v, w));
+        }
         merged.push(filtered.iter().map(|&(v, w, _)| (v, w)).collect());
         with_dist.push(filtered);
     }
@@ -100,7 +134,7 @@ pub fn bmatch_join_threaded(
             } else {
                 threads
             };
-            crate::parallel::par_ranked_fixpoint(q, merged, &mut stats, threads)?
+            crate::parallel::par_ranked_fixpoint_with(q, merged, &mut stats, threads, granularity)?
         }
     };
 

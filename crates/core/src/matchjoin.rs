@@ -145,7 +145,20 @@ pub fn match_join_union_with(
     ext: &ViewExtensions,
     strategy: JoinStrategy,
 ) -> Result<(MatchResult, JoinStats), JoinError> {
-    let merged = merge_step_union(q, plan, ext)?;
+    // Under the parallel strategy the per-edge sort/dedup of the union
+    // itself fans across workers (chunk-sort + k-way merge — identical
+    // output, see `parallel::par_sort_dedup`).
+    let merged = if strategy == JoinStrategy::Parallel {
+        crate::parallel::par_merge_step_union(
+            q,
+            plan,
+            ext,
+            crate::parallel::auto_threads(),
+            crate::cost::CostModel::MIN_CHUNK_PAIRS,
+        )?
+    } else {
+        merge_step_union(q, plan, ext)?
+    };
     run_fixpoint(q, merged, strategy)
 }
 
@@ -185,6 +198,27 @@ pub(crate) fn run_fixpoint(
     Ok((assemble(q, sets), stats))
 }
 
+/// Canonicalizes one edge's borrowed match set: sorted, duplicate-free.
+///
+/// This is the single choke point where stored extensions enter the join.
+/// Extensions produced by [`materialize`](crate::view::materialize) are
+/// canonical already (a [`MatchResult`] invariant) — that common case is a
+/// strictly-increasing scan and a plain copy — but extensions loaded from a
+/// durable cache or built by an external producer can carry duplicate
+/// pairs, and copying those verbatim used to inflate
+/// [`JoinStats::merged_pairs`], CSR sizes, and the support counters (a
+/// duplicated witness also kept a candidate alive one removal longer than
+/// its real support justified — harmless for the fixpoint's *result*, pure
+/// waste for its cost).
+pub(crate) fn canonical_pairs(set: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)> {
+    let mut v = set.to_vec();
+    if !v.windows(2).all(|w| w[0] < w[1]) {
+        v.sort_unstable();
+        v.dedup();
+    }
+    v
+}
+
 /// Lines 1-4 of Fig. 2, with a witness-narrowing optimization.
 ///
 /// The paper initializes `Se := ⋃_{e' ∈ λ(e)} S_e'`. Any *single* entry of
@@ -219,7 +253,7 @@ pub(crate) fn merge_step(
             .iter()
             .min_by_key(|r| ext.edge_set(r.view, r.edge).len())
             .ok_or(JoinError::PlanMismatch)?;
-        merged.push(ext.edge_set(best.view, best.edge).to_vec());
+        merged.push(canonical_pairs(ext.edge_set(best.view, best.edge)));
     }
     Ok(merged)
 }
@@ -288,6 +322,7 @@ pub(crate) fn initial_candidates(
 /// list, endpoint presence bitsets, and forward/reverse CSR adjacency. Pure
 /// per-edge data, so both the sequential and the parallel executor build it
 /// — the latter one edge per worker (see [`crate::parallel`]).
+#[derive(Debug)]
 pub(crate) struct EdgeCsr {
     /// Compacted `(src, tgt)` pairs, in merge order.
     pub pairs: Vec<(u32, u32)>,
@@ -919,6 +954,51 @@ mod tests {
             stats.edge_visits,
             stats.removals
         );
+    }
+
+    /// Regression (merge canonicalization): a stored extension containing
+    /// duplicate pairs — possible for loaded caches or external producers,
+    /// since nothing re-validates the `MatchResult` invariant on the way in
+    /// — used to be copied verbatim by `merge_step`, inflating
+    /// `merged_pairs`, CSR sizes, and support counters. The merge choke
+    /// point must canonicalize: identical stats and answers whether the
+    /// stored sets carry duplicates or not.
+    #[test]
+    fn duplicated_extension_pairs_do_not_inflate_the_join() {
+        let (g, views, q) = fig3();
+        let plan = contain(&q, &views).unwrap();
+        let clean = materialize(&views, &g);
+        let (r_clean, s_clean) =
+            match_join_with(&q, &plan, &clean, JoinStrategy::RankedBottomUp).unwrap();
+
+        // Corrupt every stored edge set with duplicates (tripled pairs, out
+        // of order).
+        let dirty = ViewExtensions {
+            extensions: clean
+                .extensions
+                .iter()
+                .map(|ext| {
+                    let mut m = (**ext).clone();
+                    for set in &mut m.edge_matches {
+                        let orig = set.clone();
+                        set.extend(orig.iter().rev().copied());
+                        set.extend(orig);
+                    }
+                    std::sync::Arc::new(m)
+                })
+                .collect(),
+        };
+        let (r_dirty, s_dirty) =
+            match_join_with(&q, &plan, &dirty, JoinStrategy::RankedBottomUp).unwrap();
+        assert_eq!(r_dirty, r_clean, "answers unchanged");
+        assert_eq!(
+            s_dirty, s_clean,
+            "duplicates must not inflate merged_pairs / visits / removals"
+        );
+        // And the canonical helper is a plain copy on already-canonical
+        // input (the hot path pays one linear scan, no sort).
+        let set = clean.edge_set(0, gpv_pattern::PatternEdgeId(0));
+        assert_eq!(canonical_pairs(set), set.to_vec());
     }
 
     use crate::view::ViewExtensions;

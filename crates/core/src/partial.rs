@@ -169,7 +169,12 @@ pub(crate) fn merged_from_sources(
                 if r.view >= ext.extensions.len() {
                     return Err(JoinError::ViewOutOfRange(r.view));
                 }
-                merged.push(ext.edge_set(r.view, r.edge).to_vec());
+                // Same canonicalization choke point as `merge_step`: a
+                // stored extension carrying duplicate pairs must not
+                // inflate merged_pairs / CSR sizes / support counters.
+                merged.push(crate::matchjoin::canonical_pairs(
+                    ext.edge_set(r.view, r.edge),
+                ));
             }
             EdgeSource::Graph => {
                 let g = g.ok_or(JoinError::GraphRequired)?;

@@ -113,23 +113,47 @@ pub struct LatencyHistogram {
     pub buckets: [u64; LATENCY_BUCKETS],
 }
 
+/// What a [`LatencyHistogram`] quantile lookup can actually assert — the
+/// explicit replacement for the old "`None` means either *no data* or
+/// *overflow*" ambiguity. An overflow must never be squashed into a finite
+/// bound: the histogram's last bucket is unbounded, so a quantile landing
+/// there has **no** upper bound the histogram can vouch for (a p99 that
+/// silently reported the previous bucket's bound would understate tail
+/// latency by an arbitrary amount).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantileBound {
+    /// The quantile is strictly under this many microseconds (the upper
+    /// edge of its bucket).
+    Under(u64),
+    /// The quantile fell in the unbounded overflow bucket: all the
+    /// histogram knows is that it is **at least** this many microseconds.
+    Overflow(u64),
+}
+
+impl std::fmt::Display for QuantileBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantileBound::Under(us) => write!(f, "< {us} µs"),
+            QuantileBound::Overflow(us) => write!(f, ">= {us} µs"),
+        }
+    }
+}
+
 impl LatencyHistogram {
     /// Total recorded observations.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
     }
 
-    /// Upper bound (µs) of the bucket containing the `p`-quantile
-    /// (`0.0 < p <= 1.0`; `p` above 1 is clamped to 1). Returns `None` when
-    /// there are no observations, when `p` is not positive (a `p ≤ 0` — or
-    /// NaN — quantile is meaningless: clamping used to produce `target = 0`,
+    /// The `p`-quantile's bucket bound (`0.0 < p <= 1.0`; `p` above 1 is
+    /// clamped to 1): [`QuantileBound::Under`] with the bucket's upper edge,
+    /// or the explicit [`QuantileBound::Overflow`] marker when the quantile
+    /// lands in the unbounded last bucket. `None` only when the histogram
+    /// has no observations or `p` is not positive (a `p ≤ 0` — or NaN —
+    /// quantile is meaningless: clamping used to produce `target = 0`,
     /// making `seen >= target` vacuously true and returning `Some(1)` even
-    /// with zero observations in bucket 0), *or* when the quantile falls in
-    /// the unbounded overflow bucket — the histogram then only knows the
-    /// latency is `≥ 2^(LATENCY_BUCKETS-2)` µs, not an upper bound. Coarse
-    /// by design: a `Some(x)` answers "the quantile is under `x` µs", not
-    /// "the quantile is `x`".
-    pub fn quantile_upper_micros(&self, p: f64) -> Option<u64> {
+    /// with zero observations in bucket 0).
+    pub fn quantile(&self, p: f64) -> Option<QuantileBound> {
         let total = self.count();
         if total == 0 || p.is_nan() || p <= 0.0 {
             return None;
@@ -139,21 +163,32 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate().take(LATENCY_BUCKETS - 1) {
             seen += c;
             if seen >= target {
-                return Some(1u64 << i);
+                return Some(QuantileBound::Under(1u64 << i));
             }
         }
-        None // quantile lands in the overflow bucket
+        Some(QuantileBound::Overflow(1u64 << (LATENCY_BUCKETS - 2)))
     }
 
-    /// Human-readable bound for the `p`-quantile: `"< X µs"`, or
-    /// `">= X µs"` when it falls in the overflow bucket, or `"n/a"` with
-    /// no observations or a non-positive `p`.
+    /// Upper bound (µs) of the bucket containing the `p`-quantile. Returns
+    /// `None` when [`Self::quantile`] has no answer *or* reports
+    /// [`QuantileBound::Overflow`] — the histogram must never report a
+    /// finite bound it does not have. Callers that need to distinguish
+    /// "no data" from "unbounded tail" use [`Self::quantile`] directly.
+    /// Coarse by design: a `Some(x)` answers "the quantile is under `x`
+    /// µs", not "the quantile is `x`".
+    pub fn quantile_upper_micros(&self, p: f64) -> Option<u64> {
+        match self.quantile(p) {
+            Some(QuantileBound::Under(us)) => Some(us),
+            Some(QuantileBound::Overflow(_)) | None => None,
+        }
+    }
+
+    /// Human-readable bound for the `p`-quantile: `"< X µs"`, `">= X µs"`
+    /// when it falls in the overflow bucket, or `"n/a"` with no
+    /// observations or a non-positive `p`.
     pub fn quantile_label(&self, p: f64) -> String {
-        match self.quantile_upper_micros(p) {
-            Some(upper) => format!("< {upper} µs"),
-            None if self.count() > 0 && p > 0.0 => {
-                format!(">= {} µs", 1u64 << (LATENCY_BUCKETS - 2))
-            }
+        match self.quantile(p) {
+            Some(bound) => bound.to_string(),
             None => "n/a".into(),
         }
     }
@@ -181,13 +216,20 @@ pub struct ServiceConfig {
     /// fits (an answer larger than the whole budget is simply not cached).
     pub result_cache_bytes: usize,
     /// Re-fit the cost weights from the measured [`CostSample`](crate::cost::CostSample)
-    /// log every this many batches (`0` disables recalibration). A re-fit
-    /// that changes the weights invalidates cached plans *and results* and
-    /// rebuilds the engine snapshot, so subsequent planning is priced in
-    /// measured units. Note that result-cache hits skip execution and thus
-    /// record no [`CostSample`](crate::cost::CostSample) — a fully cached
-    /// steady state stops feeding the calibration loop (by design: there is
-    /// nothing new to measure).
+    /// log every this many **executed** queries (`0` disables
+    /// recalibration). A re-fit that changes the weights invalidates cached
+    /// plans *and results* and rebuilds the engine snapshot, so subsequent
+    /// planning is priced in measured units.
+    ///
+    /// Only queries that actually plan-and-execute count toward the
+    /// cadence: dedup fan-outs and result-cache hits record no
+    /// [`CostSample`](crate::cost::CostSample) (there is nothing new to
+    /// measure), so counting them — as the batch-counting cadence of PR 4
+    /// did — made a fully cached steady state attempt pointless re-fits
+    /// over an unchanged log every batch, and could rebuild the engine and
+    /// cold both caches for noise. A hot cache now leaves the calibration
+    /// machinery untouched; [`ServiceStats::cost_log_starved`] counts how
+    /// many served queries fed it nothing.
     pub recalibrate_every: u64,
 }
 
@@ -328,6 +370,15 @@ pub struct ServiceStats {
     pub result_cache_evictions: u64,
     /// Queries answered by intra-batch deduplication.
     pub dedup_saved: u64,
+    /// Queries that actually planned and executed (the
+    /// [`ServiceConfig::recalibrate_every`] cadence counts these only).
+    pub executed_queries: u64,
+    /// Queries served without executing (dedup fan-outs + result-cache
+    /// hits): each recorded **no**
+    /// [`CostSample`](crate::cost::CostSample), so a high ratio of this to
+    /// [`Self::queries`] means the calibration loop is running on old
+    /// measurements — by design, since there is nothing new to measure.
+    pub cost_log_starved: u64,
     /// Times the engine snapshot was rebuilt because the store changed.
     pub engine_rebuilds: u64,
     /// Queries currently in flight (the queue-depth gauge).
@@ -364,6 +415,12 @@ struct Counters {
     result_misses: AtomicU64,
     result_evictions: AtomicU64,
     dedup_saved: AtomicU64,
+    /// Queries that planned and executed (drives the recalibration cadence).
+    executed: AtomicU64,
+    /// Queries served from dedup or the result cache — no `CostSample`.
+    starved: AtomicU64,
+    /// `executed` watermark at the last recalibration attempt.
+    last_recalib_executed: AtomicU64,
     engine_rebuilds: AtomicU64,
     recalibrations: AtomicU64,
     in_flight: AtomicU64,
@@ -658,17 +715,35 @@ impl ViewService {
             && close(a.scan_edge, b.scan_edge)
     }
 
-    /// Re-fits the cost weights from the measured log when the batch cadence
-    /// says so. A fit that moves the weights installs itself, drops every
-    /// cached plan (they were priced under the old weights) and invalidates
-    /// the engine snapshot; a fit within tolerance of the active one is a
-    /// no-op.
+    /// Re-fits the cost weights from the measured log when enough queries
+    /// have *executed* since the last attempt
+    /// ([`ServiceConfig::recalibrate_every`]). A fit that moves the weights
+    /// installs itself, drops every cached plan (they were priced under the
+    /// old weights) and invalidates the engine snapshot; a fit within
+    /// tolerance of the active one is a no-op. Dedup fan-outs and
+    /// result-cache hits never advance the cadence: they add no samples, so
+    /// re-fitting on their account would grind the same log again — and, on
+    /// the first ever fit, rebuild the engine and cold both caches in a
+    /// steady state that executed nothing (the PR 4 caveat this closes).
     fn maybe_recalibrate(&self) {
         let every = self.config.recalibrate_every;
         if every == 0 {
             return;
         }
-        if self.counters.batches.load(Ordering::Relaxed) % every != 0 {
+        let executed = self.counters.executed.load(Ordering::Relaxed);
+        let last = self.counters.last_recalib_executed.load(Ordering::Relaxed);
+        if executed.saturating_sub(last) < every {
+            return;
+        }
+        // Two racing batches may both pass the gate; the CAS lets one
+        // advance the watermark and the loser simply skips (the winner's
+        // fit covers its samples too).
+        if self
+            .counters
+            .last_recalib_executed
+            .compare_exchange(last, executed, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
             return;
         }
         let Some(fitted) = self
@@ -958,8 +1033,10 @@ impl ViewService {
             let answer = match dedup_hit {
                 Some(prev) => {
                     // Identical query earlier in this batch: fan its answer
-                    // out without re-planning or re-executing.
+                    // out without re-planning or re-executing (and without
+                    // feeding the cost log — see `cost_log_starved`).
                     self.counters.dedup_saved.fetch_add(1, Ordering::Relaxed);
+                    self.counters.starved.fetch_add(1, Ordering::Relaxed);
                     let micros = t0.elapsed().as_micros() as u64;
                     self.record_latency(micros);
                     prev.map(|mut a| {
@@ -973,6 +1050,9 @@ impl ViewService {
                 // shared answer without planning or executing anything.
                 None => match self.cached_result(&snap, qfp, &qkey, g.is_some()) {
                     Some(hit) => {
+                        // Served without executing: no CostSample recorded,
+                        // and the recalibration cadence must not advance.
+                        self.counters.starved.fetch_add(1, Ordering::Relaxed);
                         // Mirror the uncached path's graph validation: a
                         // graph-reading plan supplied with the *wrong*
                         // graph fails with GraphMismatch there, and a warm
@@ -1027,6 +1107,12 @@ impl ViewService {
                                 .execute(q, &plan, None)
                                 .map_err(ServiceError::from)
                         };
+                        if exec.is_ok() {
+                            // A real plan-and-execute: the only path that
+                            // records a CostSample, and therefore the only
+                            // one that advances the recalibration cadence.
+                            self.counters.executed.fetch_add(1, Ordering::Relaxed);
+                        }
                         let executed = exec.map(|(result, join_stats)| ServedAnswer {
                             result: Arc::new(result),
                             plan: plan.clone(),
@@ -1151,6 +1237,8 @@ impl ViewService {
             },
             result_cache_evictions: self.counters.result_evictions.load(Ordering::Relaxed),
             dedup_saved: self.counters.dedup_saved.load(Ordering::Relaxed),
+            executed_queries: self.counters.executed.load(Ordering::Relaxed),
+            cost_log_starved: self.counters.starved.load(Ordering::Relaxed),
             engine_rebuilds: self.counters.engine_rebuilds.load(Ordering::Relaxed),
             in_flight: self.counters.in_flight.load(Ordering::Relaxed),
             max_in_flight: self.counters.max_in_flight.load(Ordering::Relaxed),
@@ -1441,23 +1529,39 @@ mod tests {
     #[test]
     fn latency_histogram_quantiles() {
         let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.99), None);
         assert_eq!(h.quantile_upper_micros(0.99), None);
         assert_eq!(h.quantile_label(0.99), "n/a");
         h.buckets[3] = 90; // < 8 µs
         h.buckets[10] = 10; // < 1024 µs
         assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), Some(QuantileBound::Under(8)));
         assert_eq!(h.quantile_upper_micros(0.5), Some(8));
         assert_eq!(h.quantile_upper_micros(0.99), Some(1024));
         assert_eq!(h.quantile_label(0.99), "< 1024 µs");
-        // A quantile landing in the overflow bucket has no upper bound —
-        // the label must say ≥, not <.
+    }
+
+    /// Regression: a quantile landing in the unbounded overflow bucket used
+    /// to be indistinguishable from "no data" — and one bucket earlier it
+    /// silently reported a finite bound it did not have. The marker must be
+    /// the explicit `Overflow` variant, `quantile_upper_micros` must refuse
+    /// a finite answer, and the label must say ≥, not <.
+    #[test]
+    fn quantile_overflow_is_an_explicit_marker_not_a_finite_bound() {
+        let floor = 1u64 << (LATENCY_BUCKETS - 2);
         let mut slow = LatencyHistogram::default();
         slow.buckets[LATENCY_BUCKETS - 1] = 10;
-        assert_eq!(slow.quantile_upper_micros(0.99), None);
-        assert_eq!(
-            slow.quantile_label(0.99),
-            format!(">= {} µs", 1u64 << (LATENCY_BUCKETS - 2))
-        );
+        assert_eq!(slow.quantile(0.99), Some(QuantileBound::Overflow(floor)));
+        assert_eq!(slow.quantile_upper_micros(0.99), None, "no finite bound");
+        assert_eq!(slow.quantile_label(0.99), format!(">= {floor} µs"));
+        // Mixed histogram: p50 is bounded, p99 overflows — the two answers
+        // must differ in kind, not just in value.
+        let mut mixed = LatencyHistogram::default();
+        mixed.buckets[2] = 90;
+        mixed.buckets[LATENCY_BUCKETS - 1] = 10;
+        assert_eq!(mixed.quantile(0.5), Some(QuantileBound::Under(4)));
+        assert_eq!(mixed.quantile(0.99), Some(QuantileBound::Overflow(floor)));
+        assert_eq!(mixed.quantile_upper_micros(0.99), None);
     }
 
     /// Regression: `p = 0.0` used to clamp to `target = 0`, making
@@ -1523,6 +1627,62 @@ mod tests {
         ));
         // And the right graph keeps hitting.
         assert!(svc.serve(&uncovered, Some(&g)).unwrap().result_cached);
+    }
+
+    /// Regression (the PR 4 caveat): with `recalibrate_every` set and a hot
+    /// result cache, a fully cached steady state executes nothing, records
+    /// no samples — and must therefore never attempt a re-fit, bump the
+    /// epoch, or rebuild the engine. The cadence counts *executed* queries
+    /// only; cache hits and dedup fan-outs show up in `cost_log_starved`
+    /// instead.
+    #[test]
+    fn hot_result_cache_never_triggers_pointless_recalibration_or_rebuild() {
+        let g = graph();
+        let views = ViewSet::new(vec![
+            ViewDef::new("vab", single("A", "B")),
+            ViewDef::new("vbc", single("B", "C")),
+        ]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 2));
+        let svc = ViewService::with_config(
+            store,
+            ServiceConfig {
+                recalibrate_every: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let q = chain3();
+        // Warm up: the first serve executes (1 executed query; with
+        // recalibrate_every = 1 the service may attempt a fit — over a
+        // 1-sample log `calibrate` refuses, so nothing installs).
+        assert!(!svc.serve(&q, None).unwrap().result_cached);
+        let warm = svc.stats();
+        assert_eq!(warm.executed_queries, 1);
+
+        // Steady state: every serve hits the result cache (plus in-batch
+        // dedup), executes nothing, and the calibration machinery must not
+        // move — no recalibrations, no epoch bump, no engine rebuild.
+        for _ in 0..10 {
+            let batch = vec![q.clone(), q.clone()];
+            for a in svc.serve_batch(&batch, None) {
+                let a = a.unwrap();
+                assert!(a.result_cached || a.deduplicated, "steady state is hot");
+            }
+        }
+        let hot = svc.stats();
+        assert_eq!(hot.executed_queries, 1, "nothing executed while hot");
+        assert_eq!(hot.cost_log_starved, 20, "every hot serve starved the log");
+        assert_eq!(
+            hot.engine_rebuilds, warm.engine_rebuilds,
+            "a hot cache must never rebuild the engine"
+        );
+        assert_eq!(hot.recalibrations, warm.recalibrations);
+        assert_eq!(hot.cost_samples, warm.cost_samples, "no new measurements");
+
+        // And the cadence still works once real executions resume: a fresh
+        // query (cache miss) executes and re-arms the loop.
+        let q2 = single("A", "B");
+        svc.serve(&q2, None).unwrap();
+        assert_eq!(svc.stats().executed_queries, 2);
     }
 
     #[test]

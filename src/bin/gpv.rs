@@ -19,10 +19,16 @@
 //! engine analyzes containment, costs the candidate view selections against
 //! the materialized extension sizes (`--select auto`, the default), and
 //! picks a sequential or parallel executor (`--threads 0` = auto-detect).
-//! The EXPLAIN output shows the per-edge merge sources (`View`/`Graph`) and
-//! the active cost weights; `plan --calibrated` first executes the query a
-//! few times (`--repeat`, min 3) to fill the estimate-vs-actual log,
-//! re-fits the weights, and EXPLAINs under the calibrated model.
+//! Parallel plans also carry a fan-out *granularity* — per pattern edge, or
+//! chunked *within* each edge's pair set when there are more workers than
+//! edges (breaking the per-edge `|Eq|` speedup ceiling); the cost model
+//! derives the chunk size from the per-edge pair counts, `--chunk-pairs N`
+//! pins it. The EXPLAIN output shows the chosen executor and granularity
+//! (`execute: parallel(8, chunked:65536)`), the per-edge merge sources
+//! (`View`/`Graph`), and the active cost weights; `plan --calibrated` first
+//! executes the query a few times (`--repeat`, min 3) to fill the
+//! estimate-vs-actual log, re-fits the weights, and EXPLAINs under the
+//! calibrated model.
 //!
 //! `calibrate` runs a whole workload (`--pattern` repeated) `--repeat`
 //! times, least-squares-fits the cost weights against the measured wall
@@ -59,6 +65,7 @@ struct Args {
     calibrated: bool,
     select: String,
     threads: usize,
+    chunk_pairs: Option<usize>,
     shards: usize,
     clients: usize,
     repeat: usize,
@@ -69,7 +76,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|minimize> \
          [--graph F] [--pattern F]... [--view F]... [--bounded] [--dual] \
-         [--select auto|all|minimal|minimum] [--threads N] [--calibrated] \
+         [--select auto|all|minimal|minimum] [--threads N] [--chunk-pairs N] [--calibrated] \
          [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain]"
     );
     ExitCode::from(2)
@@ -86,6 +93,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         calibrated: false,
         select: "auto".into(),
         threads: 0,
+        chunk_pairs: None,
         shards: 8,
         clients: 1,
         repeat: 1,
@@ -119,6 +127,10 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--threads" => {
                 a.threads = uint("--threads", rest.get(i + 1))?;
+                i += 2;
+            }
+            "--chunk-pairs" => {
+                a.chunk_pairs = Some(uint("--chunk-pairs", rest.get(i + 1))?.max(1));
                 i += 2;
             }
             "--shards" => {
@@ -405,8 +417,9 @@ fn serve(a: &Args) -> Result<(), String> {
         core::ServiceConfig {
             engine: engine_config(a)?,
             result_cache_bytes: a.result_cache_mb << 20,
-            // `--calibrated`: re-fit the cost weights from measurements
-            // after every batch, so later batches plan adaptively.
+            // `--calibrated`: re-fit the cost weights after every *executed*
+            // query, so later batches plan adaptively (cache hits record no
+            // measurements and do not re-trigger the fit).
             recalibrate_every: if a.calibrated { 1 } else { 0 },
             ..core::ServiceConfig::default()
         },
@@ -495,6 +508,10 @@ fn serve(a: &Args) -> Result<(), String> {
         stats.max_in_flight
     );
     println!(
+        "executed: {} queries planned+run, {} served without executing (cost-log starved)",
+        stats.executed_queries, stats.cost_log_starved
+    );
+    println!(
         "cost model: read={:.3} refine={:.3} scan={:.3} ({}), {} samples, est. error {}, {} recalibrations",
         stats.cost_model.read_pair,
         stats.cost_model.refine_pair,
@@ -536,6 +553,7 @@ fn engine_config(a: &Args) -> Result<core::EngineConfig, String> {
     };
     Ok(core::EngineConfig {
         threads: a.threads,
+        chunk_pairs: a.chunk_pairs,
         force_selection,
         ..core::EngineConfig::default()
     })
