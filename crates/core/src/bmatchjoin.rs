@@ -14,7 +14,9 @@
 
 use crate::bview::BoundedViewExtensions;
 use crate::containment::ContainmentPlan;
-use crate::matchjoin::{naive_fixpoint, ranked_fixpoint, JoinError, JoinStats, JoinStrategy};
+use crate::matchjoin::{
+    naive_fixpoint, ranked_fixpoint, JoinError, JoinStats, JoinStrategy, MergedSets,
+};
 use gpv_graph::NodeId;
 use gpv_matching::result::BoundedMatchResult;
 use gpv_pattern::{BoundedPattern, PatternEdgeId};
@@ -86,8 +88,11 @@ pub(crate) fn bmatch_join_exec(
     // the smallest covering extension. `with_dist[ei]` stays sorted by
     // pair, enabling binary-search distance reattachment after the
     // fixpoint — no per-pair hashing.
+    // The distance filter projects owned sets out of the arena (the shared
+    // fixpoint takes them as `Cow::Owned`; the zero-copy borrow only applies
+    // to the unbounded join, where no per-pair filtering happens).
     let mut with_dist: Vec<Vec<(NodeId, NodeId, u32)>> = Vec::with_capacity(q.edge_count());
-    let mut merged: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(q.edge_count());
+    let mut merged: MergedSets<'_> = Vec::with_capacity(q.edge_count());
     for (ei, entries) in plan.lambda.iter().enumerate() {
         let bound = qb.bound(PatternEdgeId(ei as u32));
         for r in entries {
@@ -117,7 +122,9 @@ pub(crate) fn bmatch_join_exec(
             filtered.sort_unstable();
             filtered.dedup_by_key(|&mut (v, w, _)| (v, w));
         }
-        merged.push(filtered.iter().map(|&(v, w, _)| (v, w)).collect());
+        merged.push(std::borrow::Cow::Owned(
+            filtered.iter().map(|&(v, w, _)| (v, w)).collect(),
+        ));
         with_dist.push(filtered);
     }
 

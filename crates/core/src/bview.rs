@@ -6,10 +6,10 @@
 //! in V(G) of some edge in V, I(V) includes a pair ⟨(v, v'), d⟩". The size
 //! of `I(V)` is bounded by `|V(G)|`, and `BMatchJoin` queries it in `O(1)`.
 
-use gpv_graph::{DataGraph, NodeId};
+use crate::compact::CompactBoundedView;
+use gpv_graph::DataGraph;
 use gpv_matching::bounded::bmatch_pattern;
-use gpv_matching::result::BoundedMatchResult;
-use gpv_pattern::{BoundedPattern, PatternEdgeId};
+use gpv_pattern::BoundedPattern;
 use serde::{Deserialize, Serialize};
 
 /// A named bounded view definition.
@@ -77,38 +77,21 @@ impl BoundedViewSet {
 }
 
 /// Materialized bounded extensions: each `Vi(G)` carries per-pair shortest
-/// distances — the extension and the index `I(V)` in one structure.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct BoundedViewExtensions {
-    /// `extensions[i]` = `Vi(G)` with distances.
-    pub extensions: Vec<BoundedMatchResult>,
-}
-
-impl BoundedViewExtensions {
-    /// Total cached pairs (`|V(G)|`).
-    pub fn size(&self) -> usize {
-        self.extensions.iter().map(BoundedMatchResult::size).sum()
-    }
-
-    /// Match set with distances of edge `eV` of view `i`.
-    pub fn edge_set(&self, view: usize, e: PatternEdgeId) -> &[(NodeId, NodeId, u32)] {
-        let ext = &self.extensions[view];
-        if ext.is_empty() {
-            &[]
-        } else {
-            ext.edge_set(e)
-        }
-    }
-}
+/// distances — the extension and the index `I(V)` in one structure. Since
+/// the columnar-arena refactor this is the flat
+/// [`CompactBoundedExtensions`](crate::compact::CompactBoundedExtensions);
+/// the JSON wire shape is unchanged.
+pub type BoundedViewExtensions = crate::compact::CompactBoundedExtensions;
 
 /// Materializes bounded views with the `BMatch` engine, recording shortest
-/// distances (building `I(V)` as a side effect).
+/// distances (building `I(V)` as a side effect), frozen into columnar
+/// arena regions.
 pub fn bmaterialize(views: &BoundedViewSet, g: &DataGraph) -> BoundedViewExtensions {
     BoundedViewExtensions {
         extensions: views
             .views()
             .iter()
-            .map(|v| bmatch_pattern(&v.pattern, g))
+            .map(|v| CompactBoundedView::freeze(&bmatch_pattern(&v.pattern, g)))
             .collect(),
     }
 }
@@ -116,8 +99,8 @@ pub fn bmaterialize(views: &BoundedViewSet, g: &DataGraph) -> BoundedViewExtensi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpv_graph::GraphBuilder;
-    use gpv_pattern::PatternBuilder;
+    use gpv_graph::{GraphBuilder, NodeId};
+    use gpv_pattern::{PatternBuilder, PatternEdgeId};
 
     fn chain_graph() -> DataGraph {
         // A -> m -> B, A -> B (direct)

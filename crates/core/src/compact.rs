@@ -1,0 +1,570 @@
+//! Columnar extension arena: the flat CSR-of-pairs layout the executors
+//! run on.
+//!
+//! The paper's complexity story is dominated by `|V(G)|` — the total cached
+//! match pairs the join reads. The boxed representation
+//! ([`MatchResult`]'s `Vec<Vec<(NodeId, NodeId)>>`) pays two pointer hops
+//! and an allocator-scattered heap per edge set before touching a single
+//! pair. [`CompactView`] flattens one view's extension into four contiguous
+//! columns:
+//!
+//! ```text
+//! edge_offsets : [u32; ne + 1]            CSR offsets into `pairs`
+//! pairs        : [(NodeId, NodeId); |V(G)|]  all edge match sets, back to back
+//! node_offsets : [u32; np + 1]            CSR offsets into `nodes`
+//! nodes        : [NodeId; Σ|node sets|]   all node match sets, back to back
+//! ```
+//!
+//! `edge_set(e)` is a single offset lookup returning a borrowed
+//! `&[(NodeId, NodeId)]` — no per-pair indirection, no allocation.
+//! [`CompactExtensions`] is the whole-view-set arena: one `Arc<CompactView>`
+//! per view, so the CSR-of-pairs covers the full extension set while
+//! zero-copy `Arc` sharing is preserved at *arena-region* granularity — a
+//! store mutation re-freezes only the touched view's region, every other
+//! region is shared untouched between snapshots.
+//!
+//! Conversion is explicit: [`CompactView::freeze`] flattens a boxed
+//! [`MatchResult`] (canonicalizing defensively — sets are sorted and
+//! deduplicated if they are not already), [`CompactView::thaw`] rebuilds
+//! the boxed form. On the JSON wire the compact types serialize as their
+//! thawed boxed shape, so caches written before the arena landed still
+//! load, and caches written now still load elsewhere.
+
+use gpv_graph::NodeId;
+use gpv_matching::result::{BoundedMatchResult, MatchResult};
+use gpv_pattern::{PatternEdgeId, PatternNodeId};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Borrowed `(edge_offsets, pairs, node_offsets, nodes)` columns — the
+/// exact byte surface the on-disk shard format persists.
+pub(crate) type RawColumns<'a> = (&'a [u32], &'a [(NodeId, NodeId)], &'a [u32], &'a [NodeId]);
+
+/// Copies `set` into `dst`, sorting + deduplicating only when a linear scan
+/// shows it is not already strictly increasing (the common case: every
+/// constructor in this workspace canonicalizes).
+fn extend_canonical<T: Copy + Ord>(dst: &mut Vec<T>, set: &[T]) {
+    if set.windows(2).all(|w| w[0] < w[1]) {
+        dst.extend_from_slice(set);
+    } else {
+        let start = dst.len();
+        dst.extend_from_slice(set);
+        dst[start..].sort_unstable();
+        let mut keep = start;
+        for i in start..dst.len() {
+            if i == start || dst[i] != dst[keep - 1] {
+                dst[keep] = dst[i];
+                keep += 1;
+            }
+        }
+        dst.truncate(keep);
+    }
+}
+
+/// One view's extension `V(G)` in flat columnar form. See the
+/// [module docs](self) for the layout.
+///
+/// Equality compares the edge columns only, mirroring [`MatchResult`]:
+/// the paper defines `Qs(G)` as `{(e, Se)}` and the node sets are
+/// auxiliary.
+#[derive(Clone, Debug)]
+pub struct CompactView {
+    /// `edge_offsets[e]..edge_offsets[e + 1]` delimits edge `e`'s pairs.
+    edge_offsets: Box<[u32]>,
+    /// All edge match sets, concatenated in edge order (each set sorted).
+    pairs: Box<[(NodeId, NodeId)]>,
+    /// `node_offsets[u]..node_offsets[u + 1]` delimits node `u`'s matches.
+    node_offsets: Box<[u32]>,
+    /// All node match sets, concatenated in node order (each set sorted).
+    nodes: Box<[NodeId]>,
+}
+
+impl PartialEq for CompactView {
+    fn eq(&self, other: &Self) -> bool {
+        self.edge_offsets == other.edge_offsets && self.pairs == other.pairs
+    }
+}
+
+impl Eq for CompactView {}
+
+impl CompactView {
+    /// The empty extension (`V(G) = ∅`).
+    pub fn empty() -> Self {
+        CompactView {
+            edge_offsets: vec![0].into_boxed_slice(),
+            pairs: Box::new([]),
+            node_offsets: vec![0].into_boxed_slice(),
+            nodes: Box::new([]),
+        }
+    }
+
+    /// Flattens a boxed [`MatchResult`] into the columnar layout.
+    ///
+    /// Sets are copied verbatim when already strictly sorted (the invariant
+    /// every constructor in this workspace maintains) and defensively
+    /// sorted + deduplicated otherwise, so a frozen view is canonical by
+    /// construction — executors can borrow its slices without
+    /// re-normalizing.
+    pub fn freeze(r: &MatchResult) -> Self {
+        if r.is_empty() {
+            return CompactView::empty();
+        }
+        let mut edge_offsets = Vec::with_capacity(r.edge_matches.len() + 1);
+        let mut pairs = Vec::with_capacity(r.size());
+        edge_offsets.push(0u32);
+        for set in &r.edge_matches {
+            extend_canonical(&mut pairs, set);
+            edge_offsets.push(u32::try_from(pairs.len()).expect("pair count fits u32"));
+        }
+        let mut node_offsets = Vec::with_capacity(r.node_matches.len() + 1);
+        let mut nodes = Vec::new();
+        node_offsets.push(0u32);
+        for set in &r.node_matches {
+            extend_canonical(&mut nodes, set);
+            node_offsets.push(u32::try_from(nodes.len()).expect("node count fits u32"));
+        }
+        CompactView {
+            edge_offsets: edge_offsets.into_boxed_slice(),
+            pairs: pairs.into_boxed_slice(),
+            node_offsets: node_offsets.into_boxed_slice(),
+            nodes: nodes.into_boxed_slice(),
+        }
+    }
+
+    /// Rebuilds the boxed [`MatchResult`] (for the JSON wire and for
+    /// callers that need owned per-edge `Vec`s).
+    pub fn thaw(&self) -> MatchResult {
+        if self.is_empty() {
+            return MatchResult::empty();
+        }
+        MatchResult {
+            node_matches: (0..self.node_count())
+                .map(|u| self.node_set(PatternNodeId(u as u32)).to_vec())
+                .collect(),
+            edge_matches: (0..self.edge_count())
+                .map(|e| self.edge_set(PatternEdgeId(e as u32)).to_vec())
+                .collect(),
+        }
+    }
+
+    /// Whether `V(G) = ∅` (no edge sets at all).
+    pub fn is_empty(&self) -> bool {
+        self.edge_count() == 0
+    }
+
+    /// Number of edge match sets.
+    pub fn edge_count(&self) -> usize {
+        self.edge_offsets.len() - 1
+    }
+
+    /// Number of node match sets.
+    pub fn node_count(&self) -> usize {
+        self.node_offsets.len() - 1
+    }
+
+    /// The match set `Se` of edge `e`: one offset lookup, borrowed from the
+    /// arena.
+    pub fn edge_set(&self, e: PatternEdgeId) -> &[(NodeId, NodeId)] {
+        let i = e.index();
+        &self.pairs[self.edge_offsets[i] as usize..self.edge_offsets[i + 1] as usize]
+    }
+
+    /// The matches of pattern node `u`, borrowed from the arena.
+    pub fn node_set(&self, u: PatternNodeId) -> &[NodeId] {
+        let i = u.index();
+        &self.nodes[self.node_offsets[i] as usize..self.node_offsets[i + 1] as usize]
+    }
+
+    /// The whole pairs column (all edge sets back to back) — the flat scan
+    /// surface the benches measure.
+    pub fn all_pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// The paper's `|V(G)|` for this view: total pairs across all edges.
+    pub fn size(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Heap bytes actually resident for this view: the four columns, with
+    /// no per-`Vec` allocator scatter to account for.
+    pub fn resident_bytes(&self) -> usize {
+        self.pairs.len() * std::mem::size_of::<(NodeId, NodeId)>()
+            + self.nodes.len() * std::mem::size_of::<NodeId>()
+            + (self.edge_offsets.len() + self.node_offsets.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// The raw columns `(edge_offsets, pairs, node_offsets, nodes)` — the
+    /// exact byte surface the on-disk shard format persists.
+    pub(crate) fn columns(&self) -> RawColumns<'_> {
+        (
+            &self.edge_offsets,
+            &self.pairs,
+            &self.node_offsets,
+            &self.nodes,
+        )
+    }
+
+    /// Rebuilds a view from raw columns (the shard loader), validating every
+    /// structural invariant `freeze` guarantees: offset tables are
+    /// monotonic, start at 0, end at the column length, and every set is
+    /// strictly increasing (canonical). A violation is a corrupt or crafted
+    /// file — reported as an error, never trusted.
+    pub(crate) fn from_columns(
+        edge_offsets: Vec<u32>,
+        pairs: Vec<(NodeId, NodeId)>,
+        node_offsets: Vec<u32>,
+        nodes: Vec<NodeId>,
+    ) -> Result<Self, String> {
+        check_offsets(&edge_offsets, pairs.len(), "edge")?;
+        check_offsets(&node_offsets, nodes.len(), "node")?;
+        check_sorted_sets(&edge_offsets, &pairs, "edge")?;
+        check_sorted_sets(&node_offsets, &nodes, "node")?;
+        Ok(CompactView {
+            edge_offsets: edge_offsets.into_boxed_slice(),
+            pairs: pairs.into_boxed_slice(),
+            node_offsets: node_offsets.into_boxed_slice(),
+            nodes: nodes.into_boxed_slice(),
+        })
+    }
+}
+
+/// Offset-table invariant shared by the columns: nonempty, starts at 0,
+/// monotonic nondecreasing, last entry equal to the data column length.
+fn check_offsets(offsets: &[u32], data_len: usize, what: &str) -> Result<(), String> {
+    if offsets.is_empty() || offsets[0] != 0 {
+        return Err(format!("{what} offsets must start at 0"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(format!("{what} offsets not monotonic"));
+    }
+    if *offsets.last().expect("nonempty") as usize != data_len {
+        return Err(format!(
+            "{what} offsets end at {} but column holds {data_len}",
+            offsets.last().expect("nonempty")
+        ));
+    }
+    Ok(())
+}
+
+/// Canonical-set invariant: within each offset-delimited set the elements
+/// are strictly increasing (sorted, duplicate-free) — what lets executors
+/// borrow arena slices without re-normalizing.
+fn check_sorted_sets<T: Copy + Ord>(offsets: &[u32], data: &[T], what: &str) -> Result<(), String> {
+    for w in offsets.windows(2) {
+        let set = &data[w[0] as usize..w[1] as usize];
+        if set.windows(2).any(|p| p[0] >= p[1]) {
+            return Err(format!("{what} set not strictly sorted"));
+        }
+    }
+    Ok(())
+}
+
+impl From<MatchResult> for CompactView {
+    fn from(r: MatchResult) -> Self {
+        CompactView::freeze(&r)
+    }
+}
+
+impl Serialize for CompactView {
+    fn to_value(&self) -> serde::value::Value {
+        self.thaw().to_value()
+    }
+}
+
+impl Deserialize for CompactView {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        MatchResult::from_value(v).map(|r| CompactView::freeze(&r))
+    }
+}
+
+/// Materialized view extensions `V(G) = {V1(G), ..., Vn(G)}` in columnar
+/// form — the representation the join executors actually run on.
+///
+/// `extensions[i]` is view `i`'s arena region, shared by [`Arc`] with every
+/// other holder of the same materialization (store snapshots, rebuilt
+/// engines): assembling a new `CompactExtensions` clones `n` pointers,
+/// never `|V(G)|` pairs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompactExtensions {
+    /// `extensions[i]` = `Vi(G)` (may be empty when `Vi ⋬sim G`).
+    pub extensions: Vec<Arc<CompactView>>,
+}
+
+impl CompactExtensions {
+    /// Total number of cached match pairs — the paper's `|V(G)|`.
+    pub fn size(&self) -> usize {
+        self.extensions.iter().map(|e| e.size()).sum()
+    }
+
+    /// Freezes and appends one more extension, keeping positions aligned
+    /// with the owning [`ViewSet`](crate::view::ViewSet).
+    pub fn push(&mut self, ext: MatchResult) {
+        self.extensions.push(Arc::new(CompactView::freeze(&ext)));
+    }
+
+    /// Appends an already-frozen, already-shared region without copying it
+    /// (the zero-copy path used when assembling from a store snapshot).
+    pub fn push_shared(&mut self, ext: Arc<CompactView>) {
+        self.extensions.push(ext);
+    }
+
+    /// The match set `S_eV` of edge `eV` of view `i` (empty slice when the
+    /// extension is empty): an offset lookup into view `i`'s arena region.
+    pub fn edge_set(&self, view: usize, e: PatternEdgeId) -> &[(NodeId, NodeId)] {
+        let ext = &self.extensions[view];
+        if ext.is_empty() {
+            &[]
+        } else {
+            ext.edge_set(e)
+        }
+    }
+
+    /// Heap bytes resident across all regions.
+    pub fn resident_bytes(&self) -> usize {
+        self.extensions.iter().map(|e| e.resident_bytes()).sum()
+    }
+}
+
+/// One bounded view's extension with per-pair shortest distances, in the
+/// same flat layout as [`CompactView`] but over `(v, v', d)` triples — the
+/// extension and the paper's index `I(V)` in one arena region.
+#[derive(Clone, Debug)]
+pub struct CompactBoundedView {
+    edge_offsets: Box<[u32]>,
+    triples: Box<[(NodeId, NodeId, u32)]>,
+    node_offsets: Box<[u32]>,
+    nodes: Box<[NodeId]>,
+}
+
+impl PartialEq for CompactBoundedView {
+    fn eq(&self, other: &Self) -> bool {
+        self.edge_offsets == other.edge_offsets && self.triples == other.triples
+    }
+}
+
+impl Eq for CompactBoundedView {}
+
+impl CompactBoundedView {
+    /// The empty extension.
+    pub fn empty() -> Self {
+        CompactBoundedView {
+            edge_offsets: vec![0].into_boxed_slice(),
+            triples: Box::new([]),
+            node_offsets: vec![0].into_boxed_slice(),
+            nodes: Box::new([]),
+        }
+    }
+
+    /// Flattens a boxed [`BoundedMatchResult`], canonicalizing defensively
+    /// like [`CompactView::freeze`].
+    pub fn freeze(r: &BoundedMatchResult) -> Self {
+        if r.is_empty() {
+            return CompactBoundedView::empty();
+        }
+        let mut edge_offsets = Vec::with_capacity(r.edge_matches.len() + 1);
+        let mut triples = Vec::with_capacity(r.size());
+        edge_offsets.push(0u32);
+        for set in &r.edge_matches {
+            extend_canonical(&mut triples, set);
+            edge_offsets.push(u32::try_from(triples.len()).expect("pair count fits u32"));
+        }
+        let mut node_offsets = Vec::with_capacity(r.node_matches.len() + 1);
+        let mut nodes = Vec::new();
+        node_offsets.push(0u32);
+        for set in &r.node_matches {
+            extend_canonical(&mut nodes, set);
+            node_offsets.push(u32::try_from(nodes.len()).expect("node count fits u32"));
+        }
+        CompactBoundedView {
+            edge_offsets: edge_offsets.into_boxed_slice(),
+            triples: triples.into_boxed_slice(),
+            node_offsets: node_offsets.into_boxed_slice(),
+            nodes: nodes.into_boxed_slice(),
+        }
+    }
+
+    /// Rebuilds the boxed [`BoundedMatchResult`].
+    pub fn thaw(&self) -> BoundedMatchResult {
+        if self.is_empty() {
+            return BoundedMatchResult::empty();
+        }
+        BoundedMatchResult {
+            node_matches: (0..self.node_count())
+                .map(|u| self.node_set(PatternNodeId(u as u32)).to_vec())
+                .collect(),
+            edge_matches: (0..self.edge_count())
+                .map(|e| self.edge_set(PatternEdgeId(e as u32)).to_vec())
+                .collect(),
+        }
+    }
+
+    /// Whether the extension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edge_count() == 0
+    }
+
+    /// Number of edge match sets.
+    pub fn edge_count(&self) -> usize {
+        self.edge_offsets.len() - 1
+    }
+
+    /// Number of node match sets.
+    pub fn node_count(&self) -> usize {
+        self.node_offsets.len() - 1
+    }
+
+    /// Match set of edge `e` with distances, borrowed from the arena.
+    pub fn edge_set(&self, e: PatternEdgeId) -> &[(NodeId, NodeId, u32)] {
+        let i = e.index();
+        &self.triples[self.edge_offsets[i] as usize..self.edge_offsets[i + 1] as usize]
+    }
+
+    /// Matches of node `u`, borrowed from the arena.
+    pub fn node_set(&self, u: PatternNodeId) -> &[NodeId] {
+        let i = u.index();
+        &self.nodes[self.node_offsets[i] as usize..self.node_offsets[i + 1] as usize]
+    }
+
+    /// `|Vi(G)|` for this view: total triples.
+    pub fn size(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Heap bytes resident for this view's columns.
+    pub fn resident_bytes(&self) -> usize {
+        self.triples.len() * std::mem::size_of::<(NodeId, NodeId, u32)>()
+            + self.nodes.len() * std::mem::size_of::<NodeId>()
+            + (self.edge_offsets.len() + self.node_offsets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+impl Serialize for CompactBoundedView {
+    fn to_value(&self) -> serde::value::Value {
+        self.thaw().to_value()
+    }
+}
+
+impl Deserialize for CompactBoundedView {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        BoundedMatchResult::from_value(v).map(|r| CompactBoundedView::freeze(&r))
+    }
+}
+
+/// Bounded extensions in columnar form (the bounded twin of
+/// [`CompactExtensions`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompactBoundedExtensions {
+    /// `extensions[i]` = `Vi(G)` with distances.
+    pub extensions: Vec<CompactBoundedView>,
+}
+
+impl CompactBoundedExtensions {
+    /// Total cached pairs (`|V(G)|`).
+    pub fn size(&self) -> usize {
+        self.extensions.iter().map(CompactBoundedView::size).sum()
+    }
+
+    /// Match set with distances of edge `eV` of view `i` (empty slice when
+    /// the extension is empty).
+    pub fn edge_set(&self, view: usize, e: PatternEdgeId) -> &[(NodeId, NodeId, u32)] {
+        let ext = &self.extensions[view];
+        if ext.is_empty() {
+            &[]
+        } else {
+            ext.edge_set(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_pattern::PatternBuilder;
+
+    fn two_node_pattern() -> gpv_pattern::Pattern {
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled("A");
+        let y = b.node_labeled("B");
+        b.edge(x, y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn freeze_thaw_roundtrip() {
+        let p = two_node_pattern();
+        let r = MatchResult::new(
+            &p,
+            vec![vec![NodeId(2), NodeId(1)], vec![NodeId(0)]],
+            vec![vec![(NodeId(2), NodeId(0)), (NodeId(1), NodeId(0))]],
+        );
+        let c = CompactView::freeze(&r);
+        assert_eq!(c.size(), 2);
+        assert_eq!(
+            c.edge_set(PatternEdgeId(0)),
+            &[(NodeId(1), NodeId(0)), (NodeId(2), NodeId(0))]
+        );
+        assert_eq!(c.node_set(PatternNodeId(0)), &[NodeId(1), NodeId(2)]);
+        let back = c.thaw();
+        assert_eq!(back, r);
+        assert_eq!(back.node_matches, r.node_matches);
+    }
+
+    #[test]
+    fn freeze_canonicalizes_dirty_input() {
+        // Bypass the constructor to feed unsorted, duplicated sets.
+        let dirty = MatchResult {
+            node_matches: vec![vec![NodeId(3), NodeId(1), NodeId(3)], vec![NodeId(0)]],
+            edge_matches: vec![vec![
+                (NodeId(3), NodeId(0)),
+                (NodeId(1), NodeId(0)),
+                (NodeId(3), NodeId(0)),
+            ]],
+        };
+        let c = CompactView::freeze(&dirty);
+        assert_eq!(
+            c.edge_set(PatternEdgeId(0)),
+            &[(NodeId(1), NodeId(0)), (NodeId(3), NodeId(0))]
+        );
+        assert_eq!(c.node_set(PatternNodeId(0)), &[NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = CompactView::freeze(&MatchResult::empty());
+        assert!(c.is_empty());
+        assert_eq!(c.size(), 0);
+        assert_eq!(c.thaw(), MatchResult::empty());
+    }
+
+    #[test]
+    fn bounded_freeze_thaw_roundtrip() {
+        let p = two_node_pattern();
+        let r = BoundedMatchResult::new(
+            &p,
+            vec![vec![NodeId(0)], vec![NodeId(1), NodeId(2)]],
+            vec![vec![(NodeId(0), NodeId(2), 2), (NodeId(0), NodeId(1), 1)]],
+        );
+        let c = CompactBoundedView::freeze(&r);
+        assert_eq!(
+            c.edge_set(PatternEdgeId(0)),
+            &[(NodeId(0), NodeId(1), 1), (NodeId(0), NodeId(2), 2)]
+        );
+        assert_eq!(c.thaw(), r);
+        assert!(CompactBoundedView::freeze(&BoundedMatchResult::empty()).is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_counts_columns() {
+        let p = two_node_pattern();
+        let r = MatchResult::new(
+            &p,
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            vec![vec![(NodeId(0), NodeId(1))]],
+        );
+        let c = CompactView::freeze(&r);
+        // 1 pair (8 B) + 2 nodes (8 B) + offsets: edge_offsets has ne+1 = 2
+        // entries, node_offsets has np+1 = 3, at 4 B each.
+        assert_eq!(c.resident_bytes(), 8 + 8 + (2 + 3) * 4);
+    }
+}

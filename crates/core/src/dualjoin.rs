@@ -64,13 +64,18 @@ pub fn dual_contain(q: &Pattern, views: &ViewSet) -> Option<ContainmentPlan> {
     }
 }
 
-/// Materializes views with the dual-simulation engine.
+/// Materializes views with the dual-simulation engine, freezing each result
+/// into its columnar arena region.
 pub fn dual_materialize(views: &ViewSet, g: &gpv_graph::DataGraph) -> ViewExtensions {
     ViewExtensions {
         extensions: views
             .views()
             .iter()
-            .map(|v| std::sync::Arc::new(dual_match_pattern(&v.pattern, g)))
+            .map(|v| {
+                std::sync::Arc::new(crate::compact::CompactView::freeze(&dual_match_pattern(
+                    &v.pattern, g,
+                )))
+            })
             .collect(),
     }
 }

@@ -41,6 +41,7 @@ mod fnv;
 pub mod bcontainment;
 pub mod bmatchjoin;
 pub mod bview;
+pub mod compact;
 pub mod containment;
 pub mod cost;
 pub mod dualjoin;
@@ -55,6 +56,7 @@ pub mod partial;
 pub mod plan;
 pub mod selection;
 pub mod service;
+pub mod shard;
 pub mod storage;
 pub mod store;
 pub mod view;
@@ -62,6 +64,7 @@ pub mod view;
 pub use bcontainment::{bcontain, bminimal, bminimum, bounded_query_contained, bounded_view_match};
 pub use bmatchjoin::{bmatch_join, bmatch_join_threaded, bmatch_join_with};
 pub use bview::{bmaterialize, BoundedViewDef, BoundedViewExtensions, BoundedViewSet};
+pub use compact::{CompactBoundedExtensions, CompactBoundedView, CompactExtensions, CompactView};
 pub use containment::{contain, query_contained, view_match, ContainmentPlan, ViewEdgeRef};
 pub use cost::{CostEstimate, CostLog, CostModel, CostSample, SharedCostLog};
 pub use dualjoin::{dual_contain, dual_match_join, dual_materialize};
@@ -85,6 +88,7 @@ pub use service::{
     query_fingerprint, LatencyHistogram, QuantileBound, ServedAnswer, ServiceConfig, ServiceError,
     ServiceStats, ViewService,
 };
+pub use shard::{decode_shard, encode_shard, ShardError, StoreMeta, SHARD_MAGIC, SHARD_VERSION};
 pub use storage::{BoundedViewCache, CacheError, ViewCache};
-pub use store::{ShardOccupancy, StoreError, StoreSnapshot, StoredView, ViewStore};
+pub use store::{EvictionAdvice, ShardOccupancy, StoreError, StoreSnapshot, StoredView, ViewStore};
 pub use view::{materialize, ViewDef, ViewExtensions, ViewSet};

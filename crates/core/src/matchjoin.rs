@@ -26,7 +26,14 @@ use gpv_graph::NodeId;
 use gpv_matching::result::MatchResult;
 use gpv_pattern::{Pattern, PatternNodeId};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Merged per-edge match sets, the fixpoint's working input. Sets sourced
+/// from a view borrow the extension arena's canonical flat slice
+/// (`Cow::Borrowed` — zero per-pair work in the merge), while sets built by
+/// a union or a graph scan own their pairs (`Cow::Owned`).
+pub(crate) type MergedSets<'a> = Vec<Cow<'a, [(NodeId, NodeId)]>>;
 
 /// Worklist discipline for the fixpoint phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -167,7 +174,7 @@ pub fn match_join_union_with(
 /// view extensions and surgical `G` scans.
 pub(crate) fn run_fixpoint_public(
     q: &Pattern,
-    merged: Vec<Vec<(NodeId, NodeId)>>,
+    merged: MergedSets<'_>,
 ) -> Result<(MatchResult, JoinStats), JoinError> {
     run_fixpoint(q, merged, JoinStrategy::RankedBottomUp)
 }
@@ -178,7 +185,7 @@ pub(crate) fn run_fixpoint_public(
 /// path (whose merge is built by `partial::merged_from_sources`).
 pub(crate) fn run_fixpoint(
     q: &Pattern,
-    merged: Vec<Vec<(NodeId, NodeId)>>,
+    merged: MergedSets<'_>,
     strategy: JoinStrategy,
 ) -> Result<(MatchResult, JoinStats), JoinError> {
     let mut stats = JoinStats {
@@ -200,16 +207,14 @@ pub(crate) fn run_fixpoint(
 
 /// Canonicalizes one edge's borrowed match set: sorted, duplicate-free.
 ///
-/// This is the single choke point where stored extensions enter the join.
-/// Extensions produced by [`materialize`](crate::view::materialize) are
-/// canonical already (a [`MatchResult`] invariant) — that common case is a
-/// strictly-increasing scan and a plain copy — but extensions loaded from a
-/// durable cache or built by an external producer can carry duplicate
-/// pairs, and copying those verbatim used to inflate
-/// [`JoinStats::merged_pairs`], CSR sizes, and the support counters (a
-/// duplicated witness also kept a candidate alive one removal longer than
-/// its real support justified — harmless for the fixpoint's *result*, pure
-/// waste for its cost).
+/// Since the columnar-arena refactor, sets read from [`ViewExtensions`] are
+/// canonical by construction ([`CompactView::freeze`](crate::compact::CompactView::freeze)
+/// sorts + dedups defensively at freeze time), so the merge borrows them
+/// verbatim and no production path re-normalizes. This survives as the test
+/// oracle asserting that arena slices really are in canonical form —
+/// duplicates there would inflate [`JoinStats::merged_pairs`], CSR sizes,
+/// and the support counters.
+#[cfg(test)]
 pub(crate) fn canonical_pairs(set: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)> {
     let mut v = set.to_vec();
     if !v.windows(2).all(|w| w[0] < w[1]) {
@@ -231,11 +236,11 @@ pub(crate) fn canonical_pairs(set: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)>
 /// that the join reads (the quantity Theorem 1's complexity is measured
 /// in). The `union_lambda` escape hatch preserves the literal Fig. 2
 /// behaviour for the ablation bench.
-pub(crate) fn merge_step(
+pub(crate) fn merge_step<'a>(
     q: &Pattern,
     plan: &ContainmentPlan,
-    ext: &ViewExtensions,
-) -> Result<Vec<Vec<(NodeId, NodeId)>>, JoinError> {
+    ext: &'a ViewExtensions,
+) -> Result<MergedSets<'a>, JoinError> {
     if q.edge_count() == 0 {
         return Err(JoinError::NoEdges);
     }
@@ -253,7 +258,9 @@ pub(crate) fn merge_step(
             .iter()
             .min_by_key(|r| ext.edge_set(r.view, r.edge).len())
             .ok_or(JoinError::PlanMismatch)?;
-        merged.push(canonical_pairs(ext.edge_set(best.view, best.edge)));
+        // Arena regions are canonical by freeze — borrow the flat slice
+        // directly: the merge allocates nothing per pair.
+        merged.push(Cow::Borrowed(ext.edge_set(best.view, best.edge)));
     }
     Ok(merged)
 }
@@ -261,11 +268,11 @@ pub(crate) fn merge_step(
 /// The literal Fig. 2 merge: `Se := ⋃_{e' ∈ λ(e)} S_e'`. Exposed for the
 /// union-vs-narrowed ablation; produces the same final result as
 /// `merge_step` (both initializations contain the true `Se`).
-pub fn merge_step_union(
+pub fn merge_step_union<'a>(
     q: &Pattern,
     plan: &ContainmentPlan,
-    ext: &ViewExtensions,
-) -> Result<Vec<Vec<(NodeId, NodeId)>>, JoinError> {
+    ext: &'a ViewExtensions,
+) -> Result<MergedSets<'a>, JoinError> {
     if q.edge_count() == 0 {
         return Err(JoinError::NoEdges);
     }
@@ -283,7 +290,7 @@ pub fn merge_step_union(
         }
         set.sort_unstable();
         set.dedup();
-        merged.push(set);
+        merged.push(Cow::Owned(set));
     }
     Ok(merged)
 }
@@ -292,9 +299,9 @@ pub fn merge_step_union(
 /// out-edges, the intersection of the sources of every out-edge set (a match
 /// must witness them all); for a sink, the union of targets of its in-edge
 /// sets (the only way it can appear in the result).
-pub(crate) fn initial_candidates(
+pub(crate) fn initial_candidates<S: std::ops::Deref<Target = [(NodeId, NodeId)]>>(
     q: &Pattern,
-    merged: &[Vec<(NodeId, NodeId)>],
+    merged: &[S],
 ) -> Vec<HashSet<NodeId>> {
     q.nodes()
         .map(|u| {
@@ -338,12 +345,12 @@ pub(crate) struct EdgeCsr {
 
 /// Dense-id compaction over every node mentioned in the merged sets (first
 /// occurrence order, hence deterministic).
-pub(crate) fn compact_index(
-    merged: &[Vec<(NodeId, NodeId)>],
+pub(crate) fn compact_index<S: std::ops::Deref<Target = [(NodeId, NodeId)]>>(
+    merged: &[S],
 ) -> (HashMap<NodeId, u32>, Vec<NodeId>) {
     let mut index: HashMap<NodeId, u32> = HashMap::new();
     for set in merged {
-        for &(s, t) in set {
+        for &(s, t) in set.iter() {
             let next = index.len() as u32;
             index.entry(s).or_insert(next);
             let next = index.len() as u32;
@@ -570,7 +577,7 @@ pub(crate) fn filter_surviving(
 /// means `Qs(G) = ∅`.
 pub(crate) fn ranked_fixpoint(
     q: &Pattern,
-    merged: Vec<Vec<(NodeId, NodeId)>>,
+    merged: MergedSets<'_>,
     stats: &mut JoinStats,
 ) -> Option<Vec<Vec<(NodeId, NodeId)>>> {
     let ne = q.edge_count();
@@ -600,9 +607,13 @@ pub(crate) fn ranked_fixpoint(
 }
 
 /// The literal Fig. 2 fixpoint: rescan every match set until stable.
+///
+/// Works over [`MergedSets`]: a borrowed (arena-backed) set is counted
+/// first and only copied-on-write when the rescan actually prunes it, so a
+/// pass that removes nothing allocates nothing.
 pub(crate) fn naive_fixpoint(
     q: &Pattern,
-    mut merged: Vec<Vec<(NodeId, NodeId)>>,
+    mut merged: MergedSets<'_>,
     stats: &mut JoinStats,
 ) -> Option<Vec<Vec<(NodeId, NodeId)>>> {
     loop {
@@ -617,18 +628,23 @@ pub(crate) fn naive_fixpoint(
             stats.edge_visits += 1;
             let (u, t) = q.edge(gpv_pattern::PatternEdgeId(ei as u32));
             let before = merged[ei].len();
-            merged[ei].retain(|(s, w)| cand[u.index()].contains(s) && cand[t.index()].contains(w));
-            let after = merged[ei].len();
-            if after == 0 {
+            let surviving = merged[ei]
+                .iter()
+                .filter(|(s, w)| cand[u.index()].contains(s) && cand[t.index()].contains(w))
+                .count();
+            if surviving == 0 {
                 return None;
             }
-            if after != before {
-                stats.removals += (before - after) as u64;
+            if surviving != before {
+                merged[ei]
+                    .to_mut()
+                    .retain(|(s, w)| cand[u.index()].contains(s) && cand[t.index()].contains(w));
+                stats.removals += (before - surviving) as u64;
                 changed = true;
             }
         }
         if !changed {
-            return Some(merged);
+            return Some(merged.into_iter().map(Cow::into_owned).collect());
         }
     }
 }
@@ -956,13 +972,14 @@ mod tests {
         );
     }
 
-    /// Regression (merge canonicalization): a stored extension containing
-    /// duplicate pairs — possible for loaded caches or external producers,
-    /// since nothing re-validates the `MatchResult` invariant on the way in
-    /// — used to be copied verbatim by `merge_step`, inflating
-    /// `merged_pairs`, CSR sizes, and support counters. The merge choke
-    /// point must canonicalize: identical stats and answers whether the
-    /// stored sets carry duplicates or not.
+    /// Regression (canonicalization): a stored extension containing
+    /// duplicate pairs — possible for caches or external producers, since
+    /// nothing re-validates the `MatchResult` invariant on the way in —
+    /// used to inflate `merged_pairs`, CSR sizes, and support counters.
+    /// Since the arena refactor the choke point is `CompactView::freeze`:
+    /// every set entering a `ViewExtensions` is sorted + deduplicated at
+    /// freeze time, so the join sees identical stats and answers whether
+    /// the producer's sets carried duplicates or not.
     #[test]
     fn duplicated_extension_pairs_do_not_inflate_the_join() {
         let (g, views, q) = fig3();
@@ -972,19 +989,19 @@ mod tests {
             match_join_with(&q, &plan, &clean, JoinStrategy::RankedBottomUp).unwrap();
 
         // Corrupt every stored edge set with duplicates (tripled pairs, out
-        // of order).
+        // of order), then re-freeze — the arena entry point.
         let dirty = ViewExtensions {
             extensions: clean
                 .extensions
                 .iter()
                 .map(|ext| {
-                    let mut m = (**ext).clone();
+                    let mut m = ext.thaw();
                     for set in &mut m.edge_matches {
                         let orig = set.clone();
                         set.extend(orig.iter().rev().copied());
                         set.extend(orig);
                     }
-                    std::sync::Arc::new(m)
+                    std::sync::Arc::new(crate::compact::CompactView::freeze(&m))
                 })
                 .collect(),
         };

@@ -4,8 +4,13 @@
 //! per-pattern-edge and independent: compacting each merged match set into
 //! CSR form, and computing initial support counters. This module fans those
 //! phases across OS threads (`std::thread::scope` — the build environment
-//! vendors no `rayon`), then runs the *sequential* drain, which is cheap
-//! (proportional to removals) and confluent.
+//! vendors no `rayon`). The drain itself runs in *rank waves*: each wave
+//! removes the whole lowest-rank bucket up front, gathers the support hits
+//! of every removed candidate in parallel (a read-only scan of the reverse
+//! CSRs), then applies the decrements sequentially in fixed wave order —
+//! so heavy pruning no longer serializes on the last stage, and the result
+//! stays bit-for-bit identical to the sequential drain (the worklist
+//! closure is confluent; see `par_drain_and_extract`).
 //!
 //! Two fan-out granularities ([`ParGranularity`]):
 //!
@@ -27,13 +32,15 @@
 //! `threads == 1` every stage runs inline with no spawn overhead.
 
 use crate::containment::ContainmentPlan;
-use crate::matchjoin::{self, merge_step, EdgeCsr, JoinError, JoinStats};
+use crate::matchjoin::{self, merge_step, EdgeCsr, JoinError, JoinStats, MergedSets};
 use crate::plan::ParGranularity;
 use crate::view::ViewExtensions;
 use gpv_graph::{BitSet, NodeId};
 use gpv_matching::result::MatchResult;
 use gpv_pattern::{Pattern, PatternEdgeId, PatternNodeId};
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -167,7 +174,7 @@ pub fn par_match_join_granular(
 /// granularity, then runs the sequential drain.
 pub(crate) fn par_fixpoint(
     q: &Pattern,
-    merged: Vec<Vec<(NodeId, NodeId)>>,
+    merged: MergedSets<'_>,
     threads: usize,
     granularity: ParGranularity,
 ) -> Result<(MatchResult, JoinStats), JoinError> {
@@ -193,7 +200,7 @@ pub(crate) type FixpointOutcome = Result<Option<Vec<Vec<(NodeId, NodeId)>>>, Joi
 /// backend of [`par_ranked_fixpoint_with`].
 pub(crate) fn par_ranked_fixpoint(
     q: &Pattern,
-    merged: Vec<Vec<(NodeId, NodeId)>>,
+    merged: MergedSets<'_>,
     stats: &mut JoinStats,
     threads: usize,
 ) -> FixpointOutcome {
@@ -206,7 +213,7 @@ pub(crate) fn par_ranked_fixpoint(
 /// ([`JoinError::WorkerPanicked`] with the failing edge index).
 pub(crate) fn par_ranked_fixpoint_with(
     q: &Pattern,
-    merged: Vec<Vec<(NodeId, NodeId)>>,
+    merged: MergedSets<'_>,
     stats: &mut JoinStats,
     threads: usize,
     granularity: ParGranularity,
@@ -263,10 +270,149 @@ pub(crate) fn par_ranked_fixpoint_with(
         seeds.push((edge_src[ei].0, zero));
     }
 
-    // Stage 4 (sequential): the confluent drain + final filter.
-    Ok(matchjoin::drain_and_extract(
-        q, &csrs, cand, support, &seeds, &rev_index, stats,
-    ))
+    // Stage 4: the drain in parallel rank waves + the fanned final filter.
+    par_drain_and_extract(q, &csrs, cand, support, &seeds, &rev_index, stats, threads)
+}
+
+/// Minimum wave width before the gather phase fans across workers: below
+/// this, spawning scoped threads costs more than the read-only CSR scans
+/// they would do. The threshold affects scheduling only — apply order is
+/// fixed either way, so the output is identical.
+const PAR_WAVE_MIN: usize = 256;
+
+/// Stage 4 of the chunked fixpoint, parallelized in *rank waves* — the last
+/// stage that used to run fully sequentially, a ceiling when the union
+/// merge leaves heavy pruning.
+///
+/// Each iteration drains the entire lowest non-empty rank bucket as one
+/// wave:
+///
+/// 1. **remove** (sequential, pop order): every wave candidate leaves its
+///    `cand` set; an emptied set short-circuits to the empty result exactly
+///    like the sequential drain;
+/// 2. **gather** (parallel when the wave is ≥ [`PAR_WAVE_MIN`]): for each
+///    removed `(u, v)`, scan the reverse CSR of every in-edge of `u` and
+///    collect the surviving witnesses `w ∈ cand[u0]` whose support the
+///    removal decrements. `cand` and `scheduled` are not written during the
+///    gather, so the scans are read-only and embarrassingly parallel;
+/// 3. **apply** (sequential, fixed wave order): re-check the
+///    `cand`/`scheduled` guards, decrement support counters, schedule
+///    candidates that hit zero.
+///
+/// Equivalence with [`matchjoin::drain_and_extract`]: the drain computes
+/// the closure of "support exhausted" removals, which is confluent — a
+/// decrement for `(e0, w)` happens at most once per removed witness, the
+/// guards make removals idempotent, and counters of removed candidates are
+/// never consulted again — so the surviving `cand` sets (and therefore the
+/// answer) are independent of removal order. Wave-mates removed up front
+/// fail the `cand.contains` guard exactly where the sequential drain's
+/// `scheduled` guard would have skipped them. Determinism across thread
+/// counts and chunk sizes holds because wave boundaries are functions of
+/// bucket contents only and the apply phase runs in fixed wave order
+/// (`tests/engine.rs` sweeps both).
+#[allow(clippy::too_many_arguments)] // mirrors drain_and_extract + threads
+pub(crate) fn par_drain_and_extract(
+    q: &Pattern,
+    csrs: &[EdgeCsr],
+    mut cand: Vec<BitSet>,
+    mut support: Vec<Vec<u32>>,
+    seeds: &[(PatternNodeId, Vec<u32>)],
+    rev_index: &[NodeId],
+    stats: &mut JoinStats,
+    threads: usize,
+) -> FixpointOutcome {
+    let np = q.node_count();
+    let ne = q.edge_count();
+    let m = rev_index.len();
+    let cond = q.condensation();
+    let max_rank = (0..np as u32).map(|u| cond.rank(u)).max().unwrap_or(0) as usize;
+
+    let mut buckets: Vec<VecDeque<(PatternNodeId, u32)>> = vec![VecDeque::new(); max_rank + 1];
+    let mut scheduled: Vec<BitSet> = vec![BitSet::new(m); np];
+    for (u, vs) in seeds {
+        for &v in vs {
+            if scheduled[u.index()].insert(v as usize) {
+                buckets[cond.rank(u.0) as usize].push_back((*u, v));
+            }
+        }
+    }
+
+    // One gathered unit per removed candidate: (edge visits, support hits).
+    type Gathered = (u64, Vec<(PatternNodeId, usize, u32)>);
+
+    while let Some(rank) = (0..buckets.len()).find(|&r| !buckets[r].is_empty()) {
+        let wave: Vec<(PatternNodeId, u32)> = buckets[rank].drain(..).collect();
+
+        // Phase 1: removals, in pop order.
+        let mut removed: Vec<(PatternNodeId, u32)> = Vec::with_capacity(wave.len());
+        for &(u, v) in &wave {
+            if !cand[u.index()].remove(v as usize) {
+                continue;
+            }
+            stats.removals += 1;
+            if cand[u.index()].is_empty() {
+                return Ok(None);
+            }
+            removed.push((u, v));
+        }
+
+        // Phase 2: read-only gather of support hits per removed candidate.
+        let gather = |i: usize| -> Gathered {
+            let (u, v) = removed[i];
+            let mut visits = 0u64;
+            let mut hits = Vec::new();
+            for &(u0, e0) in q.in_edges(u) {
+                visits += 1;
+                let (ro, rs) = &csrs[e0.index()].rev;
+                let (a, b) = (ro[v as usize] as usize, ro[v as usize + 1] as usize);
+                for &w in &rs[a..b] {
+                    if cand[u0.index()].contains(w as usize) {
+                        hits.push((u0, e0.index(), w));
+                    }
+                }
+            }
+            (visits, hits)
+        };
+        let gathered: Vec<Gathered> = if threads > 1 && removed.len() >= PAR_WAVE_MIN {
+            par_map(removed.len(), threads, gather).map_err(JoinError::from)?
+        } else {
+            (0..removed.len()).map(gather).collect()
+        };
+
+        // Phase 3: apply decrements in fixed wave order.
+        for (visits, hits) in gathered {
+            stats.edge_visits += visits;
+            for (u0, e0, w) in hits {
+                if cand[u0.index()].contains(w as usize)
+                    && !scheduled[u0.index()].contains(w as usize)
+                {
+                    let s = &mut support[e0][w as usize];
+                    *s = s.saturating_sub(1);
+                    if *s == 0 {
+                        scheduled[u0.index()].insert(w as usize);
+                        buckets[cond.rank(u0.0) as usize].push_back((u0, w));
+                    }
+                }
+            }
+        }
+    }
+
+    // Final per-edge filter, fanned across workers (pure per-edge).
+    let filtered: Vec<Vec<(NodeId, NodeId)>> = par_map(ne, threads, |ei| {
+        let (u, t) = q.edge(PatternEdgeId(ei as u32));
+        matchjoin::filter_surviving(
+            &csrs[ei].pairs,
+            &cand[u.index()],
+            &cand[t.index()],
+            rev_index,
+        )
+    })
+    .map_err(JoinError::from)?;
+    stats.edge_visits += ne as u64;
+    if filtered.iter().any(Vec::is_empty) {
+        return Ok(None);
+    }
+    Ok(Some(filtered))
 }
 
 /// How many work units per edge the chunked build will produce at most,
@@ -285,8 +431,8 @@ const MAX_UNITS_PER_EDGE_FACTOR: usize = 8;
 /// state), and unit counts beyond a small multiple of the worker count
 /// add stitch work without adding parallelism. An empty set still gets
 /// one (empty) unit so every edge produces a CSR.
-fn chunk_units(
-    merged: &[Vec<(NodeId, NodeId)>],
+fn chunk_units<S: Deref<Target = [(NodeId, NodeId)]>>(
+    merged: &[S],
     chunk_pairs: usize,
     threads: usize,
 ) -> Vec<(usize, usize, usize)> {
@@ -351,8 +497,8 @@ struct CsrChunk {
 /// The result is field-for-field identical to
 /// [`matchjoin::build_edge_csr`] run per edge: chunk concatenation in chunk
 /// order reproduces the input order everywhere.
-fn chunked_csrs(
-    merged: &[Vec<(NodeId, NodeId)>],
+fn chunked_csrs<S: Deref<Target = [(NodeId, NodeId)]> + Sync>(
+    merged: &[S],
     index: &HashMap<NodeId, u32>,
     m: usize,
     threads: usize,
@@ -625,13 +771,13 @@ pub(crate) fn par_sort_dedup(
 /// The union merge (`Se := ⋃_{e' ∈ λ(e)} S_e'`) with the per-edge
 /// sort/dedup fanned across workers via [`par_sort_dedup`] — the parallel
 /// counterpart of [`matchjoin::merge_step_union`], byte-identical output.
-pub(crate) fn par_merge_step_union(
+pub(crate) fn par_merge_step_union<'a>(
     q: &Pattern,
     plan: &ContainmentPlan,
-    ext: &ViewExtensions,
+    ext: &'a ViewExtensions,
     threads: usize,
     chunk_pairs: usize,
-) -> Result<Vec<Vec<(NodeId, NodeId)>>, JoinError> {
+) -> Result<MergedSets<'a>, JoinError> {
     if q.edge_count() == 0 {
         return Err(JoinError::NoEdges);
     }
@@ -647,12 +793,12 @@ pub(crate) fn par_merge_step_union(
             }
             set.extend_from_slice(ext.edge_set(r.view, r.edge));
         }
-        merged.push(
+        merged.push(Cow::Owned(
             par_sort_dedup(set, threads, chunk_pairs).map_err(|e| match e {
                 ParError::Panicked(_) => JoinError::WorkerPanicked(ei),
                 ParError::Lost => JoinError::WorkerLost,
             })?,
-        );
+        ));
     }
     Ok(merged)
 }

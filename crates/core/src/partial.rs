@@ -14,8 +14,10 @@
 //! When every edge is covered this degenerates to `MatchJoin` (no `G`
 //! access); when nothing is covered it degenerates to `Match`.
 
+use std::borrow::Cow;
+
 use crate::containment::{ContainmentPlan, ViewEdgeRef};
-use crate::matchjoin::{match_join_with, JoinError, JoinStats, JoinStrategy};
+use crate::matchjoin::{match_join_with, JoinError, JoinStats, JoinStrategy, MergedSets};
 use crate::plan::EdgeSource;
 use crate::view::{ViewExtensions, ViewSet};
 use gpv_graph::{DataGraph, NodeId};
@@ -150,35 +152,33 @@ pub fn sources_from_partial(
 /// the sequential and the parallel executor consume this, so the planner's
 /// per-edge decision is what actually runs. `g` may be `None` only for
 /// all-view source vectors ([`JoinError::GraphRequired`] otherwise).
-pub(crate) fn merged_from_sources(
+pub(crate) fn merged_from_sources<'a>(
     q: &Pattern,
     sources: &[EdgeSource],
-    ext: &ViewExtensions,
+    ext: &'a ViewExtensions,
     g: Option<&DataGraph>,
-) -> Result<Vec<Vec<(NodeId, NodeId)>>, JoinError> {
+) -> Result<MergedSets<'a>, JoinError> {
     if q.edge_count() == 0 {
         return Err(JoinError::NoEdges);
     }
     if sources.len() != q.edge_count() {
         return Err(JoinError::PlanMismatch);
     }
-    let mut merged: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(q.edge_count());
+    let mut merged: MergedSets<'a> = Vec::with_capacity(q.edge_count());
     for (ei, source) in sources.iter().enumerate() {
         match source {
             EdgeSource::View(r) => {
                 if r.view >= ext.extensions.len() {
                     return Err(JoinError::ViewOutOfRange(r.view));
                 }
-                // Same canonicalization choke point as `merge_step`: a
-                // stored extension carrying duplicate pairs must not
-                // inflate merged_pairs / CSR sizes / support counters.
-                merged.push(crate::matchjoin::canonical_pairs(
-                    ext.edge_set(r.view, r.edge),
-                ));
+                // Arena slices are canonical by construction (`freeze`
+                // sorts + dedups), so the merge borrows them directly —
+                // zero per-pair copies on the view-covered edges.
+                merged.push(Cow::Borrowed(ext.edge_set(r.view, r.edge)));
             }
             EdgeSource::Graph => {
                 let g = g.ok_or(JoinError::GraphRequired)?;
-                merged.push(scan_edge_pairs(q, PatternEdgeId(ei as u32), g));
+                merged.push(Cow::Owned(scan_edge_pairs(q, PatternEdgeId(ei as u32), g)));
             }
         }
     }

@@ -13,9 +13,11 @@
 //!   `Arc`);
 //! * **answers repeated queries across batches without executing** — a
 //!   byte-budgeted, LRU-evicted **result cache** keyed by `(query
-//!   fingerprint, store version, calibration epoch)` returns the shared
-//!   `Arc<MatchResult>` computed the first time (the memo-over-recompute
-//!   move the paper makes for views, applied one level up the stack);
+//!   fingerprint, store version, calibration epoch)` replays the answer
+//!   computed the first time (the memo-over-recompute move the paper makes
+//!   for views, applied one level up the stack); entries hold the *frozen
+//!   columnar* form, so the byte budget bounds actual residency, and a hit
+//!   thaws — an O(answer) copy in place of a plan + fixpoint execution;
 //!   keying on version and epoch makes invalidation exact on every store
 //!   mutation and recalibration;
 //! * **deduplicates identical queries inside a batch**, executing each
@@ -69,6 +71,7 @@
 //! assert!(service.stats().queries == 2);
 //! ```
 
+use crate::compact::CompactView;
 use crate::cost::{CostModel, SharedCostLog};
 use crate::engine::{EngineConfig, EngineError, QueryEngine};
 use crate::matchjoin::{JoinError, JoinStats};
@@ -517,14 +520,18 @@ impl PlanCache {
     }
 }
 
-/// Estimated resident bytes of one cached answer: the per-set `Vec`
-/// headers plus 8 bytes per edge pair and 4 per node id. An estimate is
-/// all the budget needs — it bounds memory to the right order, it does not
-/// account allocator slack.
-fn approx_result_bytes(r: &MatchResult) -> usize {
-    let edges: usize = r.edge_matches.iter().map(|s| 24 + s.len() * 8).sum();
-    let nodes: usize = r.node_matches.iter().map(|s| 24 + s.len() * 4).sum();
-    64 + edges + nodes
+/// Fixed per-entry bookkeeping the budget charges on top of the frozen
+/// columns: the map entry, the `Arc` headers, the plan handle, the stats.
+const RESULT_ENTRY_OVERHEAD: usize = 128;
+
+/// Resident bytes of one cached answer. Entries store the *frozen* columnar
+/// form, so this is [`CompactView::resident_bytes`] — the exact column
+/// bytes, no boxed per-set `Vec` headers or allocator scatter to guess at —
+/// plus the entry's own bookkeeping ([`RESULT_ENTRY_OVERHEAD`]) and its
+/// collision-witness key. The configured budget therefore bounds what the
+/// cache actually keeps resident, not just the logical pair count.
+fn result_entry_bytes(compact: &CompactView, qkey: &str) -> usize {
+    compact.resident_bytes() + qkey.len() + RESULT_ENTRY_OVERHEAD
 }
 
 /// One cached answer. `qkey` is the canonical-JSON collision witness (same
@@ -538,7 +545,9 @@ fn approx_result_bytes(r: &MatchResult) -> usize {
 #[derive(Debug)]
 struct ResultCacheEntry {
     qkey: Arc<str>,
-    result: Arc<MatchResult>,
+    /// The answer in frozen columnar form — half the footprint of the boxed
+    /// result and exactly accounted by `bytes`; a hit thaws it back.
+    compact: Arc<CompactView>,
     plan: Arc<QueryPlan>,
     join_stats: JoinStats,
     graph_free: bool,
@@ -884,7 +893,7 @@ impl ViewService {
                 .map(|e| {
                     cache.touch(e);
                     ServedAnswer {
-                        result: e.result.clone(),
+                        result: Arc::new(e.compact.thaw()),
                         plan: e.plan.clone(),
                         join_stats: e.join_stats,
                         query_fingerprint: qfp,
@@ -911,7 +920,8 @@ impl ViewService {
         if budget == 0 {
             return;
         }
-        let bytes = approx_result_bytes(&a.result);
+        let compact = Arc::new(CompactView::freeze(&a.result));
+        let bytes = result_entry_bytes(&compact, qkey);
         if bytes > budget {
             return;
         }
@@ -941,7 +951,7 @@ impl ViewService {
             key,
             ResultCacheEntry {
                 qkey: Arc::from(qkey),
-                result: a.result.clone(),
+                compact,
                 plan: a.plan.clone(),
                 join_stats: a.join_stats,
                 graph_free: a.plan.graph_optional(),
@@ -1350,10 +1360,11 @@ mod tests {
         assert_eq!(stats.latency.count(), 2);
     }
 
-    /// The tentpole contract at unit scale: a repeated identical query
-    /// across batches returns the *shared* `Arc<MatchResult>` from the
-    /// result cache — no planning, no execution — and the answer is
-    /// bit-identical to the uncached one.
+    /// The cross-batch contract at unit scale: a repeated identical query
+    /// is answered from the result cache — no planning, no execution —
+    /// bit-identical to the uncached answer. Entries are held *frozen*
+    /// (`Arc<CompactView>`, the byte-accounted columnar form) and thawed
+    /// on hit, so the hit returns an equal answer, not the same `Arc`.
     #[test]
     fn repeated_serve_hits_result_cache() {
         let (svc, g) = service();
@@ -1365,9 +1376,9 @@ mod tests {
         let second = svc.serve(&q, None).unwrap();
         assert!(second.result_cached, "warm cache skips the executor");
         assert_eq!(second.disposition(), CacheDisposition::ResultCache);
-        assert!(
-            Arc::ptr_eq(&first.result, &second.result),
-            "one shared answer, not a copy"
+        assert_eq!(
+            *first.result, *second.result,
+            "thawed hit is bit-identical to the executed answer"
         );
         assert_eq!(*second.result, match_pattern(&q, &g));
 
@@ -1439,8 +1450,9 @@ mod tests {
             ViewDef::new("vbc", single("B", "C")),
         ]);
         let store = Arc::new(ViewStore::materialize(views, &g, 2));
-        // A budget of ~2 small answers.
-        let budget = 2 * approx_result_bytes(&match_pattern(&single("A", "B"), &g)) + 32;
+        // A budget of ~2 small answers (frozen-column accounting).
+        let small = CompactView::freeze(&match_pattern(&single("A", "B"), &g));
+        let budget = 2 * result_entry_bytes(&small, &query_key(&single("A", "B"))) + 32;
         let svc = ViewService::with_config(
             store,
             ServiceConfig {

@@ -27,12 +27,15 @@
 //! retired, ids never do. Snapshots order views by id, so planning and
 //! execution are deterministic regardless of shard count or interleaving.
 
+use crate::compact::CompactView;
+use crate::shard::{decode_shard, encode_shard, ShardError, StoreMeta, SHARD_VERSION};
 use crate::storage::{graph_fingerprint, ViewCache};
 use crate::view::{ViewDef, ViewExtensions, ViewSet};
 use gpv_graph::stats::GraphStats;
 use gpv_graph::DataGraph;
 use gpv_matching::result::MatchResult;
 use gpv_matching::simulation::match_pattern;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -44,10 +47,12 @@ pub struct StoredView {
     pub id: u64,
     /// The view definition.
     pub def: ViewDef,
-    /// The materialized extension `V(G)`, `Arc`-shared into every snapshot
-    /// (and through it into every [`QueryEngine`](crate::engine::QueryEngine)
-    /// built from one) — rebuilding an engine never copies the pairs.
-    pub ext: Arc<MatchResult>,
+    /// The materialized extension `V(G)` as a frozen columnar arena region,
+    /// `Arc`-shared into every snapshot (and through it into every
+    /// [`QueryEngine`](crate::engine::QueryEngine) built from one) —
+    /// rebuilding an engine never copies the pairs, and a store mutation
+    /// re-freezes only the touched view's region.
+    pub ext: Arc<CompactView>,
 }
 
 /// Errors from store mutation.
@@ -92,6 +97,20 @@ pub struct ShardOccupancy {
 #[derive(Debug, Default)]
 struct Shard {
     views: Vec<Arc<StoredView>>,
+}
+
+/// One row of [`ViewStore::eviction_advice`]: a resident view no workload
+/// query needs, with the bytes evicting it would free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvictionAdvice {
+    /// Stable id of the candidate view.
+    pub id: u64,
+    /// Its name.
+    pub name: String,
+    /// Materialized pairs it holds (`|Vi(G)|`).
+    pub pairs: u64,
+    /// Resident arena bytes freed by evicting it.
+    pub resident_bytes: usize,
 }
 
 /// A sharded, concurrently-writable registry of materialized views.
@@ -263,14 +282,15 @@ impl ViewStore {
     }
 
     /// Registers an already-materialized extension (e.g. from a loaded
-    /// cache). The caller asserts `ext = def(G)` for this store's graph.
+    /// cache), freezing it into its columnar arena region. The caller
+    /// asserts `ext = def(G)` for this store's graph.
     pub fn insert_materialized(&self, def: ViewDef, ext: MatchResult) -> u64 {
-        self.insert_shared(def, Arc::new(ext))
+        self.insert_shared(def, Arc::new(CompactView::freeze(&ext)))
     }
 
-    /// [`Self::insert_materialized`] for an extension that is already
-    /// shared — registration keeps the `Arc`, so no pairs are copied.
-    pub fn insert_shared(&self, def: ViewDef, ext: Arc<MatchResult>) -> u64 {
+    /// [`Self::insert_materialized`] for a region that is already frozen
+    /// and shared — registration keeps the `Arc`, so no pairs are copied.
+    pub fn insert_shared(&self, def: ViewDef, ext: Arc<CompactView>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let stored = Arc::new(StoredView { id, def, ext });
         let shard = self.shard_of(id);
@@ -281,6 +301,117 @@ impl ViewStore {
             .push(stored);
         self.version.fetch_add(1, Ordering::Release);
         id
+    }
+
+    /// Registers a view under an explicit stable id — the shard loader's
+    /// path, which must reproduce the saved store's id → shard routing
+    /// exactly. Does not advance `next_id`; the caller restores the
+    /// watermark from the metadata.
+    fn insert_with_id(&self, id: u64, def: ViewDef, ext: Arc<CompactView>) {
+        let stored = Arc::new(StoredView { id, def, ext });
+        let shard = self.shard_of(id);
+        self.shards[shard]
+            .write()
+            .expect("shard lock poisoned")
+            .views
+            .push(stored);
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Persists the store to `dir` as `meta.json` plus one flat
+    /// `shard-NNNN.bin` per shard (see [`crate::shard`] for the byte
+    /// layout). The write is deterministic — views in id order, names
+    /// interned in first-appearance order — so save → load → save
+    /// reproduces byte-identical files (pinned by tests).
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), ShardError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let snap = self.snapshot();
+        for (i, _) in self.shards.iter().enumerate() {
+            let mine: Vec<(u64, &ViewDef, &CompactView)> = snap
+                .views()
+                .iter()
+                .filter(|v| self.shard_of(v.id) == i)
+                .map(|v| (v.id, &v.def, &*v.ext))
+                .collect();
+            let bytes = encode_shard(&mine, self.graph_fingerprint);
+            std::fs::write(dir.join(format!("shard-{i:04}.bin")), bytes)?;
+        }
+        let meta = StoreMeta {
+            format_version: SHARD_VERSION,
+            shard_count: self.shards.len() as u32,
+            graph_fingerprint: self.graph_fingerprint,
+            next_id: self.next_id.load(Ordering::Relaxed),
+            graph_stats: self.graph_stats.clone(),
+        };
+        std::fs::write(dir.join("meta.json"), serde_json::to_string(&meta)?)?;
+        Ok(())
+    }
+
+    /// Loads a store saved by [`Self::save_to_dir`]: reads `meta.json`,
+    /// then decodes every shard file (validating magic, version, checksum
+    /// and structure — a corrupt file is a clean error, never a panic) into
+    /// a store with the saved shard count and stable ids.
+    pub fn load_from_dir(dir: impl AsRef<Path>) -> Result<Self, ShardError> {
+        let dir = dir.as_ref();
+        let meta_raw = std::fs::read_to_string(dir.join("meta.json"))?;
+        let meta: StoreMeta = serde_json::from_str(&meta_raw)?;
+        if meta.format_version != SHARD_VERSION {
+            return Err(ShardError::BadVersion(meta.format_version));
+        }
+        let store = Self::with_fingerprint(
+            meta.graph_fingerprint,
+            meta.graph_stats.clone(),
+            meta.shard_count as usize,
+        );
+        let mut max_id: Option<u64> = None;
+        for i in 0..meta.shard_count as usize {
+            let bytes = std::fs::read(dir.join(format!("shard-{i:04}.bin")))?;
+            let contents = decode_shard(&bytes)?;
+            if contents.graph_fingerprint != meta.graph_fingerprint {
+                return Err(ShardError::GraphMismatch {
+                    expected: meta.graph_fingerprint,
+                    actual: contents.graph_fingerprint,
+                });
+            }
+            for (id, def, ext) in contents.views {
+                max_id = Some(max_id.map_or(id, |m| m.max(id)));
+                store.insert_with_id(id, def, Arc::new(ext));
+            }
+        }
+        // Never hand out an id at or below a loaded one, even if the saved
+        // watermark is inconsistent.
+        let floor = max_id.map_or(0, |m| m + 1);
+        store
+            .next_id
+            .store(meta.next_id.max(floor), Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// Eviction advice: the resident views whose ids are *not* in
+    /// `needed_ids` (e.g. the views a workload advisor selected), ranked by
+    /// resident arena bytes descending — evicting from the top frees the
+    /// most memory while keeping every view the workload reads.
+    pub fn eviction_advice(&self, needed_ids: &[u64]) -> Vec<EvictionAdvice> {
+        let needed: std::collections::HashSet<u64> = needed_ids.iter().copied().collect();
+        let mut advice: Vec<EvictionAdvice> = self
+            .snapshot()
+            .views()
+            .iter()
+            .filter(|v| !needed.contains(&v.id))
+            .map(|v| EvictionAdvice {
+                id: v.id,
+                name: v.def.name.clone(),
+                pairs: v.ext.size() as u64,
+                resident_bytes: v.ext.resident_bytes(),
+            })
+            .collect();
+        advice.sort_by(|a, b| {
+            b.resident_bytes
+                .cmp(&a.resident_bytes)
+                .then(a.id.cmp(&b.id))
+        });
+        advice
     }
 
     /// Retires the view with stable id `id`; returns it if it was present.
@@ -550,6 +681,130 @@ mod tests {
         assert_eq!(occ.iter().map(|o| o.views).sum::<usize>(), 2);
         let total_pairs: u64 = occ.iter().map(|o| o.pairs).sum();
         assert_eq!(total_pairs, store.snapshot().extensions().size() as u64);
+    }
+
+    fn temp_store_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpv-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_byte_identical() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 4);
+        let dir = temp_store_dir("roundtrip");
+        store.save_to_dir(&dir).unwrap();
+
+        let loaded = ViewStore::load_from_dir(&dir).unwrap();
+        assert_eq!(loaded.shard_count(), store.shard_count());
+        let (a, b) = (store.snapshot(), loaded.snapshot());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.ids(), b.ids());
+        assert_eq!(a.view_set().views(), b.view_set().views());
+        assert_eq!(a.extensions().extensions, b.extensions().extensions);
+
+        // Save → load → save is byte-identical file by file: encode order
+        // is ascending-id and name interning is first-appearance, so the
+        // format is deterministic, not merely value-preserving.
+        let dir2 = temp_store_dir("roundtrip2");
+        loaded.save_to_dir(&dir2).unwrap();
+        for i in 0..store.shard_count() {
+            let name = format!("shard-{i:04}.bin");
+            assert_eq!(
+                std::fs::read(dir.join(&name)).unwrap(),
+                std::fs::read(dir2.join(&name)).unwrap(),
+                "{name} differs across save → load → save"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn reload_preserves_id_watermark() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 2);
+        let id = store
+            .insert(ViewDef::new("vxx", single("A", "C")), &g)
+            .unwrap();
+        store.remove(id).unwrap();
+        let dir = temp_store_dir("watermark");
+        store.save_to_dir(&dir).unwrap();
+
+        let loaded = ViewStore::load_from_dir(&dir).unwrap();
+        let fresh = loaded
+            .insert(ViewDef::new("vyy", single("A", "B")), &g)
+            .unwrap();
+        assert!(
+            fresh > id,
+            "reload reused id {id} (fresh insert got {fresh})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_shards_from_another_graph() {
+        let g = graph();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["X"]);
+        let y = b.add_node(["Y"]);
+        b.add_edge(x, y);
+        let other = b.build();
+
+        let dir_a = temp_store_dir("mix-a");
+        let dir_b = temp_store_dir("mix-b");
+        ViewStore::materialize(two_views(), &g, 2)
+            .save_to_dir(&dir_a)
+            .unwrap();
+        ViewStore::materialize(
+            ViewSet::new(vec![ViewDef::new("vxy", single("X", "Y"))]),
+            &other,
+            2,
+        )
+        .save_to_dir(&dir_b)
+        .unwrap();
+
+        // Shard files from one graph under the other's meta.json: the
+        // per-shard fingerprint check must refuse to mix them.
+        std::fs::copy(dir_b.join("meta.json"), dir_a.join("meta.json")).unwrap();
+        assert!(matches!(
+            ViewStore::load_from_dir(&dir_a),
+            Err(ShardError::GraphMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn load_reports_truncated_shard_cleanly() {
+        let g = graph();
+        let dir = temp_store_dir("trunc");
+        ViewStore::materialize(two_views(), &g, 1)
+            .save_to_dir(&dir)
+            .unwrap();
+        let path = dir.join("shard-0000.bin");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(ViewStore::load_from_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_advice_ranks_unneeded_views_by_bytes() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 2);
+        let ids = store.snapshot().ids();
+
+        // The workload needs the first view: advice lists only the second.
+        let advice = store.eviction_advice(&ids[..1]);
+        assert_eq!(advice.len(), 1);
+        assert_eq!(advice[0].id, ids[1]);
+
+        // A workload needing nothing lists everything, biggest first.
+        let all = store.eviction_advice(&[]);
+        assert_eq!(all.len(), 2);
+        assert!(all[0].resident_bytes >= all[1].resident_bytes);
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! `{(eV, S_eV)}`. Answering a query using views means computing `Qs(G)`
 //! from `V(G) = {V1(G), ..., Vn(G)}` alone, never touching `G`.
 
-use gpv_graph::{DataGraph, NodeId};
-use gpv_matching::result::MatchResult;
+use crate::compact::CompactView;
+use gpv_graph::DataGraph;
 use gpv_matching::simulation::match_pattern;
-use gpv_pattern::{Pattern, PatternEdgeId};
+use gpv_pattern::Pattern;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -92,61 +92,26 @@ impl From<Vec<ViewDef>> for ViewSet {
 /// Materialized view extensions `V(G) = {V1(G), ..., Vn(G)}`, the cached
 /// query results the join algorithms read instead of `G`.
 ///
-/// Each extension is held behind an [`Arc`], so assembling a new
-/// `ViewExtensions` from an existing one (or from a
-/// [`ViewStore`](crate::store::ViewStore) snapshot) shares the materialized
-/// match sets instead of deep-copying them: an engine rebuild after a store
-/// mutation clones `n` pointers, not `|V(G)|` pairs. Executors only ever
-/// *borrow* the sets ([`Self::edge_set`]), so sharing is invisible to them.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ViewExtensions {
-    /// `extensions[i]` = `Vi(G)` (may be empty when `Vi ⋬sim G`), shared
-    /// by `Arc` with every other holder of the same materialization.
-    pub extensions: Vec<Arc<MatchResult>>,
-}
-
-impl ViewExtensions {
-    /// Total number of cached match pairs — the paper's `|V(G)|` measure
-    /// dominating the complexity of `MatchJoin`.
-    pub fn size(&self) -> usize {
-        self.extensions.iter().map(|e| e.size()).sum()
-    }
-
-    /// Appends one more materialized extension, keeping positions aligned
-    /// with the owning [`ViewSet`] (the caller appends the definition too —
-    /// [`QueryEngine::add_view`](crate::engine::QueryEngine::add_view) does
-    /// both; for concurrent registration go through
-    /// [`ViewStore`](crate::store::ViewStore) instead).
-    pub fn push(&mut self, ext: MatchResult) {
-        self.extensions.push(Arc::new(ext));
-    }
-
-    /// Appends an already-shared extension without copying it (the
-    /// zero-copy path used when assembling from a store snapshot).
-    pub fn push_shared(&mut self, ext: Arc<MatchResult>) {
-        self.extensions.push(ext);
-    }
-
-    /// The match set `S_eV` of edge `eV` of view `i` (empty slice when the
-    /// extension is empty).
-    pub fn edge_set(&self, view: usize, e: PatternEdgeId) -> &[(NodeId, NodeId)] {
-        let ext = &self.extensions[view];
-        if ext.is_empty() {
-            &[]
-        } else {
-            ext.edge_set(e)
-        }
-    }
-}
+/// Since the columnar-arena refactor this is the flat
+/// [`CompactExtensions`](crate::compact::CompactExtensions): each view's
+/// extension is a contiguous CSR-of-pairs region
+/// ([`CompactView`]) behind an [`Arc`], so an
+/// engine rebuild after a store mutation clones `n` pointers, not `|V(G)|`
+/// pairs, and [`edge_set`](crate::compact::CompactExtensions::edge_set)
+/// resolves to a borrowed flat slice with no per-pair indirection. The JSON
+/// wire shape is unchanged (extensions serialize as boxed
+/// [`MatchResult`](gpv_matching::result::MatchResult)s).
+pub type ViewExtensions = crate::compact::CompactExtensions;
 
 /// Materializes every view of `views` over `g` using the `Match` engine —
-/// the "pick and cache previous query results" step of the paper.
+/// the "pick and cache previous query results" step of the paper — and
+/// freezes each result into its columnar arena region.
 pub fn materialize(views: &ViewSet, g: &DataGraph) -> ViewExtensions {
     ViewExtensions {
         extensions: views
             .views()
             .iter()
-            .map(|v| Arc::new(match_pattern(&v.pattern, g)))
+            .map(|v| Arc::new(CompactView::freeze(&match_pattern(&v.pattern, g))))
             .collect(),
     }
 }
@@ -154,8 +119,8 @@ pub fn materialize(views: &ViewSet, g: &DataGraph) -> ViewExtensions {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpv_graph::GraphBuilder;
-    use gpv_pattern::PatternBuilder;
+    use gpv_graph::{GraphBuilder, NodeId};
+    use gpv_pattern::{PatternBuilder, PatternEdgeId};
 
     fn pattern_ab() -> Pattern {
         let mut b = PatternBuilder::new();

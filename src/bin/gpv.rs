@@ -12,6 +12,9 @@
 //!              [--repeat K]
 //! gpv serve    --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
 //!              [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain]
+//!              [--store-dir D]
+//! gpv advise   --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
+//!              [--budget N]
 //! gpv minimize --pattern Q.txt
 //! ```
 //!
@@ -46,6 +49,19 @@
 //! once plus the service stats (plan- and result-cache hit rates, shard
 //! occupancy, queue depth, latency quantiles).
 //!
+//! `serve --store-dir D` persists the sharded store as flat columnar
+//! shard files (one per shard, see `gpv_core::shard` for the byte
+//! layout). On the first run the materialized store is saved to `D`; on
+//! later runs the shards are loaded from `D` — after checking they were
+//! built from the same graph — and serving skips materialization
+//! entirely.
+//!
+//! `advise` recommends a view subset for a workload: it greedily selects
+//! at most `--budget` views maximizing the number of fully-answered
+//! `--pattern` queries ([`core::QueryEngine::advise_views`]), then ranks
+//! the *unselected* resident views by arena bytes as eviction candidates
+//! ([`core::ViewStore::eviction_advice`]).
+//!
 //! Graphs use the `gpv-graph` text format (`node <id> <labels> [k=v ...]` /
 //! `edge <src> <dst>`); patterns use the `gpv-pattern` format
 //! (`node <name> <condition>` / `edge <src> <dst> [bound]`).
@@ -70,14 +86,17 @@ struct Args {
     clients: usize,
     repeat: usize,
     result_cache_mb: usize,
+    store_dir: Option<String>,
+    budget: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|minimize> \
+        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|advise|minimize> \
          [--graph F] [--pattern F]... [--view F]... [--bounded] [--dual] \
          [--select auto|all|minimal|minimum] [--threads N] [--chunk-pairs N] [--calibrated] \
-         [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain]"
+         [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain] \
+         [--store-dir D] [--budget N]"
     );
     ExitCode::from(2)
 }
@@ -98,6 +117,8 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         clients: 1,
         repeat: 1,
         result_cache_mb: 64,
+        store_dir: None,
+        budget: None,
     };
     let mut i = 0;
     let uint = |flag: &str, v: Option<&String>| -> Result<usize, String> {
@@ -147,6 +168,18 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--result-cache-mb" => {
                 a.result_cache_mb = uint("--result-cache-mb", rest.get(i + 1))?;
+                i += 2;
+            }
+            "--store-dir" => {
+                a.store_dir = Some(
+                    rest.get(i + 1)
+                        .ok_or("--store-dir needs a directory")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--budget" => {
+                a.budget = Some(uint("--budget", rest.get(i + 1))?);
                 i += 2;
             }
             "--bounded" => {
@@ -335,6 +368,7 @@ fn run() -> Result<(), String> {
         }
         "calibrate" => calibrate(&a)?,
         "serve" => serve(&a)?,
+        "advise" => advise(&a)?,
         "minimize" => {
             let qb = load_query(&a)?;
             let q = require_plain(&qb, "pattern")?;
@@ -411,7 +445,30 @@ fn serve(a: &Args) -> Result<(), String> {
         batch.push(require_plain(&load_pattern(p)?, "pattern")?);
     }
 
-    let store = Arc::new(core::ViewStore::materialize(vs, &g, a.shards));
+    // `--store-dir`: load the persisted columnar shards when they exist
+    // (skipping materialization), otherwise materialize and persist them
+    // for the next run. Either way the loaded store must belong to the
+    // graph being served.
+    let store = match &a.store_dir {
+        Some(dir) if std::path::Path::new(dir).join("meta.json").exists() => {
+            let loaded = core::ViewStore::load_from_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+            if loaded.graph_fingerprint() != core::storage::graph_fingerprint(&g) {
+                return Err(format!(
+                    "{dir}: store was built from a different graph (fingerprint mismatch)"
+                ));
+            }
+            println!("store-dir: loaded {} views from {dir}", loaded.len());
+            Arc::new(loaded)
+        }
+        other => {
+            let store = Arc::new(core::ViewStore::materialize(vs, &g, a.shards));
+            if let Some(dir) = other {
+                store.save_to_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+                println!("store-dir: saved {} views to {dir}", store.len());
+            }
+            store
+        }
+    };
     let service = core::ViewService::with_config(
         store,
         core::ServiceConfig {
@@ -540,6 +597,59 @@ fn serve(a: &Args) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(" ")
     );
+    Ok(())
+}
+
+/// The `advise` command: greedy view selection for a workload plus
+/// eviction candidates for whatever the selection leaves unused.
+fn advise(a: &Args) -> Result<(), String> {
+    let g = load_graph(a)?;
+    let views = load_views(a)?;
+    let vs = plain_view_set(&views)?;
+    if a.patterns.is_empty() {
+        return Err("missing --pattern".into());
+    }
+    let mut workload: Vec<gpv_pattern::Pattern> = Vec::new();
+    for p in &a.patterns {
+        workload.push(require_plain(&load_pattern(p)?, "pattern")?);
+    }
+
+    let budget = a.budget.unwrap_or(views.len());
+    let store = core::ViewStore::materialize(vs.clone(), &g, a.shards);
+    let engine = core::QueryEngine::materialize(vs, &g).with_config(engine_config(a)?);
+    let sel = engine.advise_views(&workload, budget, None);
+
+    let answered = sel.answered.iter().filter(|&&x| x).count();
+    println!(
+        "advise: keep {} of {} views (budget {budget}), answering {}/{} workload queries",
+        sel.views.len(),
+        views.len(),
+        answered,
+        workload.len()
+    );
+    for &i in &sel.views {
+        println!("keep {}", views[i].0);
+    }
+    for (qi, ok) in sel.answered.iter().enumerate() {
+        if !ok {
+            println!("unanswered {}", a.patterns[qi]);
+        }
+    }
+
+    // `ViewStore::materialize` assigns ids in view order, so the selected
+    // indices are the ids the store must retain.
+    let needed: Vec<u64> = sel.views.iter().map(|&i| i as u64).collect();
+    let advice = store.eviction_advice(&needed);
+    if advice.is_empty() {
+        println!("evict: nothing (all resident views are needed)");
+    } else {
+        for e in &advice {
+            println!(
+                "evict {} (id {}, {} pairs, {} bytes resident)",
+                e.name, e.id, e.pairs, e.resident_bytes
+            );
+        }
+    }
     Ok(())
 }
 

@@ -445,3 +445,174 @@ fn plan_calibrated_shows_fitted_weights() {
     assert!(s.contains("sources:"), "{s}");
     assert!(s.contains("(calibrated)"), "{s}");
 }
+
+/// `serve --store-dir` must save the sharded store on the first run, load
+/// it on the second — announcing which happened — and serve identical
+/// answers either way (the store-dir round trip may not perturb results).
+#[test]
+fn serve_store_dir_saves_then_loads_with_identical_answers() {
+    let g = write_tmp("sd-g.txt", GRAPH);
+    let q = write_tmp("sd-q.txt", QUERY);
+    let v1 = write_tmp("sd-v1.txt", VIEW1);
+    let v2 = write_tmp("sd-v2.txt", VIEW2);
+    let dir = std::env::temp_dir().join(format!("gpv-cli-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = || {
+        gpv()
+            .args([
+                "serve",
+                "--graph",
+                g.to_str().unwrap(),
+                "--view",
+                v1.to_str().unwrap(),
+                "--view",
+                v2.to_str().unwrap(),
+                "--pattern",
+                q.to_str().unwrap(),
+                "--store-dir",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    // The per-query latency varies run to run; everything before it is
+    // the answer (pair count, disposition, sourcing) and must match.
+    let answers = |stdout: &str| -> Vec<String> {
+        stdout
+            .lines()
+            .filter(|l| l.starts_with("query "))
+            .map(|l| l[..l.rfind(", ").unwrap_or(l.len())].to_string())
+            .collect()
+    };
+
+    let first = run();
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let s1 = String::from_utf8_lossy(&first.stdout).to_string();
+    assert!(s1.contains("store-dir: saved 2 views"), "{s1}");
+    assert!(dir.join("meta.json").exists());
+
+    let second = run();
+    assert!(
+        second.status.success(),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let s2 = String::from_utf8_lossy(&second.stdout).to_string();
+    assert!(s2.contains("store-dir: loaded 2 views"), "{s2}");
+
+    let (a1, a2) = (answers(&s1), answers(&s2));
+    assert!(!a1.is_empty(), "{s1}");
+    assert_eq!(a1, a2, "answers must be identical across save and load");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Serving a persisted store against a *different* graph must be refused
+/// up front (fingerprint mismatch), not silently produce wrong answers.
+#[test]
+fn serve_store_dir_rejects_a_different_graph() {
+    let g = write_tmp("sdm-g.txt", GRAPH);
+    let q = write_tmp("sdm-q.txt", QUERY);
+    let v1 = write_tmp("sdm-v1.txt", VIEW1);
+    let v2 = write_tmp("sdm-v2.txt", VIEW2);
+    // Same shape, one extra node: a different fingerprint.
+    let g2 = write_tmp(
+        "sdm-g2.txt",
+        "node 0 PM\nnode 1 DBA\nnode 2 PRG\nnode 3 PM\nedge 0 1\nedge 1 2\nedge 2 1\nedge 3 1\n",
+    );
+    let dir = std::env::temp_dir().join(format!("gpv-cli-store-mismatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = |graph: &std::path::Path| {
+        gpv()
+            .args([
+                "serve",
+                "--graph",
+                graph.to_str().unwrap(),
+                "--view",
+                v1.to_str().unwrap(),
+                "--view",
+                v2.to_str().unwrap(),
+                "--pattern",
+                q.to_str().unwrap(),
+                "--store-dir",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    assert!(run(&g).status.success());
+    let bad = run(&g2);
+    assert!(!bad.status.success(), "mismatched graph must be rejected");
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(err.contains("different graph"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `advise` prints the kept views, the unanswered workload queries, and
+/// eviction candidates for whatever the budget leaves out.
+#[test]
+fn advise_reports_selection_and_eviction_candidates() {
+    let g = write_tmp("adv-g.txt", GRAPH);
+    let q = write_tmp("adv-q.txt", QUERY);
+    let v1 = write_tmp("adv-v1.txt", VIEW1);
+    let v2 = write_tmp("adv-v2.txt", VIEW2);
+
+    // Full budget: both views kept, the workload is answered, nothing to
+    // evict.
+    let full = gpv()
+        .args([
+            "advise",
+            "--graph",
+            g.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        full.status.success(),
+        "{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+    let s = String::from_utf8_lossy(&full.stdout);
+    assert!(s.contains("answering 1/1 workload queries"), "{s}");
+    assert!(s.contains("evict: nothing"), "{s}");
+
+    // Budget 1: one view kept, the query unanswered, the other view is an
+    // eviction candidate with its resident bytes.
+    let one = gpv()
+        .args([
+            "advise",
+            "--graph",
+            g.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--budget",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        one.status.success(),
+        "{}",
+        String::from_utf8_lossy(&one.stderr)
+    );
+    let s = String::from_utf8_lossy(&one.stdout);
+    assert!(s.contains("keep 1 of 2 views (budget 1)"), "{s}");
+    assert!(s.contains("unanswered "), "{s}");
+    assert!(s.contains("evict "), "{s}");
+    assert!(s.contains("bytes resident"), "{s}");
+}
