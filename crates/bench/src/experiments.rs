@@ -14,7 +14,7 @@ use gpv_generator::{
     amazon, amazon_predicate_pool, citation, citation_predicate_pool, covering_bounded_views,
     covering_views, densification_graph, random_graph, random_pattern, random_pattern_with_preds,
     uniform_bounded_pattern, uniform_bounded_pattern_with_preds, youtube, youtube_predicate_pool,
-    PatternShape, DEFAULT_ALPHABET,
+    ExecKnob, GraphSource, PatternShape, QueryMode, Scenario, WeightsKnob, DEFAULT_ALPHABET,
 };
 use gpv_graph::DataGraph;
 use gpv_matching::bounded::bmatch_pattern;
@@ -47,6 +47,14 @@ pub struct Row {
     pub x: String,
     /// `(series, value)` pairs, e.g. `("Match", 1.9)`.
     pub series: Vec<(String, f64)>,
+    /// One-line [`Scenario`] JSON describing this
+    /// row's workload knobs, attached to the performance-tracking
+    /// experiments (`engine`, `service`). The same schema `gpv fuzz
+    /// --repro` consumes, so a recorded BENCH row can be replayed as a
+    /// differential check of its configuration class. `None` on the
+    /// paper-figure reproductions.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<String>,
 }
 
 /// Host metadata attached to the performance-tracking experiments
@@ -94,6 +102,53 @@ fn secs(f: impl FnOnce()) -> f64 {
     let t = Instant::now();
     f();
     t.elapsed().as_secs_f64()
+}
+
+/// The [`Scenario`] descriptor attached to performance-tracking rows: the
+/// row's synthetic workload knobs in the same one-line JSON schema `gpv
+/// fuzz --repro` consumes. It pins the workload class — graph scale, query
+/// sizes, view coverage, cache/shard settings — with the mode/executor
+/// knobs set to the configuration the experiment forces as its baseline;
+/// series that sweep executors on top of that baseline say so in their
+/// names.
+fn row_scenario(
+    nodes: usize,
+    queries: usize,
+    batch_len: usize,
+    rounds: usize,
+    mode: QueryMode,
+    shards: usize,
+    seed: u64,
+) -> String {
+    Scenario {
+        seed,
+        graph: GraphSource::Synthetic {
+            nodes,
+            edges: 2 * nodes,
+            labels: DEFAULT_ALPHABET.len(),
+        },
+        queries,
+        query_nodes: 4,
+        query_edges: 6,
+        shape: PatternShape::Any,
+        max_bound: 1,
+        zipf_s: 0.0,
+        batch_len,
+        rounds,
+        updates_per_round: 0,
+        coverage: 1.0,
+        max_fragment: 3,
+        mode,
+        exec: ExecKnob::Sequential,
+        threads: 1,
+        chunk_pairs: 0,
+        weights: WeightsKnob::Default,
+        recalibrate_every: 0,
+        result_cache_bytes: 64 << 20,
+        plan_cache_capacity: 4096,
+        shards,
+    }
+    .to_json_line()
 }
 
 /// A *selective* view set for the matching experiments: medium fragments
@@ -295,6 +350,7 @@ fn run_plain_dataset(
         }
         let n = qs.len() as f64;
         rows.push(Row {
+            scenario: None,
             x: format!("({},{})", sizes[si].0, sizes[si].1),
             series: vec![
                 ("Match".into(), t_match / n),
@@ -378,6 +434,7 @@ pub fn fig8d(scale: Scale, seed: u64) -> ExperimentResult {
         }
         let c = queries.len() as f64;
         rows.push(Row {
+            scenario: None,
             x: format!("{:.1}M", paper_n as f64 / 1e6),
             series: vec![
                 ("Match".into(), t_match / c),
@@ -431,6 +488,7 @@ pub fn fig8e(scale: Scale, seed: u64) -> ExperimentResult {
             series.push((format!("MatchJoin_min[Q{}]", i + 1), t));
         }
         rows.push(Row {
+            scenario: None,
             x: format!("{:.1}M", paper_n as f64 / 1e6),
             series,
         });
@@ -483,6 +541,7 @@ pub fn fig8f(scale: Scale, seed: u64) -> ExperimentResult {
         }
         let c = queries.len() as f64;
         rows.push(Row {
+            scenario: None,
             x: format!("{alpha:.2}"),
             series: vec![
                 ("MatchJoin_nopt".into(), t_nopt / c),
@@ -538,6 +597,7 @@ pub fn fig8g(_scale: Scale, seed: u64) -> ExperimentResult {
             }
         }) / cyc[si].len() as f64;
         rows.push(Row {
+            scenario: None,
             x: format!("({nv},{ne})"),
             series: vec![
                 ("QDAG".into(), t_dag * 1e3),
@@ -607,6 +667,7 @@ pub fn fig8h(_scale: Scale, seed: u64) -> ExperimentResult {
             s_min += sel2.as_ref().map(|s| s.views.len()).unwrap_or(0);
         }
         rows.push(Row {
+            scenario: None,
             x: format!("({nv},{ne})"),
             series: vec![
                 (
@@ -687,6 +748,7 @@ fn run_bounded_dataset(
         }
         let n = qs.len() as f64;
         rows.push(Row {
+            scenario: None,
             x: format!("({},{},{k})", sizes[si].0, sizes[si].1),
             series: vec![
                 ("BMatch".into(), t_bmatch / n),
@@ -778,6 +840,7 @@ pub fn fig8k(scale: Scale, seed: u64) -> ExperimentResult {
         }
         let n = queries.len() as f64;
         rows.push(Row {
+            scenario: None,
             x: format!("{k}"),
             series: vec![
                 ("BMatch".into(), t_bmatch / n),
@@ -829,6 +892,7 @@ pub fn fig8l(scale: Scale, seed: u64) -> ExperimentResult {
         }
         let c = queries.len() as f64;
         rows.push(Row {
+            scenario: None,
             x: format!("{:.1}M", paper_n as f64 / 1e6),
             series: vec![
                 ("BMatch".into(), t_bmatch / c),
@@ -1041,6 +1105,15 @@ pub fn engine_experiment(scale: Scale, seed: u64) -> ExperimentResult {
         };
         let c = queries.len() as f64;
         rows.push(Row {
+            scenario: Some(row_scenario(
+                n,
+                queries.len(),
+                queries.len(),
+                1,
+                QueryMode::Minimum,
+                1,
+                seed + step as u64,
+            )),
             x: format!("{:.1}M", paper_n as f64 / 1e6),
             series: vec![
                 ("plan".into(), t_plan / c),
@@ -1126,6 +1199,15 @@ pub fn service_experiment(scale: Scale, seed: u64) -> ExperimentResult {
         let stats = service.stats();
         let served = (clients * ROUNDS * batch.len()) as f64;
         rows.push(Row {
+            scenario: Some(row_scenario(
+                n,
+                queries.len(),
+                batch.len(),
+                ROUNDS,
+                QueryMode::Minimal,
+                8,
+                seed,
+            )),
             x: format!("{clients}"),
             series: vec![
                 ("wall_s".into(), wall),
@@ -1394,6 +1476,38 @@ mod tests {
         assert!(
             fig8g(tiny(), 1).host.is_none(),
             "figure reproductions carry no host block"
+        );
+    }
+
+    /// Perf-tracking rows must carry a scenario descriptor that round-trips
+    /// through the `gpv fuzz --repro` JSON schema; figure reproductions
+    /// carry none (their series are paper contrasts, not tracked configs).
+    #[test]
+    fn perf_rows_carry_parseable_scenario_descriptors() {
+        let r = engine_experiment(tiny(), 42);
+        for row in &r.rows {
+            let json = row
+                .scenario
+                .as_deref()
+                .expect("engine rows describe themselves");
+            let sc = Scenario::from_json_line(json).expect("descriptor parses as a Scenario");
+            assert!(matches!(sc.graph, GraphSource::Synthetic { .. }));
+            assert_eq!(sc.mode, QueryMode::Minimum);
+        }
+        let s = service_experiment(tiny(), 42);
+        for row in &s.rows {
+            let json = row
+                .scenario
+                .as_deref()
+                .expect("service rows describe themselves");
+            let sc = Scenario::from_json_line(json).expect("descriptor parses as a Scenario");
+            assert_eq!(sc.rounds, 2);
+            assert_eq!(sc.shards, 8);
+        }
+        let fig = fig8g(tiny(), 7);
+        assert!(
+            fig.rows.iter().all(|row| row.scenario.is_none()),
+            "figure rows carry no scenario block"
         );
     }
 

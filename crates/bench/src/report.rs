@@ -85,6 +85,7 @@ mod tests {
             unit: "s".into(),
             host: None,
             rows: vec![Row {
+                scenario: None,
                 x: "(4,6)".into(),
                 series: vec![("Match".into(), 1.25), ("MatchJoin".into(), 0.5)],
             }],

@@ -1,0 +1,428 @@
+//! Differential checking: every execution path vs the naive oracle.
+//!
+//! The paper's contract (Theorem 1 / Theorem 8) is that answering from
+//! views is *indistinguishable* from `match_pattern(q, g)` — for every
+//! graph, every covering view set, and every executor configuration. This
+//! module turns that contract into a runtime check: a [`DifferentialCase`]
+//! bundles one concrete workload (graph, views, queries, a round schedule
+//! with store mutations) plus the engine/service configuration under test,
+//! and [`check_plain`] / [`check_bounded`] assert **bit-exact** agreement
+//! between every answer the planner-driven paths produce and a boxed
+//! oracle (normally `gpv_matching::match_pattern`).
+//!
+//! Two properties make the oracle usable across a mutating serving run:
+//!
+//! * Theorem 1's corollary — adding views never changes answers, only how
+//!   cheaply they can be produced. So one oracle answer per distinct query
+//!   stays valid across every `ViewStore::insert` between rounds.
+//! * Recalibration only rescales cost weights; plans may change shape, but
+//!   by the contract every plan shape must produce the same match sets.
+//!
+//! The scenario generator (`gpv-generator`'s `scenario` module) builds
+//! `DifferentialCase` inputs from a one-line JSON descriptor; the `gpv
+//! fuzz` subcommand drives sampled scenarios through these checks.
+
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::plan::QueryPlan;
+use crate::service::{ServiceConfig, ViewService};
+use crate::store::ViewStore;
+use crate::view::{ViewDef, ViewSet};
+use gpv_graph::DataGraph;
+use gpv_matching::{BoundedMatchResult, MatchResult};
+use gpv_pattern::{BoundedPattern, Pattern};
+use std::fmt;
+use std::sync::Arc;
+
+/// Ground-truth oracle for plain patterns. Boxed so test harnesses can
+/// wrap the real `match_pattern` (e.g. the deliberate-corruption hook the
+/// fuzz CLI uses to prove divergences are caught and reproducible).
+pub type PlainOracle = Box<dyn Fn(&Pattern, &DataGraph) -> MatchResult>;
+
+/// Ground-truth oracle for bounded patterns (normally `bmatch_pattern`).
+pub type BoundedOracle = Box<dyn Fn(&BoundedPattern, &DataGraph) -> BoundedMatchResult>;
+
+/// One concrete differential workload: the data, the serving schedule, and
+/// the engine/service configuration every answer is produced under.
+///
+/// Rounds are indices into `queries` (repetition exercises the plan and
+/// result caches); `updates[r]` is inserted into the store after round `r`
+/// (exercising engine rebuilds and, with
+/// [`ServiceConfig::recalibrate_every`], recalibration epochs).
+pub struct DifferentialCase<'a> {
+    /// The data graph `G` every answer is checked against.
+    pub graph: &'a DataGraph,
+    /// The initial view set the store/engine materializes.
+    pub views: &'a ViewSet,
+    /// The distinct query pool.
+    pub queries: &'a [Pattern],
+    /// Per-round serve schedules: `rounds[r]` lists indices into `queries`.
+    pub rounds: &'a [Vec<usize>],
+    /// Views inserted into the store after each round (may be shorter than
+    /// `rounds`; missing entries mean no mutation that round).
+    pub updates: &'a [Vec<ViewDef>],
+    /// Store shard count.
+    pub shards: usize,
+    /// Engine configuration under test (executor, granularity, selection
+    /// mode, cost weights, threads).
+    pub engine: EngineConfig,
+    /// Service configuration under test (plan/result caches, recalibration
+    /// cadence); its embedded engine config is what `serve_batch` uses.
+    pub service: ServiceConfig,
+}
+
+/// Where and how an answer disagreed with the oracle.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Which code path produced the wrong answer
+    /// (`engine.answer`, `engine.answer_from_views`, `service.serve`, …).
+    pub stage: &'static str,
+    /// Serving round, for service-stage divergences.
+    pub round: Option<usize>,
+    /// Slot within the round's batch, for service-stage divergences.
+    pub slot: Option<usize>,
+    /// Index of the diverging query in the case's query pool.
+    pub query: usize,
+    /// Human-readable mismatch description (pair counts, error text).
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "divergence at {} (query #{}", self.stage, self.query)?;
+        if let Some(r) = self.round {
+            write!(f, ", round {r}")?;
+        }
+        if let Some(s) = self.slot {
+            write!(f, ", slot {s}")?;
+        }
+        write!(f, "): {}", self.detail)
+    }
+}
+
+/// Counters from a clean differential run (what was actually exercised).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DifferentialReport {
+    /// Distinct plain queries checked against the oracle.
+    pub queries: usize,
+    /// Answers served through `ViewService::serve_batch` (incl. repeats).
+    pub served: usize,
+    /// Serving rounds executed.
+    pub rounds: usize,
+    /// Views inserted into the store between rounds.
+    pub mutations: usize,
+    /// Bounded queries checked (0 unless [`check_bounded`] ran).
+    pub bounded_queries: usize,
+    /// Plans that answered from views alone.
+    pub plans_views_only: usize,
+    /// Mixed view/graph plans.
+    pub plans_hybrid: usize,
+    /// Direct `Match`-on-`G` plans.
+    pub plans_direct: usize,
+    /// Plan-cache hits observed by the service.
+    pub plan_cache_hits: u64,
+    /// Result-cache hits observed by the service.
+    pub result_cache_hits: u64,
+}
+
+impl DifferentialReport {
+    /// Folds another report's counters into this one.
+    pub fn absorb(&mut self, other: &DifferentialReport) {
+        self.queries += other.queries;
+        self.served += other.served;
+        self.rounds += other.rounds;
+        self.mutations += other.mutations;
+        self.bounded_queries += other.bounded_queries;
+        self.plans_views_only += other.plans_views_only;
+        self.plans_hybrid += other.plans_hybrid;
+        self.plans_direct += other.plans_direct;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.result_cache_hits += other.result_cache_hits;
+    }
+}
+
+fn pairs(r: &MatchResult) -> usize {
+    r.edge_matches.iter().map(|s| s.len()).sum()
+}
+
+fn bpairs(r: &BoundedMatchResult) -> usize {
+    r.edge_matches.iter().map(|s| s.len()).sum()
+}
+
+fn mismatch(stage: &'static str, query: usize, got: usize, want: usize) -> Box<Divergence> {
+    Box::new(Divergence {
+        stage,
+        round: None,
+        slot: None,
+        query,
+        detail: format!("answered {got} match pairs, oracle says {want} (match sets differ)"),
+    })
+}
+
+/// Runs one plain-pattern differential case end to end.
+///
+/// Phase 1 (engine): plans and answers every query through a fresh
+/// [`QueryEngine`] under the case's [`EngineConfig`], comparing
+/// `answer(q, g)` — and `answer_from_views(q)` whenever the plan can run
+/// without the graph — against the oracle.
+///
+/// Phase 2 (service): materializes a [`ViewStore`], serves every round's
+/// batch through [`ViewService::serve_batch`] under the case's
+/// [`ServiceConfig`], inserts the round's updates, and repeats — so cache
+/// hits, engine rebuilds after mutations, and recalibration epochs are all
+/// checked against the *same* oracle answers (valid throughout, per the
+/// module docs).
+///
+/// Returns the exercise counters, or the first [`Divergence`] found.
+pub fn check_plain(
+    case: &DifferentialCase<'_>,
+    oracle: &PlainOracle,
+) -> Result<DifferentialReport, Box<Divergence>> {
+    let mut report = DifferentialReport {
+        queries: case.queries.len(),
+        ..DifferentialReport::default()
+    };
+    let expected: Vec<MatchResult> = case.queries.iter().map(|q| oracle(q, case.graph)).collect();
+
+    // Phase 1: the planner-driven engine paths.
+    let engine =
+        QueryEngine::materialize(case.views.clone(), case.graph).with_config(case.engine.clone());
+    for (qi, q) in case.queries.iter().enumerate() {
+        let plan = engine.plan(q);
+        match &plan {
+            QueryPlan::ViewsOnly(_) => report.plans_views_only += 1,
+            QueryPlan::Hybrid { .. } => report.plans_hybrid += 1,
+            QueryPlan::Direct { .. } => report.plans_direct += 1,
+        }
+        let got = engine.answer(q, case.graph).map_err(|e| {
+            Box::new(Divergence {
+                stage: "engine.answer",
+                round: None,
+                slot: None,
+                query: qi,
+                detail: format!("engine refused a query the oracle answers: {e:?}"),
+            })
+        })?;
+        if got != expected[qi] {
+            return Err(mismatch(
+                "engine.answer",
+                qi,
+                pairs(&got),
+                pairs(&expected[qi]),
+            ));
+        }
+        if plan.graph_optional() {
+            let got = engine.answer_from_views(q).map_err(|e| {
+                Box::new(Divergence {
+                    stage: "engine.answer_from_views",
+                    round: None,
+                    slot: None,
+                    query: qi,
+                    detail: format!("graph-optional plan failed without the graph: {e:?}"),
+                })
+            })?;
+            if got != expected[qi] {
+                return Err(mismatch(
+                    "engine.answer_from_views",
+                    qi,
+                    pairs(&got),
+                    pairs(&expected[qi]),
+                ));
+            }
+        }
+    }
+
+    // Phase 2: the serving layer, across store mutations + recalibration.
+    let store = Arc::new(ViewStore::materialize(
+        case.views.clone(),
+        case.graph,
+        case.shards,
+    ));
+    let service = ViewService::with_config(Arc::clone(&store), case.service.clone());
+    for (round, schedule) in case.rounds.iter().enumerate() {
+        let batch: Vec<Pattern> = schedule.iter().map(|&i| case.queries[i].clone()).collect();
+        let answers = service.serve_batch(&batch, Some(case.graph));
+        for (slot, ans) in answers.iter().enumerate() {
+            let qi = schedule[slot];
+            match ans {
+                Ok(sa) => {
+                    if *sa.result != expected[qi] {
+                        return Err(Box::new(Divergence {
+                            stage: "service.serve",
+                            round: Some(round),
+                            slot: Some(slot),
+                            query: qi,
+                            detail: format!(
+                                "served {} match pairs, oracle says {} (match sets differ)",
+                                pairs(&sa.result),
+                                pairs(&expected[qi])
+                            ),
+                        }));
+                    }
+                }
+                Err(e) => {
+                    return Err(Box::new(Divergence {
+                        stage: "service.serve",
+                        round: Some(round),
+                        slot: Some(slot),
+                        query: qi,
+                        detail: format!("service refused a query the oracle answers: {e:?}"),
+                    }));
+                }
+            }
+        }
+        report.served += batch.len();
+        report.rounds += 1;
+        if let Some(upds) = case.updates.get(round) {
+            for upd in upds {
+                store.insert(upd.clone(), case.graph).map_err(|e| {
+                    Box::new(Divergence {
+                        stage: "store.insert",
+                        round: Some(round),
+                        slot: None,
+                        query: 0,
+                        detail: format!("store rejected a valid update view: {e:?}"),
+                    })
+                })?;
+                report.mutations += 1;
+            }
+        }
+    }
+    let stats = service.stats();
+    report.plan_cache_hits = stats.plan_cache_hits;
+    report.result_cache_hits = stats.result_cache_hits;
+    Ok(report)
+}
+
+/// Bounded analogue of [`check_plain`]: answers every bounded query via
+/// [`QueryEngine::answer_bounded`] under `engine_cfg` and compares against
+/// the bounded oracle. Returns the number of queries checked.
+pub fn check_bounded(
+    graph: &DataGraph,
+    views: &crate::bview::BoundedViewSet,
+    queries: &[BoundedPattern],
+    engine_cfg: EngineConfig,
+    oracle: &BoundedOracle,
+) -> Result<usize, Box<Divergence>> {
+    let engine = QueryEngine::materialize(ViewSet::new(Vec::new()), graph)
+        .with_config(engine_cfg)
+        .with_bounded_views(views.clone(), graph);
+    for (qi, qb) in queries.iter().enumerate() {
+        let want = oracle(qb, graph);
+        let got = engine.answer_bounded(qb).map_err(|e| {
+            Box::new(Divergence {
+                stage: "engine.answer_bounded",
+                round: None,
+                slot: None,
+                query: qi,
+                detail: format!("engine refused a bounded query the oracle answers: {e:?}"),
+            })
+        })?;
+        if got != want {
+            return Err(Box::new(Divergence {
+                stage: "engine.answer_bounded",
+                round: None,
+                slot: None,
+                query: qi,
+                detail: format!(
+                    "answered {} match pairs, oracle says {} (match sets differ)",
+                    bpairs(&got),
+                    bpairs(&want)
+                ),
+            }));
+        }
+    }
+    Ok(queries.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpv_graph::GraphBuilder;
+    use gpv_matching::match_pattern;
+    use gpv_pattern::PatternBuilder;
+
+    fn tiny_graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let x = b.add_node(["B"]);
+        let c = b.add_node(["C"]);
+        b.add_edge(a, x);
+        b.add_edge(x, c);
+        b.add_edge(c, a);
+        b.build()
+    }
+
+    fn edge_query(src: &str, dst: &str) -> Pattern {
+        let mut b = PatternBuilder::new();
+        let x = b.node_labeled(src);
+        let y = b.node_labeled(dst);
+        b.edge(x, y);
+        b.build().unwrap()
+    }
+
+    fn case_inputs() -> (DataGraph, ViewSet, Vec<Pattern>) {
+        let g = tiny_graph();
+        let queries = vec![edge_query("A", "B"), edge_query("B", "C")];
+        let views = ViewSet::new(vec![
+            ViewDef::new("V1", edge_query("A", "B")),
+            ViewDef::new("V2", edge_query("B", "C")),
+        ]);
+        (g, views, queries)
+    }
+
+    #[test]
+    fn clean_case_passes_and_counts() {
+        let (g, views, queries) = case_inputs();
+        let rounds = vec![vec![0, 1, 0], vec![1, 0]];
+        let updates = vec![vec![ViewDef::new("U1", edge_query("C", "A"))]];
+        let case = DifferentialCase {
+            graph: &g,
+            views: &views,
+            queries: &queries,
+            rounds: &rounds,
+            updates: &updates,
+            shards: 2,
+            engine: EngineConfig::default(),
+            service: ServiceConfig::default(),
+        };
+        let oracle: PlainOracle = Box::new(match_pattern);
+        let report = check_plain(&case, &oracle).expect("no divergence");
+        assert_eq!(report.queries, 2);
+        assert_eq!(report.served, 5);
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.mutations, 1);
+        assert_eq!(
+            report.plans_views_only + report.plans_hybrid + report.plans_direct,
+            2
+        );
+    }
+
+    #[test]
+    fn corrupted_oracle_is_caught() {
+        let (g, views, queries) = case_inputs();
+        let rounds = vec![vec![0, 1]];
+        let case = DifferentialCase {
+            graph: &g,
+            views: &views,
+            queries: &queries,
+            rounds: &rounds,
+            updates: &[],
+            shards: 1,
+            engine: EngineConfig::default(),
+            service: ServiceConfig::default(),
+        };
+        // An oracle that drops one pair must diverge on the first query.
+        let oracle: PlainOracle = Box::new(|q, g| {
+            let mut r = match_pattern(q, g);
+            for set in &mut r.edge_matches {
+                if set.pop().is_some() {
+                    break;
+                }
+            }
+            r
+        });
+        let d = check_plain(&case, &oracle).expect_err("must diverge");
+        assert_eq!(d.stage, "engine.answer");
+        assert_eq!(d.query, 0);
+    }
+}

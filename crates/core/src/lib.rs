@@ -44,6 +44,7 @@ pub mod bview;
 pub mod compact;
 pub mod containment;
 pub mod cost;
+pub mod differential;
 pub mod dualjoin;
 pub mod engine;
 pub mod maintenance;
@@ -67,6 +68,10 @@ pub use bview::{bmaterialize, BoundedViewDef, BoundedViewExtensions, BoundedView
 pub use compact::{CompactBoundedExtensions, CompactBoundedView, CompactExtensions, CompactView};
 pub use containment::{contain, query_contained, view_match, ContainmentPlan, ViewEdgeRef};
 pub use cost::{CostEstimate, CostLog, CostModel, CostSample, SharedCostLog};
+pub use differential::{
+    check_bounded, check_plain, BoundedOracle, DifferentialCase, DifferentialReport, Divergence,
+    PlainOracle,
+};
 pub use dualjoin::{dual_contain, dual_match_join, dual_materialize};
 pub use engine::{BoundedPlan, EngineConfig, EngineError, QueryEngine};
 pub use maintenance::IncrementalView;

@@ -18,6 +18,7 @@
 
 pub mod datasets;
 pub mod patterns;
+pub mod scenario;
 pub mod synthetic;
 pub mod views;
 pub mod youtube_views;
@@ -29,6 +30,10 @@ pub use datasets::{
 pub use patterns::{
     random_bounded_pattern, random_pattern, random_pattern_with_preds, uniform_bounded_pattern,
     uniform_bounded_pattern_with_preds, PatternShape,
+};
+pub use scenario::{
+    check_scenario, check_scenario_with, ExecKnob, GraphSource, QueryMode, Scenario,
+    ScenarioInputs, WeightsKnob, CACHE_STATES,
 };
 pub use synthetic::{densification_graph, random_graph, DEFAULT_ALPHABET};
 pub use views::{

@@ -13,9 +13,10 @@
 use gpv_pattern::{BoundedPattern, Pattern, PatternBuilder, PatternNodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Shape constraint for generated patterns.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PatternShape {
     /// Any connected digraph.
     Any,

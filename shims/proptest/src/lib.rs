@@ -6,7 +6,9 @@
 //! `proptest!` macro, and `prop_assert*` — as a seeded random-case runner.
 //! There is **no shrinking**: a failing case reports its seed and values via
 //! `Debug` instead of minimizing. Cases are deterministic per (test name,
-//! case index), so failures reproduce.
+//! case index), so failures reproduce; every failure message names the
+//! case's seed, and setting `GPV_TEST_SEED=<seed>` re-runs exactly that
+//! case (one iteration, any test name) instead of the full sweep.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -211,14 +213,39 @@ pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>>
     Box::new(s)
 }
 
-/// Deterministic per-(test, case) RNG so failures reproduce.
-pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+/// The deterministic seed for one (test, case) pair. Printed on failure so
+/// `GPV_TEST_SEED=<seed> cargo test <name>` replays exactly that case.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in test_name.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// An RNG from an explicit seed (the replay path).
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The pinned seed from `GPV_TEST_SEED`, if set. When present, `proptest!`
+/// runs a single case from exactly this seed instead of the full sweep.
+/// A non-integer value panics loudly rather than being silently ignored.
+pub fn pinned_seed() -> Option<u64> {
+    let v = std::env::var("GPV_TEST_SEED").ok()?;
+    if v.is_empty() {
+        return None;
+    }
+    Some(
+        v.parse()
+            .unwrap_or_else(|_| panic!("GPV_TEST_SEED must be a u64, got `{v}`")),
+    )
+}
+
+/// Deterministic per-(test, case) RNG so failures reproduce.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    rng_from_seed(case_seed(test_name, case))
 }
 
 /// Uniform choice between strategies of a common value type.
@@ -301,21 +328,51 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
-            for __case in 0..__cfg.cases {
-                let mut __rng = $crate::case_rng(stringify!($name), __case);
+            let __pinned = $crate::pinned_seed();
+            let __total = if __pinned.is_some() { 1 } else { __cfg.cases };
+            for __case in 0..__total {
+                let __seed = match __pinned {
+                    ::std::option::Option::Some(s) => s,
+                    ::std::option::Option::None => $crate::case_seed(stringify!($name), __case),
+                };
+                let mut __rng = $crate::rng_from_seed(__seed);
                 $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)*
                 let __result: ::std::result::Result<(), $crate::TestCaseError> =
                     (|| { $body ::std::result::Result::Ok(()) })();
                 if let ::std::result::Result::Err(__e) = __result {
                     panic!(
-                        "proptest `{}` failed at case {}/{}: {}",
+                        "proptest `{}` failed at case {}/{} (rerun this case with GPV_TEST_SEED={}): {}",
                         stringify!($name),
                         __case,
-                        __cfg.cases,
+                        __total,
+                        __seed,
                         __e
                     );
                 }
             }
         }
     )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seed_is_deterministic_and_name_sensitive() {
+        assert_eq!(case_seed("t", 3), case_seed("t", 3));
+        assert_ne!(case_seed("t", 3), case_seed("t", 4));
+        assert_ne!(case_seed("t", 3), case_seed("u", 3));
+    }
+
+    #[test]
+    fn pinned_seed_env_roundtrip() {
+        // This crate's test binary has no other env-sensitive tests, so
+        // mutating the process env here is safe.
+        std::env::remove_var("GPV_TEST_SEED");
+        assert_eq!(pinned_seed(), None);
+        std::env::set_var("GPV_TEST_SEED", "12345");
+        assert_eq!(pinned_seed(), Some(12345));
+        std::env::remove_var("GPV_TEST_SEED");
+    }
 }

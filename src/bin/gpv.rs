@@ -16,6 +16,7 @@
 //! gpv advise   --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
 //!              [--budget N]
 //! gpv minimize --pattern Q.txt
+//! gpv fuzz     [--iterations N] [--seed S] [--repro '<json>']
 //! ```
 //!
 //! `answer` and `plan` go through the unified [`core::QueryEngine`]: the
@@ -62,6 +63,26 @@
 //! the *unselected* resident views by arena bytes as eviction candidates
 //! ([`core::ViewStore::eviction_advice`]).
 //!
+//! `fuzz` is the differential scenario harness (see `docs/TESTING.md`):
+//! each iteration samples a `gpv_generator::Scenario` — graph emulator +
+//! scale, query shapes, zipfian serving schedule, view coverage, store
+//! mutations, and the full engine/service configuration (query mode,
+//! executor + granularity, threads, chunk size, cost weights, cache
+//! budgets, recalibration cadence) — deterministically from `--seed`, runs
+//! it through `QueryEngine` *and* `ViewService`, and asserts bit-exact
+//! agreement with naive `match_pattern` / `bmatch_pattern` on every
+//! answer. A divergence prints the scenario's one-line JSON and the exact
+//! `gpv fuzz --repro '<json>'` command that replays it. Setting
+//! `GPV_FUZZ_INJECT=1` corrupts the oracle on purpose (test-only) to prove
+//! the harness catches and reproduces divergences.
+//!
+//! `--exec auto|seq|par` (answer/plan/serve/advise) overrides the cost
+//! model's executor choice: `seq` forces the sequential executor, `par`
+//! forces the parallel one — chunked granularity when `--chunk-pairs` is
+//! given, per-edge otherwise. This is how the golden EXPLAIN tests pin
+//! `parallel(T, chunked:N)` plans on fixtures far too small for the cost
+//! gate to pick them.
+//!
 //! Graphs use the `gpv-graph` text format (`node <id> <labels> [k=v ...]` /
 //! `edge <src> <dst>`); patterns use the `gpv-pattern` format
 //! (`node <name> <condition>` / `edge <src> <dst> [bound]`).
@@ -88,15 +109,19 @@ struct Args {
     result_cache_mb: usize,
     store_dir: Option<String>,
     budget: Option<usize>,
+    exec: String,
+    iterations: usize,
+    seed: u64,
+    repro: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|advise|minimize> \
+        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|advise|minimize|fuzz> \
          [--graph F] [--pattern F]... [--view F]... [--bounded] [--dual] \
-         [--select auto|all|minimal|minimum] [--threads N] [--chunk-pairs N] [--calibrated] \
-         [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain] \
-         [--store-dir D] [--budget N]"
+         [--select auto|all|minimal|minimum] [--exec auto|seq|par] [--threads N] [--chunk-pairs N] \
+         [--calibrated] [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain] \
+         [--store-dir D] [--budget N] [--iterations N] [--seed S] [--repro JSON]"
     );
     ExitCode::from(2)
 }
@@ -119,6 +144,10 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         result_cache_mb: 64,
         store_dir: None,
         budget: None,
+        exec: "auto".into(),
+        iterations: 25,
+        seed: 42,
+        repro: None,
     };
     let mut i = 0;
     let uint = |flag: &str, v: Option<&String>| -> Result<usize, String> {
@@ -180,6 +209,26 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--budget" => {
                 a.budget = Some(uint("--budget", rest.get(i + 1))?);
+                i += 2;
+            }
+            "--exec" => {
+                a.exec = rest.get(i + 1).ok_or("--exec needs a mode")?.clone();
+                i += 2;
+            }
+            "--iterations" => {
+                a.iterations = uint("--iterations", rest.get(i + 1))?.max(1);
+                i += 2;
+            }
+            "--seed" => {
+                a.seed = rest
+                    .get(i + 1)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+                i += 2;
+            }
+            "--repro" => {
+                a.repro = Some(rest.get(i + 1).ok_or("--repro needs a JSON line")?.clone());
                 i += 2;
             }
             "--bounded" => {
@@ -369,6 +418,7 @@ fn run() -> Result<(), String> {
         "calibrate" => calibrate(&a)?,
         "serve" => serve(&a)?,
         "advise" => advise(&a)?,
+        "fuzz" => fuzz(&a)?,
         "minimize" => {
             let qb = load_query(&a)?;
             let q = require_plain(&qb, "pattern")?;
@@ -653,6 +703,120 @@ fn advise(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `fuzz` command: the differential scenario harness. Samples
+/// deterministic scenarios, runs each through the engine and the service
+/// under the scenario's configuration, and asserts every answer equals the
+/// naive-oracle's. Any divergence prints the one-line JSON repro.
+fn fuzz(a: &Args) -> Result<(), String> {
+    use gpv_core::differential::{BoundedOracle, DifferentialReport, PlainOracle};
+    use gpv_generator::{check_scenario_with, Scenario};
+    use std::collections::BTreeSet;
+
+    // Test-only hook (exercised by tests/cli.rs and documented in
+    // docs/TESTING.md): corrupt the oracle so every scenario diverges,
+    // proving divergences are caught and reproduce from the printed JSON.
+    let inject = std::env::var("GPV_FUZZ_INJECT").is_ok_and(|v| !v.is_empty() && v != "0");
+    let oracle: PlainOracle = if inject {
+        Box::new(|q, g| {
+            let mut r = gpv_matching::simulation::match_pattern(q, g);
+            // Drop one pair, or fabricate one if every set is empty, so
+            // the corruption is visible on every query.
+            if !r.edge_matches.iter_mut().any(|s| s.pop().is_some()) {
+                if let Some(s) = r.edge_matches.first_mut() {
+                    s.push((gpv_graph::NodeId(0), gpv_graph::NodeId(0)));
+                }
+            }
+            r
+        })
+    } else {
+        Box::new(gpv_matching::simulation::match_pattern)
+    };
+    let boracle: BoundedOracle = Box::new(gpv_matching::bounded::bmatch_pattern);
+    if inject {
+        println!("warning: GPV_FUZZ_INJECT set -- oracle deliberately corrupted (test-only)");
+    }
+
+    let run_one = |sc: &Scenario| -> Result<DifferentialReport, String> {
+        check_scenario_with(sc, &oracle, &boracle).map_err(|d| {
+            println!("DIVERGENCE: {d}");
+            println!("scenario: {}", sc.to_json_line());
+            println!("repro: {}", sc.repro_command());
+            "divergence found (repro line above)".to_string()
+        })
+    };
+
+    if let Some(json) = &a.repro {
+        let sc = Scenario::from_json_line(json)?;
+        let r = run_one(&sc)?;
+        println!(
+            "repro ok: {} queries, {} answers over {} rounds, {} store mutations, {} bounded -- all matched the oracle",
+            r.queries, r.served, r.rounds, r.mutations, r.bounded_queries
+        );
+        return Ok(());
+    }
+
+    let mut totals = DifferentialReport::default();
+    let mut modes: BTreeSet<String> = BTreeSet::new();
+    let mut execs: BTreeSet<String> = BTreeSet::new();
+    let mut weights: BTreeSet<String> = BTreeSet::new();
+    let mut caches: BTreeSet<usize> = BTreeSet::new();
+    for i in 0..a.iterations as u64 {
+        let sc = Scenario::sample(a.seed, i);
+        modes.insert(format!("{:?}", sc.mode));
+        execs.insert(format!("{:?}", sc.exec));
+        weights.insert(
+            if sc.cost_model().calibrated {
+                "Calibrated"
+            } else {
+                "Default"
+            }
+            .to_string(),
+        );
+        caches.insert(sc.result_cache_bytes);
+        let r = run_one(&sc)?;
+        totals.absorb(&r);
+        println!(
+            "fuzz {i:>3}: mode={:?} exec={:?} weights={:?} cache={}B threads={} -- ok ({} answers, plans v/h/d {}/{}/{})",
+            sc.mode,
+            sc.exec,
+            sc.weights,
+            sc.result_cache_bytes,
+            sc.threads,
+            r.served,
+            r.plans_views_only,
+            r.plans_hybrid,
+            r.plans_direct
+        );
+    }
+    let join = |s: &BTreeSet<String>| s.iter().cloned().collect::<Vec<_>>().join(",");
+    println!("---");
+    println!(
+        "fuzz: {} scenarios from seed {} -- engine and service matched match_pattern on every sample",
+        a.iterations, a.seed
+    );
+    println!(
+        "coverage: modes=[{}] execs=[{}] weights=[{}] caches={:?}",
+        join(&modes),
+        join(&execs),
+        join(&weights),
+        caches.iter().collect::<Vec<_>>()
+    );
+    println!(
+        "checked: {} distinct queries, {} served answers, {} rounds, {} store mutations, {} bounded queries; plans views-only/hybrid/direct = {}/{}/{}; cache hits plan/result = {}/{}",
+        totals.queries,
+        totals.served,
+        totals.rounds,
+        totals.mutations,
+        totals.bounded_queries,
+        totals.plans_views_only,
+        totals.plans_hybrid,
+        totals.plans_direct,
+        totals.plan_cache_hits,
+        totals.result_cache_hits
+    );
+    Ok(())
+}
+
 fn engine_config(a: &Args) -> Result<core::EngineConfig, String> {
     let force_selection = match a.select.as_str() {
         "auto" => None,
@@ -661,10 +825,25 @@ fn engine_config(a: &Args) -> Result<core::EngineConfig, String> {
         "minimum" => Some(core::SelectionMode::Minimum),
         other => return Err(format!("unknown --select mode `{other}`")),
     };
+    let force_exec = match a.exec.as_str() {
+        "auto" => None,
+        "seq" => Some(core::ExecStrategy::Sequential(
+            core::JoinStrategy::RankedBottomUp,
+        )),
+        "par" => Some(core::ExecStrategy::Parallel {
+            threads: a.threads,
+            granularity: match a.chunk_pairs {
+                Some(cp) => core::ParGranularity::Chunked { chunk_pairs: cp },
+                None => core::ParGranularity::PerEdge,
+            },
+        }),
+        other => return Err(format!("unknown --exec mode `{other}`")),
+    };
     Ok(core::EngineConfig {
         threads: a.threads,
         chunk_pairs: a.chunk_pairs,
         force_selection,
+        force_exec,
         ..core::EngineConfig::default()
     })
 }

@@ -1,0 +1,110 @@
+//! Edge-case coverage for the workload advisor (`QueryEngine::advise_views`)
+//! and the eviction ranker (`ViewStore::eviction_advice`): empty stores,
+//! zero budgets, and workloads that pin every resident view.
+
+use gpv_generator::{covering_views, random_graph, random_pattern, PatternShape};
+use graph_views::prelude::*;
+use graph_views::views::store::ViewStore;
+
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+
+/// One-edge pattern `A -> B` etc., used to build views that each cover
+/// exactly one workload query.
+fn edge_pattern(src: &str, dst: &str) -> Pattern {
+    let mut b = PatternBuilder::new();
+    let u = b.node_labeled(src);
+    let v = b.node_labeled(dst);
+    b.edge(u, v);
+    b.build().unwrap()
+}
+
+/// An empty store has nothing to evict, whatever the advisor claims to
+/// need — including ids that were never handed out.
+#[test]
+fn empty_store_yields_no_eviction_advice() {
+    let g = random_graph(20, 50, &LABELS, 11);
+    let store = ViewStore::for_graph(&g, 4);
+    assert!(store.eviction_advice(&[]).is_empty());
+    assert!(store.eviction_advice(&[0, 1, 99]).is_empty());
+
+    // The advisor over an empty registry: nothing to keep, nothing
+    // answered, whatever the budget.
+    let engine = QueryEngine::materialize(ViewSet::default(), &g);
+    let q = random_pattern(3, 4, &LABELS, PatternShape::Any, 13);
+    let sel = engine.advise_views(std::slice::from_ref(&q), 8, None);
+    assert!(sel.views.is_empty());
+    assert_eq!(sel.answered, vec![false]);
+    assert_eq!(sel.answered_weight, 0.0);
+}
+
+/// A zero view budget keeps nothing: every workload query goes unanswered
+/// and every resident view becomes an eviction candidate, ranked by
+/// resident bytes descending.
+#[test]
+fn zero_budget_marks_every_view_evictable() {
+    let g = random_graph(30, 90, &LABELS, 17);
+    let queries: Vec<Pattern> = (0..3)
+        .map(|i| random_pattern(3, 4, &LABELS, PatternShape::Any, 100 + i))
+        .collect();
+    let views = covering_views(&queries, 2, 19);
+    let n_views = views.card();
+    assert!(n_views > 0, "covering_views produced an empty set");
+
+    let engine = QueryEngine::materialize(views.clone(), &g);
+    let sel = engine.advise_views(&queries, 0, None);
+    assert!(sel.views.is_empty(), "budget 0 must keep nothing");
+    assert!(sel.answered.iter().all(|&a| !a));
+    assert_eq!(sel.answered_weight, 0.0);
+
+    // With nothing needed, the ranker lists the whole store, largest
+    // resident footprint first (ties broken by id ascending).
+    let store = ViewStore::materialize(views, &g, 4);
+    let advice = store.eviction_advice(&[]);
+    assert_eq!(advice.len(), n_views);
+    for w in advice.windows(2) {
+        assert!(
+            w[0].resident_bytes > w[1].resident_bytes
+                || (w[0].resident_bytes == w[1].resident_bytes && w[0].id < w[1].id),
+            "advice out of order: {:?} before {:?}",
+            (w[0].id, w[0].resident_bytes),
+            (w[1].id, w[1].resident_bytes),
+        );
+    }
+}
+
+/// When the workload needs every resident view, the advisor keeps them all
+/// and the eviction ranker has nothing left to suggest.
+#[test]
+fn all_views_needed_workload_yields_empty_advice() {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node(["A"]);
+    let c = b.add_node(["B"]);
+    let d = b.add_node(["C"]);
+    b.add_edge(a, c);
+    b.add_edge(c, d);
+    let g = b.build();
+
+    // Two single-edge queries, one view covering each: the greedy advisor
+    // must keep both to answer both.
+    let q1 = edge_pattern("A", "B");
+    let q2 = edge_pattern("B", "C");
+    let views = ViewSet::new(vec![
+        ViewDef::new("ab", q1.clone()),
+        ViewDef::new("bc", q2.clone()),
+    ]);
+    let workload = [q1, q2];
+
+    let engine = QueryEngine::materialize(views.clone(), &g);
+    let sel = engine.advise_views(&workload, 2, None);
+    assert_eq!(sel.views, vec![0, 1], "both views earn their keep");
+    assert!(sel.answered.iter().all(|&a| a));
+
+    // `ViewStore::materialize` assigns ids in view order, so the selected
+    // indices are the store ids the workload pins.
+    let store = ViewStore::materialize(views, &g, 2);
+    let needed: Vec<u64> = sel.views.iter().map(|&i| i as u64).collect();
+    assert!(
+        store.eviction_advice(&needed).is_empty(),
+        "nothing evictable when the workload needs every view"
+    );
+}

@@ -381,6 +381,51 @@ fn plan_explain_matches_golden() {
     );
 }
 
+/// Golden-file contract for the parallel-executor EXPLAIN lines: `--exec
+/// par` pins `parallel(T, per-edge)`, and each `--chunk-pairs` setting pins
+/// `parallel(T, chunked:N)` — the chunk size is part of the plan IR, so a
+/// chunking change that leaks into EXPLAIN must be a deliberate golden
+/// edit. The forced executor changes only the `execute:` line; sources,
+/// cost and weights stay identical to the auto plan.
+#[test]
+fn plan_explain_parallel_matches_golden() {
+    let g = write_tmp("goldp-g.txt", GRAPH);
+    let q = write_tmp("goldp-q.txt", QUERY);
+    let v1 = write_tmp("goldp-v1.txt", VIEW1);
+    let v2 = write_tmp("goldp-v2.txt", VIEW2);
+    let run = |extra: &[&str]| -> String {
+        let mut cmd = gpv();
+        cmd.args(["plan", "--graph", g.to_str().unwrap()]);
+        cmd.args(["--pattern", q.to_str().unwrap()]);
+        cmd.args(["--view", v1.to_str().unwrap()]);
+        cmd.args(["--view", v2.to_str().unwrap()]);
+        cmd.args(["--exec", "par", "--threads", "8"]);
+        cmd.args(extra);
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(
+        run(&[]),
+        include_str!("golden/plan_parallel_per_edge.txt"),
+        "per-edge parallel EXPLAIN drifted; update tests/golden/ deliberately"
+    );
+    assert_eq!(
+        run(&["--chunk-pairs", "64"]),
+        include_str!("golden/plan_parallel_chunked_64.txt"),
+        "chunked:64 EXPLAIN drifted; update tests/golden/ deliberately"
+    );
+    assert_eq!(
+        run(&["--chunk-pairs", "65536"]),
+        include_str!("golden/plan_parallel_chunked_65536.txt"),
+        "chunked:65536 EXPLAIN drifted; update tests/golden/ deliberately"
+    );
+}
+
 /// `gpv calibrate` fits measured weights and reports the error reduction.
 #[test]
 fn calibrate_command_reports_fit() {
@@ -615,4 +660,125 @@ fn advise_reports_selection_and_eviction_candidates() {
     assert!(s.contains("unanswered "), "{s}");
     assert!(s.contains("evict "), "{s}");
     assert!(s.contains("bytes resident"), "{s}");
+}
+
+/// `advise --budget 0` is a legal degenerate request: keep nothing, answer
+/// nothing, and flag every resident view as an eviction candidate.
+#[test]
+fn advise_zero_budget_keeps_nothing() {
+    let g = write_tmp("adv0-g.txt", GRAPH);
+    let q = write_tmp("adv0-q.txt", QUERY);
+    let v1 = write_tmp("adv0-v1.txt", VIEW1);
+    let v2 = write_tmp("adv0-v2.txt", VIEW2);
+
+    let out = gpv()
+        .args([
+            "advise",
+            "--graph",
+            g.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--budget",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        s.contains("keep 0 of 2 views (budget 0), answering 0/1 workload queries"),
+        "{s}"
+    );
+    assert!(!s.contains("\nkeep "), "budget 0 must keep no views: {s}");
+    assert!(s.contains("unanswered "), "{s}");
+    // Both resident views are eviction candidates.
+    assert_eq!(s.matches("evict ").count(), 2, "{s}");
+}
+
+/// `gpv fuzz` smoke: a short deterministic sweep passes and reports both
+/// the per-sample matrix coverage and the aggregate differential totals.
+#[test]
+fn fuzz_smoke_passes_and_reports_coverage() {
+    let out = gpv()
+        .args(["fuzz", "--iterations", "10", "--seed", "7"])
+        .env_remove("GPV_FUZZ_INJECT")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        s.contains("engine and service matched match_pattern on every sample"),
+        "{s}"
+    );
+    assert!(s.contains("coverage: modes=["), "{s}");
+    assert!(s.contains("checked: "), "{s}");
+}
+
+/// The acceptance loop for the harness itself: a deliberately injected
+/// divergence (test-only oracle corruption via `GPV_FUZZ_INJECT`) is
+/// caught, prints a one-line JSON scenario, and that exact line replayed
+/// through `gpv fuzz --repro` reproduces the divergence — and passes clean
+/// once the corruption is removed.
+#[test]
+fn fuzz_injected_divergence_reproduces_from_printed_json() {
+    let out = gpv()
+        .args(["fuzz", "--iterations", "2", "--seed", "7"])
+        .env("GPV_FUZZ_INJECT", "1")
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "injected corruption must be caught");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("DIVERGENCE: "), "{s}");
+    let json = s
+        .lines()
+        .find_map(|l| l.strip_prefix("scenario: "))
+        .unwrap_or_else(|| panic!("no scenario repro line in:\n{s}"))
+        .to_string();
+
+    // The printed JSON replays the divergence under the corrupted oracle...
+    let bad = gpv()
+        .args(["fuzz", "--repro", &json])
+        .env("GPV_FUZZ_INJECT", "1")
+        .output()
+        .unwrap();
+    assert!(
+        !bad.status.success(),
+        "repro must re-trigger the divergence"
+    );
+    assert!(
+        String::from_utf8_lossy(&bad.stdout).contains("DIVERGENCE: "),
+        "{}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+
+    // ...and passes clean against the honest oracle.
+    let good = gpv()
+        .args(["fuzz", "--repro", &json])
+        .env_remove("GPV_FUZZ_INJECT")
+        .output()
+        .unwrap();
+    assert!(
+        good.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&good.stdout),
+        String::from_utf8_lossy(&good.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&good.stdout).contains("repro ok: "),
+        "{}",
+        String::from_utf8_lossy(&good.stdout)
+    );
 }

@@ -405,3 +405,25 @@ fn cheap_scan_calibration_emits_mixed_sources() {
     let default_engine = QueryEngine::materialize(views, &g);
     assert!(!default_engine.plan(&q).needs_graph());
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scenario-driven differential sweep: a `Scenario` sampled from a
+    /// random (master seed, index) pair bundles every knob — graph source,
+    /// query mode, executor, weights, cache state — and the differential
+    /// checker asserts the engine and service agree bit-exactly with
+    /// `match_pattern` on all of it. Failures print the scenario's
+    /// one-line JSON and the exact `gpv fuzz --repro` command.
+    #[test]
+    fn scenario_differential_matches_oracle(master in any::<u64>(), idx in 0u64..60) {
+        let sc = gpv_generator::Scenario::sample(master, idx);
+        if let Err(d) = gpv_generator::check_scenario(&sc) {
+            return Err(TestCaseError::fail(format!(
+                "{d}\nscenario: {}\nrepro: {}",
+                sc.to_json_line(),
+                sc.repro_command()
+            )));
+        }
+    }
+}

@@ -179,7 +179,7 @@ fn strict_mode_refuses_uncovered_queries() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The acceptance property: for random (graph, views, queries), a
     /// duplicated service batch answers byte-identically to sequential
@@ -250,42 +250,53 @@ proptest! {
             .map(|&s| random_pattern(3, 4, &LABELS, PatternShape::Any, s))
             .collect();
         let views = covering_views(&queries, 2, vseed);
-        let store = std::sync::Arc::new(ViewStore::materialize(views, &g, shards));
-        let svc = ViewService::with_config(
-            store,
-            graph_views::views::ServiceConfig {
-                recalibrate_every: 1,
-                ..Default::default()
-            },
-        );
         let mut batch: Vec<Pattern> = queries.clone();
         batch.extend(queries.iter().cloned());
-        for round in 0..4u64 {
-            // Ground truth rebuilt from the *current* store state each
-            // round, so cached answers are checked against what a fresh
-            // sequential engine computes now.
-            let engine = QueryEngine::from_snapshot(&svc.store().snapshot());
-            let answers = svc.serve_batch(&batch, Some(&g));
-            for (i, r) in answers.iter().enumerate() {
-                let a = r.as_ref().expect("graph fallback always answers");
-                let expected = engine.answer(&batch[i], &g).unwrap();
-                prop_assert_eq!(
-                    &*a.result, &expected,
-                    "round {} slot {} diverged", round, i
-                );
+        // Sweep the result-cache budget across disabled, tiny (constant
+        // eviction churn), and the 64 MiB default: cold, thrashing, and
+        // hot cache states all face the same mutation + recalibration
+        // differential, with a fresh store and service per budget.
+        for rcb in [0usize, 4096, 64 << 20] {
+            let store = std::sync::Arc::new(ViewStore::materialize(views.clone(), &g, shards));
+            let svc = ViewService::with_config(
+                store,
+                graph_views::views::ServiceConfig {
+                    recalibrate_every: 1,
+                    result_cache_bytes: rcb,
+                    ..Default::default()
+                },
+            );
+            for round in 0..4u64 {
+                // Ground truth rebuilt from the *current* store state each
+                // round, so cached answers are checked against what a fresh
+                // sequential engine computes now.
+                let engine = QueryEngine::from_snapshot(&svc.store().snapshot());
+                let answers = svc.serve_batch(&batch, Some(&g));
+                for (i, r) in answers.iter().enumerate() {
+                    let a = r.as_ref().expect("graph fallback always answers");
+                    let expected = engine.answer(&batch[i], &g).unwrap();
+                    prop_assert_eq!(
+                        &*a.result, &expected,
+                        "round {} slot {} diverged at cache budget {}", round, i, rcb
+                    );
+                }
+                // Mutate the store between rounds: the version bump must
+                // invalidate every cached answer exactly.
+                let extra = random_pattern(2, 2, &LABELS, PatternShape::Any, vseed ^ (round + 1));
+                svc.store()
+                    .insert(ViewDef::new(format!("m{round}"), extra), &g)
+                    .unwrap();
             }
-            // Mutate the store between rounds: the version bump must
-            // invalidate every cached answer exactly.
-            let extra = random_pattern(2, 2, &LABELS, PatternShape::Any, vseed ^ (round + 1));
-            svc.store()
-                .insert(ViewDef::new(format!("m{round}"), extra), &g)
-                .unwrap();
+            // Repeats inside each round's batch reuse work via dedup or the
+            // result cache; across mutated rounds nothing stale ever hit, but
+            // the identical second half of each batch guarantees reuse fired
+            // even with the result cache disabled outright.
+            let stats = svc.stats();
+            prop_assert!(
+                stats.dedup_saved + stats.result_cache_hits > 0,
+                "no reuse at cache budget {}", rcb
+            );
         }
-        // Repeats inside each round's batch reuse work via dedup or the
-        // result cache; across mutated rounds nothing stale ever hit, but
-        // the identical second half of each batch guarantees reuse fired.
-        let stats = svc.stats();
-        prop_assert!(stats.dedup_saved + stats.result_cache_hits > 0);
     }
 
     /// Serving through a store round-tripped to/from the durable cache
@@ -479,4 +490,29 @@ fn strict_mode_serves_cost_based_hybrids_without_graph() {
     // Without the graph: still answered (view-source fallback; the cached
     // answer is graph-optional, so serving it strictly is sound).
     assert_eq!(*svc.serve(&q, None).unwrap().result, truth);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Scenario-driven serving sweep biased toward churn: every sampled
+    /// scenario is forced onto the hard path — multiple rounds, a store
+    /// mutation after each one, recalibration every batch — and the
+    /// differential checker asserts the served answers stay bit-exact
+    /// against `match_pattern` throughout. Failures print the scenario's
+    /// one-line JSON and the exact `gpv fuzz --repro` command.
+    #[test]
+    fn scenario_serving_matches_oracle_under_mutation(master in any::<u64>(), idx in 0u64..60) {
+        let mut sc = gpv_generator::Scenario::sample(master, idx);
+        sc.rounds = 4;
+        sc.updates_per_round = 1;
+        sc.recalibrate_every = 1;
+        if let Err(d) = gpv_generator::check_scenario(&sc) {
+            return Err(TestCaseError::fail(format!(
+                "{d}\nscenario: {}\nrepro: {}",
+                sc.to_json_line(),
+                sc.repro_command()
+            )));
+        }
+    }
 }

@@ -152,3 +152,40 @@ fn corrupt_shard_files_fail_cleanly() {
     assert!(ViewStore::load_from_dir(&dir).is_ok());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Scenario-driven persistence sweep: materialize a sampled scenario's
+    /// view set, round-trip it through the on-disk shard format, and serve
+    /// the scenario's first batch from the reloaded store — every answer
+    /// must stay bit-exact against `match_pattern`. Failures print the
+    /// scenario's one-line JSON and the `gpv fuzz --repro` command.
+    #[test]
+    fn scenario_store_roundtrip_serves_oracle(master in any::<u64>(), idx in 0u64..60) {
+        let sc = gpv_generator::Scenario::sample(master, idx);
+        let inputs = sc.materialize();
+        let store = ViewStore::materialize(inputs.views.clone(), &inputs.graph, sc.shards);
+        let dir = scratch_dir();
+        store.save_to_dir(&dir).unwrap();
+        let loaded = Arc::new(ViewStore::load_from_dir(&dir).unwrap());
+        let svc = ViewService::with_config(loaded, sc.service_config());
+        let batch: Vec<Pattern> = inputs.rounds[0]
+            .iter()
+            .map(|&i| inputs.queries[i].clone())
+            .collect();
+        for (slot, served) in svc.serve_batch(&batch, Some(&inputs.graph)).into_iter().enumerate() {
+            let got = served.expect("reloaded store serves the scenario batch");
+            let want = match_pattern(&batch[slot], &inputs.graph);
+            prop_assert_eq!(
+                &*got.result,
+                &want,
+                "slot {} diverged after the shard round-trip\nscenario: {}\nrepro: {}",
+                slot,
+                sc.to_json_line(),
+                sc.repro_command()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
