@@ -136,6 +136,8 @@ fn row_scenario(
         batch_len,
         rounds,
         updates_per_round: 0,
+        delta_batch_len: 0,
+        delete_ratio: 0.0,
         coverage: 1.0,
         max_fragment: 3,
         mode,
@@ -1233,6 +1235,182 @@ pub fn service_experiment(scale: Scale, seed: u64) -> ExperimentResult {
     }
 }
 
+/// Maintenance bench: sustained edge-update throughput interleaved with
+/// serving. Each row fixes a delta batch size and replays the same
+/// scenario twice: the **delta** series routes every update batch through
+/// [`ViewService::apply_delta`](gpv_core::service::ViewService::apply_delta)
+/// (footprint detection, warm incremental maintainers, selective
+/// re-freeze, MVCC publish), while the **rebuild** baseline does what the
+/// pre-delta pipeline had to — rematerialize the whole store from the
+/// post-delta graph and restart serving on a cold service. The workload
+/// (graph, views, serve schedule, delta stream) is a [`Scenario`], and its
+/// one-line JSON rides on the row so `gpv fuzz --repro` replays the exact
+/// configuration class as a differential check.
+pub fn maintenance_experiment(scale: Scale, seed: u64) -> ExperimentResult {
+    use gpv_core::service::ViewService;
+    use gpv_core::store::ViewStore;
+    use gpv_graph::NodeId;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    let n = scale.nodes(200_000);
+    // Enough rounds that the one-time warm-up (cold maintainer promotion on
+    // the first delta that touches each view) amortizes and the row measures
+    // sustained maintenance throughput, not start-up cost.
+    const ROUNDS: usize = 12;
+    let mut rows = Vec::new();
+    // Three mixed rows sweep batch size at a 50/50 insert/delete mix; the
+    // final row is delete-only, the truly-incremental case (deletions
+    // propagate through warm supports without any recompute).
+    for (delta_batch_len, delete_ratio) in [(1usize, 0.5), (8, 0.5), (64, 0.5), (64, 1.0)] {
+        let sc = Scenario {
+            seed: seed + delta_batch_len as u64,
+            graph: GraphSource::Synthetic {
+                nodes: n,
+                edges: 2 * n,
+                labels: DEFAULT_ALPHABET.len(),
+            },
+            queries: 6,
+            query_nodes: 4,
+            query_edges: 6,
+            shape: PatternShape::Any,
+            max_bound: 1,
+            zipf_s: 0.0,
+            batch_len: 8,
+            rounds: ROUNDS,
+            updates_per_round: 0,
+            delta_batch_len,
+            delete_ratio,
+            coverage: 1.0,
+            max_fragment: 3,
+            mode: QueryMode::Minimal,
+            exec: ExecKnob::Sequential,
+            threads: 1,
+            chunk_pairs: 0,
+            weights: WeightsKnob::Default,
+            recalibrate_every: 0,
+            result_cache_bytes: 64 << 20,
+            plan_cache_capacity: 4096,
+            shards: 8,
+        };
+        let inputs = sc.materialize();
+        let round_batch = |r: usize| -> Vec<Pattern> {
+            inputs.rounds[r]
+                .iter()
+                .map(|&qi| inputs.queries[qi].clone())
+                .collect()
+        };
+        let updates: usize = inputs
+            .deltas
+            .iter()
+            .map(|d| d.inserts.len() + d.deletes.len())
+            .sum();
+
+        // Delta series: one long-lived service; every update batch goes
+        // through the incremental pipeline, caches survive across rounds.
+        let mut refrozen = 0usize;
+        let mut delta_update_s = 0.0f64;
+        let delta_wall = {
+            let store = Arc::new(ViewStore::materialize(
+                inputs.views.clone(),
+                &inputs.graph,
+                sc.shards,
+            ));
+            let service = ViewService::new(store);
+            let mut current = inputs.graph.clone();
+            secs(|| {
+                for r in 0..ROUNDS {
+                    let batch = round_batch(r);
+                    for res in service.serve_batch(&batch, Some(&current)) {
+                        std::hint::black_box(res.expect("batch serves"));
+                    }
+                    if let Some(d) = inputs.deltas.get(r).filter(|d| !d.is_empty()) {
+                        let t = Instant::now();
+                        let rep = service.apply_delta(d, &current).expect("delta applies");
+                        delta_update_s += t.elapsed().as_secs_f64();
+                        refrozen += rep.changed.len();
+                        current = rep.graph;
+                    }
+                }
+            })
+        };
+
+        // Rebuild baseline: the same rounds and deltas, but every update
+        // batch pays a full store rematerialization from the post-delta
+        // graph plus a cold service (no surviving caches) — the only
+        // option before the delta pipeline existed.
+        let mut rebuild_update_s = 0.0f64;
+        let rebuild_wall = {
+            let mut current = inputs.graph.clone();
+            let mut service = ViewService::new(Arc::new(ViewStore::materialize(
+                inputs.views.clone(),
+                &current,
+                sc.shards,
+            )));
+            secs(|| {
+                for r in 0..ROUNDS {
+                    let batch = round_batch(r);
+                    for res in service.serve_batch(&batch, Some(&current)) {
+                        std::hint::black_box(res.expect("batch serves"));
+                    }
+                    if let Some(d) = inputs.deltas.get(r).filter(|d| !d.is_empty()) {
+                        let t = Instant::now();
+                        let mut edges: BTreeSet<(NodeId, NodeId)> = current.edges().collect();
+                        for e in &d.deletes {
+                            edges.remove(e);
+                        }
+                        for e in &d.inserts {
+                            edges.insert(*e);
+                        }
+                        let edges: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+                        current = current.with_edges(&edges);
+                        service = ViewService::new(Arc::new(ViewStore::materialize(
+                            inputs.views.clone(),
+                            &current,
+                            sc.shards,
+                        )));
+                        rebuild_update_s += t.elapsed().as_secs_f64();
+                    }
+                }
+            })
+        };
+
+        rows.push(Row {
+            scenario: Some(sc.to_json_line()),
+            x: if delete_ratio >= 1.0 {
+                format!("{delta_batch_len}-del")
+            } else {
+                format!("{delta_batch_len}")
+            },
+            series: vec![
+                ("delta_wall_s".into(), delta_wall),
+                ("rebuild_wall_s".into(), rebuild_wall),
+                (
+                    "delta_updates_per_s".into(),
+                    updates as f64 / delta_update_s.max(1e-9),
+                ),
+                (
+                    "rebuild_updates_per_s".into(),
+                    updates as f64 / rebuild_update_s.max(1e-9),
+                ),
+                ("updates_applied".into(), updates as f64),
+                ("views_refrozen".into(), refrozen as f64),
+                (
+                    "maintenance_speedup".into(),
+                    rebuild_update_s / delta_update_s.max(1e-9),
+                ),
+            ],
+        });
+    }
+    ExperimentResult {
+        host: Some(HostInfo::probe()),
+        id: "maintenance".into(),
+        title: "Delta maintenance: incremental apply_delta vs full store rebuild".into(),
+        unit: "mixed".into(),
+        rows,
+    }
+}
+
 /// Checks that a bounded workload is contained (used by tests).
 pub fn sanity_bounded(qb: &BoundedPattern, views: &BoundedViewSet) -> bool {
     bcontain(qb, views).is_some()
@@ -1363,6 +1541,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<ExperimentResult> {
         fig8l(scale, seed),
         engine_experiment(scale, seed),
         service_experiment(scale, seed),
+        maintenance_experiment(scale, seed),
     ]
 }
 
@@ -1383,6 +1562,7 @@ pub fn run_one(id: &str, scale: Scale, seed: u64) -> Option<ExperimentResult> {
         "fig8l" => fig8l(scale, seed),
         "engine" => engine_experiment(scale, seed),
         "service" => service_experiment(scale, seed),
+        "maintenance" => maintenance_experiment(scale, seed),
         _ => return None,
     })
 }
@@ -1515,7 +1695,43 @@ mod tests {
     fn run_one_dispatch() {
         assert!(run_one("fig8g", tiny(), 1).is_some());
         assert!(run_one("service", tiny(), 1).is_some());
+        assert!(run_one("maintenance", tiny(), 1).is_some());
         assert!(run_one("nope", tiny(), 1).is_none());
+    }
+
+    /// The maintenance bench must contrast the delta pipeline with the
+    /// full-rebuild baseline on every row, actually apply updates, and
+    /// carry a replayable update-heavy scenario descriptor.
+    #[test]
+    fn maintenance_rows_contrast_delta_with_rebuild() {
+        let r = maintenance_experiment(tiny(), 42);
+        assert_eq!(r.id, "maintenance");
+        assert!(r.host.is_some(), "maintenance records host metadata");
+        let xs: Vec<&str> = r.rows.iter().map(|row| row.x.as_str()).collect();
+        assert_eq!(xs, ["1", "8", "64", "64-del"]);
+        let del_only = Scenario::from_json_line(r.rows[3].scenario.as_deref().unwrap()).unwrap();
+        assert_eq!(
+            del_only.delete_ratio, 1.0,
+            "last row is the delete-only (truly incremental) case"
+        );
+        for row in &r.rows {
+            let get = |name: &str| {
+                row.series
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| panic!("row {} missing series {name}", row.x))
+            };
+            assert!(get("delta_wall_s") >= 0.0 && get("delta_wall_s").is_finite());
+            assert!(get("rebuild_wall_s") >= 0.0 && get("rebuild_wall_s").is_finite());
+            assert!(get("updates_applied") > 0.0, "deltas must carry updates");
+            assert!(get("delta_updates_per_s") > 0.0);
+            assert!(get("rebuild_updates_per_s") > 0.0);
+            let sc = Scenario::from_json_line(row.scenario.as_deref().expect("descriptor"))
+                .expect("descriptor parses as a Scenario");
+            assert!(sc.delta_batch_len > 0, "update-heavy scenario");
+            assert!(sc.delete_ratio > 0.0, "deletes are part of the stream");
+        }
     }
 
     #[test]

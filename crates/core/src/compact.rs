@@ -194,6 +194,15 @@ impl CompactView {
             + (self.edge_offsets.len() + self.node_offsets.len()) * std::mem::size_of::<u32>()
     }
 
+    /// Full-content equality over all four columns — node sets included,
+    /// unlike `==`, which compares only the edge columns. The delta pipeline
+    /// uses this to detect that an affected view's re-frozen extension is
+    /// bit-identical to the resident one, so the old arena region (and its
+    /// epoch, and every cached answer keyed on it) can be kept.
+    pub fn content_eq(&self, other: &CompactView) -> bool {
+        self.columns() == other.columns()
+    }
+
     /// The raw columns `(edge_offsets, pairs, node_offsets, nodes)` — the
     /// exact byte surface the on-disk shard format persists.
     pub(crate) fn columns(&self) -> RawColumns<'_> {

@@ -10,18 +10,26 @@
 //! between every answer the planner-driven paths produce and a boxed
 //! oracle (normally `gpv_matching::match_pattern`).
 //!
-//! Two properties make the oracle usable across a mutating serving run:
+//! Three properties make the oracle usable across a mutating serving run:
 //!
 //! * Theorem 1's corollary — adding views never changes answers, only how
 //!   cheaply they can be produced. So one oracle answer per distinct query
 //!   stays valid across every `ViewStore::insert` between rounds.
 //! * Recalibration only rescales cost weights; plans may change shape, but
 //!   by the contract every plan shape must produce the same match sets.
+//! * Edge deltas ([`DifferentialCase::deltas`]) *do* change answers — so
+//!   the checker tracks the evolving graph itself and drops every cached
+//!   oracle answer when a delta lands, recomputing ground truth lazily
+//!   against the current graph. Delta-maintained serving is thereby held
+//!   to the same bit-exact standard as static serving: after any prefix of
+//!   the update stream, every served answer must equal
+//!   `match_pattern(q, current G)`.
 //!
 //! The scenario generator (`gpv-generator`'s `scenario` module) builds
 //! `DifferentialCase` inputs from a one-line JSON descriptor; the `gpv
 //! fuzz` subcommand drives sampled scenarios through these checks.
 
+use crate::delta::EdgeDelta;
 use crate::engine::{EngineConfig, QueryEngine};
 use crate::plan::QueryPlan;
 use crate::service::{ServiceConfig, ViewService};
@@ -60,6 +68,13 @@ pub struct DifferentialCase<'a> {
     /// Views inserted into the store after each round (may be shorter than
     /// `rounds`; missing entries mean no mutation that round).
     pub updates: &'a [Vec<ViewDef>],
+    /// Edge deltas applied to the store after each round — *after* that
+    /// round's view inserts (may be shorter than `rounds`; missing or
+    /// empty entries mean the graph does not move that round). Each delta
+    /// routes through [`ViewStore::apply_delta`], so the serving layer's
+    /// incremental maintenance, per-view epochs, and snapshot publication
+    /// are what the oracle comparison actually exercises.
+    pub deltas: &'a [EdgeDelta],
     /// Store shard count.
     pub shards: usize,
     /// Engine configuration under test (executor, granularity, selection
@@ -110,6 +125,11 @@ pub struct DifferentialReport {
     pub rounds: usize,
     /// Views inserted into the store between rounds.
     pub mutations: usize,
+    /// Edge deltas applied to the store between rounds.
+    pub edge_deltas: usize,
+    /// Views the delta detector routed through incremental maintenance
+    /// (summed over all applied deltas).
+    pub views_maintained: usize,
     /// Bounded queries checked (0 unless [`check_bounded`] ran).
     pub bounded_queries: usize,
     /// Plans that answered from views alone.
@@ -131,6 +151,8 @@ impl DifferentialReport {
         self.served += other.served;
         self.rounds += other.rounds;
         self.mutations += other.mutations;
+        self.edge_deltas += other.edge_deltas;
+        self.views_maintained += other.views_maintained;
         self.bounded_queries += other.bounded_queries;
         self.plans_views_only += other.plans_views_only;
         self.plans_hybrid += other.plans_hybrid;
@@ -231,21 +253,29 @@ pub fn check_plain(
         }
     }
 
-    // Phase 2: the serving layer, across store mutations + recalibration.
+    // Phase 2: the serving layer, across store mutations, edge deltas and
+    // recalibration. The graph evolves under the deltas, so ground truth is
+    // tracked per-round: `truth[qi]` caches the oracle's answer against the
+    // *current* graph and is dropped wholesale whenever a delta lands
+    // (answers are then recomputed lazily, only for queries actually
+    // served again).
     let store = Arc::new(ViewStore::materialize(
         case.views.clone(),
         case.graph,
         case.shards,
     ));
     let service = ViewService::with_config(Arc::clone(&store), case.service.clone());
+    let mut current = case.graph.clone();
+    let mut truth: Vec<Option<MatchResult>> = expected.into_iter().map(Some).collect();
     for (round, schedule) in case.rounds.iter().enumerate() {
         let batch: Vec<Pattern> = schedule.iter().map(|&i| case.queries[i].clone()).collect();
-        let answers = service.serve_batch(&batch, Some(case.graph));
+        let answers = service.serve_batch(&batch, Some(&current));
         for (slot, ans) in answers.iter().enumerate() {
             let qi = schedule[slot];
+            let want = truth[qi].get_or_insert_with(|| oracle(&case.queries[qi], &current));
             match ans {
                 Ok(sa) => {
-                    if *sa.result != expected[qi] {
+                    if *sa.result != *want {
                         return Err(Box::new(Divergence {
                             stage: "service.serve",
                             round: Some(round),
@@ -254,7 +284,7 @@ pub fn check_plain(
                             detail: format!(
                                 "served {} match pairs, oracle says {} (match sets differ)",
                                 pairs(&sa.result),
-                                pairs(&expected[qi])
+                                pairs(want)
                             ),
                         }));
                     }
@@ -274,7 +304,7 @@ pub fn check_plain(
         report.rounds += 1;
         if let Some(upds) = case.updates.get(round) {
             for upd in upds {
-                store.insert(upd.clone(), case.graph).map_err(|e| {
+                store.insert(upd.clone(), &current).map_err(|e| {
                     Box::new(Divergence {
                         stage: "store.insert",
                         round: Some(round),
@@ -284,6 +314,24 @@ pub fn check_plain(
                     })
                 })?;
                 report.mutations += 1;
+            }
+        }
+        if let Some(delta) = case.deltas.get(round).filter(|d| !d.is_empty()) {
+            let applied = store.apply_delta(delta, &current).map_err(|e| {
+                Box::new(Divergence {
+                    stage: "store.apply_delta",
+                    round: Some(round),
+                    slot: None,
+                    query: 0,
+                    detail: format!("store rejected a valid edge delta: {e:?}"),
+                })
+            })?;
+            current = applied.graph;
+            report.edge_deltas += 1;
+            report.views_maintained += applied.affected.len();
+            // The graph moved: every cached oracle answer is stale.
+            for t in truth.iter_mut() {
+                *t = None;
             }
         }
     }
@@ -381,6 +429,7 @@ mod tests {
             queries: &queries,
             rounds: &rounds,
             updates: &updates,
+            deltas: &[],
             shards: 2,
             engine: EngineConfig::default(),
             service: ServiceConfig::default(),
@@ -391,10 +440,46 @@ mod tests {
         assert_eq!(report.served, 5);
         assert_eq!(report.rounds, 2);
         assert_eq!(report.mutations, 1);
+        assert_eq!(report.edge_deltas, 0);
         assert_eq!(
             report.plans_views_only + report.plans_hybrid + report.plans_direct,
             2
         );
+    }
+
+    /// Serving across edge deltas: after a delta deletes the only A→B
+    /// edge, the served answer for that query must shrink in lockstep with
+    /// the recomputed oracle — the delta-maintained views, the epoch-keyed
+    /// result cache, and the re-published snapshot all have to agree with
+    /// `match_pattern` against the *current* graph, round after round.
+    #[test]
+    fn delta_rounds_track_the_evolving_graph() {
+        let (g, views, queries) = case_inputs();
+        // Round 0 serves and caches both queries; the delta then deletes
+        // A→B (affecting V1 only); rounds 1–2 re-serve both queries, so
+        // the checker verifies both the invalidated and the surviving
+        // cached answers against fresh ground truth.
+        let rounds = vec![vec![0, 1], vec![0, 1], vec![1, 0]];
+        let deltas = vec![EdgeDelta::new(
+            vec![],
+            vec![(gpv_graph::NodeId(0), gpv_graph::NodeId(1))],
+        )];
+        let case = DifferentialCase {
+            graph: &g,
+            views: &views,
+            queries: &queries,
+            rounds: &rounds,
+            updates: &[],
+            deltas: &deltas,
+            shards: 2,
+            engine: EngineConfig::default(),
+            service: ServiceConfig::default(),
+        };
+        let oracle: PlainOracle = Box::new(match_pattern);
+        let report = check_plain(&case, &oracle).expect("no divergence");
+        assert_eq!(report.edge_deltas, 1);
+        assert!(report.views_maintained >= 1, "{report:?}");
+        assert_eq!(report.served, 6);
     }
 
     #[test]
@@ -407,6 +492,7 @@ mod tests {
             queries: &queries,
             rounds: &rounds,
             updates: &[],
+            deltas: &[],
             shards: 1,
             engine: EngineConfig::default(),
             service: ServiceConfig::default(),

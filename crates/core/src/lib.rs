@@ -44,6 +44,7 @@ pub mod bview;
 pub mod compact;
 pub mod containment;
 pub mod cost;
+pub mod delta;
 pub mod differential;
 pub mod dualjoin;
 pub mod engine;
@@ -68,6 +69,7 @@ pub use bview::{bmaterialize, BoundedViewDef, BoundedViewExtensions, BoundedView
 pub use compact::{CompactBoundedExtensions, CompactBoundedView, CompactExtensions, CompactView};
 pub use containment::{contain, query_contained, view_match, ContainmentPlan, ViewEdgeRef};
 pub use cost::{CostEstimate, CostLog, CostModel, CostSample, SharedCostLog};
+pub use delta::{EdgeDelta, ViewFootprint, ViewFootprintIndex};
 pub use differential::{
     check_bounded, check_plain, BoundedOracle, DifferentialCase, DifferentialReport, Divergence,
     PlainOracle,
@@ -95,5 +97,7 @@ pub use service::{
 };
 pub use shard::{decode_shard, encode_shard, ShardError, StoreMeta, SHARD_MAGIC, SHARD_VERSION};
 pub use storage::{BoundedViewCache, CacheError, ViewCache};
-pub use store::{EvictionAdvice, ShardOccupancy, StoreError, StoreSnapshot, StoredView, ViewStore};
+pub use store::{
+    DeltaReport, EvictionAdvice, ShardOccupancy, StoreError, StoreSnapshot, StoredView, ViewStore,
+};
 pub use view::{materialize, ViewDef, ViewExtensions, ViewSet};

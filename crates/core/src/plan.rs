@@ -300,6 +300,36 @@ impl QueryPlan {
             QueryPlan::Direct { .. } => None,
         }
     }
+
+    /// The positional indices of every view this plan reads, ascending and
+    /// deduplicated — the footprint the epoch-keyed result cache stamps an
+    /// answer with. Views-only plans contribute their whole selected set
+    /// (the λ may consult any of them during refinement); hybrids
+    /// contribute the view-sourced edges; direct plans read no views.
+    pub fn view_indices(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = match self {
+            QueryPlan::ViewsOnly(vp) => vp
+                .views
+                .iter()
+                .copied()
+                .chain(vp.sources.iter().filter_map(|s| match s {
+                    EdgeSource::View(r) => Some(r.view),
+                    EdgeSource::Graph => None,
+                }))
+                .collect(),
+            QueryPlan::Hybrid { sources, .. } => sources
+                .iter()
+                .filter_map(|s| match s {
+                    EdgeSource::View(r) => Some(r.view),
+                    EdgeSource::Graph => None,
+                })
+                .collect(),
+            QueryPlan::Direct { .. } => Vec::new(),
+        };
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
 }
 
 impl std::fmt::Display for QueryPlan {

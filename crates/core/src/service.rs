@@ -13,17 +13,27 @@
 //!   `Arc`);
 //! * **answers repeated queries across batches without executing** — a
 //!   byte-budgeted, LRU-evicted **result cache** keyed by `(query
-//!   fingerprint, store version, calibration epoch)` replays the answer
+//!   fingerprint, view-set fingerprint, calibration epoch)` replays the answer
 //!   computed the first time (the memo-over-recompute move the paper makes
 //!   for views, applied one level up the stack); entries hold the *frozen
 //!   columnar* form, so the byte budget bounds actual residency, and a hit
 //!   thaws — an O(answer) copy in place of a plan + fixpoint execution;
-//!   keying on version and epoch makes invalidation exact on every store
-//!   mutation and recalibration;
+//!   every entry is stamped with the **epoch set** of the views its plan
+//!   actually read (plus the graph epoch when it read `G`), so an
+//!   [`EdgeDelta`] to view *A* invalidates
+//!   exactly the answers that read *A* — answers reading only other views
+//!   keep hitting across the delta, which is the point of delta-maintained
+//!   serving: an update never colds the whole cache, let alone forces a
+//!   rebuild;
+//! * **remembers refusals**: a strict (`g = None`) call that fails with
+//!   [`ServiceError::NeedsGraph`] records a negative entry keyed by the
+//!   query fingerprint and stamped `(view-set fingerprint, max epoch,
+//!   calibration epoch)`, so repeating the same refused query skips the
+//!   plan cache and the planner entirely until the store moves;
 //! * **deduplicates identical queries inside a batch**, executing each
 //!   distinct query once and fanning the result out;
 //! * executes against a lock-free
-//!   [`StoreSnapshot`](crate::store::StoreSnapshot) of the sharded
+//!   [`StoreSnapshot`] of the sharded
 //!   [`ViewStore`], rebuilding its internal [`QueryEngine`] only when the
 //!   store version moves or a recalibration
 //!   ([`ServiceConfig::recalibrate_every`]) changes the cost model — a
@@ -73,10 +83,11 @@
 
 use crate::compact::CompactView;
 use crate::cost::{CostModel, SharedCostLog};
+use crate::delta::EdgeDelta;
 use crate::engine::{EngineConfig, EngineError, QueryEngine};
 use crate::matchjoin::{JoinError, JoinStats};
 use crate::plan::{CacheDisposition, QueryPlan};
-use crate::store::{ShardOccupancy, ViewStore};
+use crate::store::{DeltaReport, ShardOccupancy, StoreError, StoreSnapshot, ViewStore};
 use gpv_graph::DataGraph;
 use gpv_matching::result::MatchResult;
 use gpv_pattern::Pattern;
@@ -101,6 +112,28 @@ fn query_key(q: &Pattern) -> String {
 /// with a structural equality check before reusing anything.
 pub fn query_fingerprint(q: &Pattern) -> u64 {
     crate::fnv::fnv1a(query_key(q).as_bytes())
+}
+
+/// The epoch-set stamp of an answer produced by `plan` against `snap`:
+/// the maximum epoch over every view the plan reads, folding in the graph
+/// epoch whenever the plan is not views-only (hybrid and direct executions
+/// may scan `G`). Two snapshots agreeing on this stamp agree on every byte
+/// the plan consumes, so the answer carries over; a delta touching a
+/// consumed view (or the graph, for graph-reading plans) moves the stamp
+/// and misses exactly — a delta to an *untouched* view leaves it valid.
+fn plan_epoch_key(plan: &QueryPlan, snap: &StoreSnapshot) -> u64 {
+    let epochs = snap.epochs();
+    let mut key = 0u64;
+    for idx in plan.view_indices() {
+        // A position the snapshot does not have (membership skew — ruled
+        // out by the view-set fingerprint in the cache key, but kept
+        // defensive) poisons the stamp so the entry can never hit.
+        key = key.max(epochs.get(idx).copied().unwrap_or(u64::MAX));
+    }
+    if plan.needs_graph() {
+        key = key.max(snap.graph_epoch);
+    }
+    key
 }
 
 /// Number of log₂ latency buckets: bucket `i` counts queries whose latency
@@ -299,6 +332,17 @@ impl From<EngineError> for ServiceError {
     }
 }
 
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::GraphMismatch { expected, actual } => {
+                ServiceError::GraphMismatch { expected, actual }
+            }
+            other => ServiceError::Engine(other.to_string()),
+        }
+    }
+}
+
 /// One served answer: the result plus everything needed to EXPLAIN it.
 #[derive(Clone, Debug)]
 pub struct ServedAnswer {
@@ -371,6 +415,12 @@ pub struct ServiceStats {
     pub result_cache_hit_rate: f64,
     /// Answers evicted to stay within the byte budget.
     pub result_cache_evictions: u64,
+    /// Strict-mode queries refused straight from the negative
+    /// `NeedsGraph` cache — no plan-cache probe, no planning.
+    pub refusal_hits: u64,
+    /// Refusals currently remembered (bounded by a fixed cap, not the
+    /// byte budget — negative entries carry no answer payload).
+    pub refusal_cache_size: usize,
     /// Queries answered by intra-batch deduplication.
     pub dedup_saved: u64,
     /// Queries that actually planned and executed (the
@@ -422,6 +472,8 @@ struct Counters {
     executed: AtomicU64,
     /// Queries served from dedup or the result cache — no `CostSample`.
     starved: AtomicU64,
+    /// Strict-mode queries refused straight from the negative cache.
+    refusal_hits: AtomicU64,
     /// `executed` watermark at the last recalibration attempt.
     last_recalib_executed: AtomicU64,
     engine_rebuilds: AtomicU64,
@@ -432,12 +484,15 @@ struct Counters {
 }
 
 /// The engine snapshot the service executes against, tagged with the store
-/// version and the calibration epoch it was built from.
+/// version and the calibration epoch it was built from. Carries the MVCC
+/// [`StoreSnapshot`] it was built over so cache probes can price an
+/// answer's epoch-set stamp without re-touching the store.
 #[derive(Clone, Debug)]
 struct EngineSnapshot {
     version: u64,
     calib_epoch: u64,
     view_fingerprint: u64,
+    store: Arc<StoreSnapshot>,
     engine: Arc<QueryEngine>,
 }
 
@@ -453,9 +508,11 @@ pub struct ViewService {
     /// keeps the query's canonical JSON so a fingerprint collision is
     /// detected by equality instead of silently serving the wrong plan.
     plan_cache: RwLock<PlanCache>,
-    /// Cross-batch answers, keyed by `(query fingerprint, store version,
-    /// calibration epoch)` — the same collision-witness discipline as the
-    /// plan cache, byte-budgeted ([`ServiceConfig::result_cache_bytes`]).
+    /// Cross-batch answers, keyed by `(query fingerprint, view-set
+    /// fingerprint, calibration epoch)` and validated per-hit against the
+    /// entry's epoch-set stamp — the same collision-witness discipline as
+    /// the plan cache, byte-budgeted
+    /// ([`ServiceConfig::result_cache_bytes`]).
     result_cache: RwLock<ResultCache>,
     /// The estimate-vs-actual history, shared into every rebuilt engine so
     /// recalibration sees all measurements, not just the latest snapshot's.
@@ -551,23 +608,55 @@ struct ResultCacheEntry {
     plan: Arc<QueryPlan>,
     join_stats: JoinStats,
     graph_free: bool,
+    /// The epoch-set stamp ([`plan_epoch_key`]) of the snapshot the answer
+    /// was computed against. A probe recomputes the stamp from `plan`
+    /// against the *current* snapshot and hits only on equality: every
+    /// view (and, for graph-reading plans, the graph) this answer depends
+    /// on is then bit-identical, so the answer still holds.
+    epoch_key: u64,
     bytes: usize,
     last_used: AtomicU64,
 }
 
-/// The cross-batch result cache: `(query fingerprint, store version,
-/// calibration epoch)` → answer, bounded by an estimated-byte budget with
-/// LRU eviction.
+/// Refusal entries older than this stamp can never hit; see
+/// [`ResultCache::refusals`].
+type RefusalStamp = (u64, u64, u64);
+
+/// Hard cap on remembered refusals: unlike positive entries they carry no
+/// byte-accounted payload, so a flood of distinct uncovered queries is
+/// bounded by count instead (the map resets wholesale at the cap — a
+/// refusal costs one wasted replan, not a correctness risk).
+const REFUSAL_CACHE_CAP: usize = 4096;
+
+/// The cross-batch result cache: `(query fingerprint, view-set
+/// fingerprint, calibration epoch)` → answer, bounded by an estimated-byte
+/// budget with LRU eviction.
 ///
-/// Keying on the store version and the calibration epoch makes invalidation
-/// *exact*: any [`ViewStore`] mutation or applied re-fit changes the key,
-/// so a stale answer can never hit. Entries for dead `(version, epoch)`
-/// pairs are purged wholesale when the engine snapshot rebuilds
-/// ([`ViewService::engine`]), so a version bump also releases their budget
+/// Invalidation is *exact at view granularity*: a hit additionally
+/// requires the entry's epoch-set stamp to match the current snapshot
+/// ([`ResultCacheEntry::epoch_key`]), so an [`EdgeDelta`] invalidates
+/// precisely the answers whose plans read a changed view (or the graph) —
+/// answers over untouched views survive the mutation. A view-set
+/// membership change or an applied re-fit changes the key itself. Dead
+/// entries are purged wholesale when the engine snapshot rebuilds
+/// ([`ViewService::engine`]), so an invalidation also releases its budget
 /// immediately instead of waiting for LRU pressure.
 #[derive(Debug, Default)]
 struct ResultCache {
     map: HashMap<(u64, u64, u64), ResultCacheEntry>,
+    /// Negative entries: queries refused with
+    /// [`ServiceError::NeedsGraph`] in strict (`g = None`) mode, keyed by
+    /// query fingerprint with the canonical form as collision witness.
+    /// Valid only under [`Self::refusal_stamp`]; a repeat hit returns the
+    /// refusal without probing the plan cache or planning. Whether views
+    /// cover a query is decided by pattern containment — but the stamp
+    /// still folds in the max epoch, so any store movement (not just
+    /// membership change) conservatively re-plans refused queries once.
+    refusals: HashMap<u64, Arc<str>>,
+    /// `(view-set fingerprint, max epoch, calibration epoch)` the current
+    /// [`Self::refusals`] entries were recorded under; the map is cleared
+    /// whenever the basis moves.
+    refusal_stamp: RefusalStamp,
     /// Estimated resident bytes across all entries.
     bytes: usize,
     /// Monotonic LRU clock (ticked under the read lock on hits).
@@ -584,18 +673,30 @@ impl ResultCache {
         entry.last_used.store(self.tick(), Ordering::Relaxed);
     }
 
-    /// Drops every entry not keyed at (`version`, `epoch`) — called on
-    /// engine rebuild, when those keys can never hit again.
-    fn purge_stale(&mut self, version: u64, epoch: u64) {
+    /// Drops every entry that can never hit again under the freshly
+    /// published snapshot — wrong view-set fingerprint, wrong calibration
+    /// epoch, or an epoch-set stamp some consumed view (or the graph) has
+    /// moved past. Called on engine rebuild. Entries whose stamps *are*
+    /// still current survive: that is what keeps answers over untouched
+    /// views warm across a delta. Refusals are cleared when their stamp
+    /// basis moved.
+    fn purge_stale(&mut self, snap: &StoreSnapshot, calib_epoch: u64) {
         let mut freed = 0usize;
-        self.map.retain(|&(_, v, e), entry| {
-            let keep = v == version && e == epoch;
+        self.map.retain(|&(_, vfp, ce), entry| {
+            let keep = vfp == snap.fingerprint
+                && ce == calib_epoch
+                && plan_epoch_key(&entry.plan, snap) == entry.epoch_key;
             if !keep {
                 freed += entry.bytes;
             }
             keep
         });
         self.bytes -= freed;
+        let basis = (snap.fingerprint, snap.max_epoch(), calib_epoch);
+        if self.refusal_stamp != basis {
+            self.refusals.clear();
+            self.refusal_stamp = basis;
+        }
     }
 
     /// Evicts least-recently-used entries until the resident estimate fits
@@ -648,6 +749,22 @@ impl ViewService {
         &self.store
     }
 
+    /// Applies an edge-delta batch to the backing store between serving
+    /// batches. Affected views are delta-maintained
+    /// ([`ViewStore::apply_delta`]) — never rebuilt from scratch — and the
+    /// new world is published atomically: batches already in flight keep
+    /// executing against their MVCC snapshot, the next batch picks the
+    /// post-delta snapshot up lazily. Cached answers whose plans read only
+    /// views the delta never touched remain valid and keep hitting; the
+    /// caller should adopt [`DeltaReport::graph`] as the current graph.
+    pub fn apply_delta(
+        &self,
+        delta: &EdgeDelta,
+        g: &DataGraph,
+    ) -> Result<DeltaReport, ServiceError> {
+        self.store.apply_delta(delta, g).map_err(ServiceError::from)
+    }
+
     /// The cost model planning should run under: the last applied re-fit,
     /// or the configured weights before any calibration.
     fn active_cost_model(&self) -> CostModel {
@@ -692,20 +809,23 @@ impl ViewService {
             version: store_snap.version,
             calib_epoch: epoch,
             view_fingerprint: store_snap.fingerprint,
+            store: store_snap,
             engine: Arc::new(engine),
         };
         self.counters
             .engine_rebuilds
             .fetch_add(1, Ordering::Relaxed);
         *guard = Some(snap.clone());
-        // The keys of every result cached under the previous (version,
-        // epoch) can never hit again — release their budget now instead of
-        // letting dead entries squat until LRU pressure finds them.
+        // Results whose keys or epoch-set stamps this rebuild obsoleted can
+        // never hit again — release their budget now instead of letting
+        // dead entries squat until LRU pressure finds them. Entries whose
+        // stamps survived (answers over views the mutation never touched)
+        // stay resident and keep hitting.
         if self.config.result_cache_bytes > 0 {
             self.result_cache
                 .write()
                 .expect("result cache lock poisoned")
-                .purge_stale(snap.version, snap.calib_epoch);
+                .purge_stale(&snap.store, snap.calib_epoch);
         }
         snap
     }
@@ -865,9 +985,13 @@ impl ViewService {
     }
 
     /// Probes the cross-batch result cache for `qfp`/`qkey` at this engine
-    /// snapshot. A hit requires the key `(fingerprint, store version,
-    /// calibration epoch)` *and* the canonical form to match — and, for a
-    /// views-only (`has_graph = false`) call, an answer that was provably
+    /// snapshot. A hit requires the key `(fingerprint, view-set
+    /// fingerprint, calibration epoch)` *and* the canonical form to match,
+    /// *and* the entry's epoch-set stamp to still be current — every view
+    /// (and, for graph-reading plans, the graph) the cached answer's plan
+    /// consumed is then unchanged, so the answer holds even though the
+    /// store version may have moved. For a views-only (`has_graph =
+    /// false`) call the answer must additionally have been provably
     /// computable without the graph: caching must never let a strict call
     /// succeed where the uncached path would have returned
     /// [`ServiceError::NeedsGraph`]. Counts a hit or a miss per probe.
@@ -888,8 +1012,12 @@ impl ViewService {
                 .expect("result cache lock poisoned");
             cache
                 .map
-                .get(&(qfp, snap.version, snap.calib_epoch))
-                .filter(|e| *e.qkey == *qkey && (has_graph || e.graph_free))
+                .get(&(qfp, snap.view_fingerprint, snap.calib_epoch))
+                .filter(|e| {
+                    *e.qkey == *qkey
+                        && (has_graph || e.graph_free)
+                        && plan_epoch_key(&e.plan, &snap.store) == e.epoch_key
+                })
                 .map(|e| {
                     cache.touch(e);
                     ServedAnswer {
@@ -912,9 +1040,10 @@ impl ViewService {
     }
 
     /// Caches a freshly-executed answer for cross-batch reuse (no-op when
-    /// the cache is disabled or the answer alone exceeds the budget). First
-    /// writer wins; a colliding distinct query is simply never cached, so
-    /// the resident entry keeps serving its own query.
+    /// the cache is disabled or the answer alone exceeds the budget). A
+    /// resident entry for the same query is replaced only when its
+    /// epoch-set stamp went stale; a colliding distinct query is simply
+    /// never cached, so the resident entry keeps serving its own query.
     fn cache_result(&self, snap: &EngineSnapshot, qfp: u64, qkey: &str, a: &ServedAnswer) {
         let budget = self.config.result_cache_bytes;
         if budget == 0 {
@@ -925,25 +1054,40 @@ impl ViewService {
         if bytes > budget {
             return;
         }
-        let key = (qfp, snap.version, snap.calib_epoch);
+        let epoch_key = plan_epoch_key(&a.plan, &snap.store);
+        let key = (qfp, snap.view_fingerprint, snap.calib_epoch);
         let mut cache = self
             .result_cache
             .write()
             .expect("result cache lock poisoned");
         // An in-flight batch can finish executing *after* the store moved
-        // on and `engine()` already purged this batch's (version, epoch):
-        // inserting now would park a dead-keyed entry in the budget until
-        // the next purge. Recheck under the same lock `purge_stale` runs
-        // under, so a stale insert is dropped instead. (A version bump
-        // racing in right after this check still gets cleaned by the purge
-        // on the next engine rebuild, which every later batch performs.)
-        if snap.version != self.store.version()
+        // on and `engine()` already purged this batch's world: inserting
+        // now would park a dead entry in the budget until the next purge.
+        // Recheck against the *currently published* snapshot under the
+        // same lock `purge_stale` runs under — if membership, the answer's
+        // epoch set, or the calibration epoch moved, drop the insert. (A
+        // mutation racing in right after this check still gets cleaned by
+        // the purge on the next engine rebuild, which every later batch
+        // performs.)
+        let current = self.store.snapshot();
+        if current.fingerprint != snap.view_fingerprint
+            || plan_epoch_key(&a.plan, &current) != epoch_key
             || snap.calib_epoch != self.calib_epoch.load(Ordering::Relaxed)
         {
             return;
         }
-        if cache.map.contains_key(&key) {
-            return;
+        match cache.map.get(&key) {
+            // A distinct colliding query or a still-fresh duplicate: keep
+            // the resident entry (first writer wins on identical stamps).
+            Some(e) if *e.qkey != *qkey || e.epoch_key == epoch_key => return,
+            // Same query, stale stamp (a delta moved one of its views and
+            // the answer was recomputed): replace, releasing the old bytes.
+            Some(e) => {
+                let stale = e.bytes;
+                cache.bytes -= stale;
+                cache.map.remove(&key);
+            }
+            None => {}
         }
         let stamp = cache.tick();
         cache.bytes += bytes;
@@ -955,6 +1099,7 @@ impl ViewService {
                 plan: a.plan.clone(),
                 join_stats: a.join_stats,
                 graph_free: a.plan.graph_optional(),
+                epoch_key,
                 bytes,
                 last_used: AtomicU64::new(stamp),
             },
@@ -964,6 +1109,71 @@ impl ViewService {
             self.counters
                 .result_evictions
                 .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `qfp`/`qkey` is a remembered [`ServiceError::NeedsGraph`]
+    /// refusal still valid at this snapshot. Probed only for strict
+    /// (`g = None`) calls: a hit short-circuits the plan cache and the
+    /// planner — the refusal is replayed as-is. Counts a hit when it fires.
+    fn cached_refusal(&self, snap: &EngineSnapshot, qfp: u64, qkey: &str) -> bool {
+        if self.config.result_cache_bytes == 0 {
+            return false;
+        }
+        let basis = (
+            snap.view_fingerprint,
+            snap.store.max_epoch(),
+            snap.calib_epoch,
+        );
+        let hit = {
+            let cache = self
+                .result_cache
+                .read()
+                .expect("result cache lock poisoned");
+            cache.refusal_stamp == basis && cache.refusals.get(&qfp).is_some_and(|k| **k == *qkey)
+        };
+        if hit {
+            self.counters.refusal_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Records a strict-mode [`ServiceError::NeedsGraph`] refusal so the
+    /// next identical strict call skips planning. Stamp-mismatched residue
+    /// from an older store state is cleared first; at
+    /// [`REFUSAL_CACHE_CAP`] the insert is dropped (bounded memory beats
+    /// remembering one more refusal).
+    fn cache_refusal(&self, snap: &EngineSnapshot, qfp: u64, qkey: &str) {
+        if self.config.result_cache_bytes == 0 {
+            return;
+        }
+        let basis = (
+            snap.view_fingerprint,
+            snap.store.max_epoch(),
+            snap.calib_epoch,
+        );
+        let mut cache = self
+            .result_cache
+            .write()
+            .expect("result cache lock poisoned");
+        if cache.refusal_stamp != basis {
+            // Entries from another basis can never hit; but only adopt the
+            // *currently published* basis — a stale in-flight snapshot must
+            // not clobber refusals recorded against a newer store.
+            let published = self.store.snapshot();
+            let current = (
+                published.fingerprint,
+                published.max_epoch(),
+                self.calib_epoch.load(Ordering::Relaxed),
+            );
+            if basis != current {
+                return;
+            }
+            cache.refusals.clear();
+            cache.refusal_stamp = basis;
+        }
+        if cache.refusals.len() < REFUSAL_CACHE_CAP {
+            cache.refusals.insert(qfp, Arc::from(qkey));
         }
     }
 
@@ -1055,8 +1265,21 @@ impl ViewService {
                         a
                     })
                 }
-                // Cross-batch result cache: an identical query served at
-                // this store version and calibration epoch returns the
+                // Negative cache: a strict call repeating a remembered
+                // NeedsGraph refusal is refused without touching the plan
+                // cache or the planner at all.
+                None if g.is_none() && self.cached_refusal(&snap, qfp, &qkey) => {
+                    self.counters.starved.fetch_add(1, Ordering::Relaxed);
+                    let micros = t0.elapsed().as_micros() as u64;
+                    self.record_latency(micros);
+                    let answer = Err(ServiceError::NeedsGraph);
+                    answered
+                        .entry(qfp)
+                        .or_insert_with(|| (qkey, answer.clone()));
+                    answer
+                }
+                // Cross-batch result cache: an identical query whose
+                // epoch-set stamp is unchanged at this snapshot returns the
                 // shared answer without planning or executing anything.
                 None => match self.cached_result(&snap, qfp, &qkey, g.is_some()) {
                     Some(hit) => {
@@ -1133,12 +1356,18 @@ impl ViewService {
                             deduplicated: false,
                             latency_micros: 0,
                         });
-                        // Successful answers enter the result cache;
-                        // failures (NeedsGraph, mismatches) are never
-                        // cached, so a later call with the graph supplied
-                        // still executes.
-                        if let Ok(a) = &executed {
-                            self.cache_result(&snap, qfp, &qkey, a);
+                        // Successful answers enter the result cache. A
+                        // strict-mode NeedsGraph refusal enters the
+                        // *negative* cache (keyed to strict calls only, so
+                        // a later call with the graph supplied still
+                        // executes); other failures (mismatches) are never
+                        // remembered.
+                        match &executed {
+                            Ok(a) => self.cache_result(&snap, qfp, &qkey, a),
+                            Err(ServiceError::NeedsGraph) if g.is_none() => {
+                                self.cache_refusal(&snap, qfp, &qkey)
+                            }
+                            Err(_) => {}
                         }
                         let micros = t0.elapsed().as_micros() as u64;
                         self.record_latency(micros);
@@ -1190,8 +1419,10 @@ impl ViewService {
             .read()
             .expect("result cache lock poisoned")
             .map
-            .get(&(qfp, snap.version, snap.calib_epoch))
-            .is_some_and(|entry| *entry.qkey == *qkey);
+            .get(&(qfp, snap.view_fingerprint, snap.calib_epoch))
+            .is_some_and(|entry| {
+                *entry.qkey == *qkey && plan_epoch_key(&entry.plan, &snap.store) == entry.epoch_key
+            });
         let plan = cached_plan.unwrap_or_else(|| Arc::new(snap.engine.plan(q)));
         format!(
             "{plan}\n  cache  : query {qfp:#018x} / views {:#018x} (plan {}, result {})",
@@ -1207,12 +1438,12 @@ impl ViewService {
         let misses = self.counters.plan_misses.load(Ordering::Relaxed);
         let rhits = self.counters.result_hits.load(Ordering::Relaxed);
         let rmisses = self.counters.result_misses.load(Ordering::Relaxed);
-        let (rsize, rbytes) = {
+        let (rsize, rbytes, refusals) = {
             let cache = self
                 .result_cache
                 .read()
                 .expect("result cache lock poisoned");
-            (cache.map.len(), cache.bytes)
+            (cache.map.len(), cache.bytes, cache.refusals.len())
         };
         let active = self.active_cost_model();
         let log = self.cost_log.snapshot();
@@ -1246,6 +1477,8 @@ impl ViewService {
                 0.0
             },
             result_cache_evictions: self.counters.result_evictions.load(Ordering::Relaxed),
+            refusal_hits: self.counters.refusal_hits.load(Ordering::Relaxed),
+            refusal_cache_size: refusals,
             dedup_saved: self.counters.dedup_saved.load(Ordering::Relaxed),
             executed_queries: self.counters.executed.load(Ordering::Relaxed),
             cost_log_starved: self.counters.starved.load(Ordering::Relaxed),
@@ -1390,9 +1623,13 @@ mod tests {
         assert!(stats.result_cache_hit_rate > 0.0);
     }
 
-    /// A store mutation must invalidate cached *answers* exactly: the same
-    /// query re-executes at the new version (and the dead entry's budget is
-    /// released), never serves the pre-mutation answer object.
+    /// A view-set *membership* change must invalidate cached answers: the
+    /// positional view indices a plan's epoch stamp is built over only
+    /// mean anything within one membership, so registering a view changes
+    /// the key (view-set fingerprint) and the same query re-executes —
+    /// never serves the pre-mutation answer object. The dead entry's
+    /// budget is released on rebuild. (Edge *deltas* are the surgical
+    /// case: see `delta_to_one_view_keeps_answers_reading_other_views`.)
     #[test]
     fn result_cache_invalidated_by_store_mutation_and_recalibration_epoch() {
         let (svc, g) = service();
@@ -1695,6 +1932,108 @@ mod tests {
         let q2 = single("A", "B");
         svc.serve(&q2, None).unwrap();
         assert_eq!(svc.stats().executed_queries, 2);
+    }
+
+    /// The tentpole contract at the serving layer: an [`EdgeDelta`] that
+    /// the footprint detector routes to view *vcd* must leave cached
+    /// answers that read only *vab* warm — the engine rebuilds (the store
+    /// version moved), the extension `Arc` and epoch of the untouched view
+    /// are preserved, and the epoch-keyed result cache keeps hitting.
+    /// Answers that read the changed view (or the graph) miss and
+    /// recompute against the post-delta world.
+    #[test]
+    fn delta_to_one_view_keeps_answers_reading_other_views() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let bb = b.add_node(["B"]);
+        let c = b.add_node(["C"]);
+        let d = b.add_node(["D"]);
+        b.add_edge(a, bb);
+        b.add_edge(c, d);
+        let g = b.build();
+        let views = ViewSet::new(vec![
+            ViewDef::new("vab", single("A", "B")),
+            ViewDef::new("vcd", single("C", "D")),
+        ]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 2));
+        let svc = ViewService::new(store);
+        let qab = single("A", "B");
+        let qcd = single("C", "D");
+        svc.serve(&qab, None).unwrap();
+        svc.serve(&qcd, None).unwrap();
+        assert!(svc.serve(&qab, None).unwrap().result_cached);
+        assert!(svc.serve(&qcd, None).unwrap().result_cached);
+        let before = svc.store().snapshot();
+        let rebuilds = svc.stats().engine_rebuilds;
+
+        // Delete C→D: both endpoints hold labels only vcd's footprint has.
+        let delta = EdgeDelta::new(vec![], vec![(c, d)]);
+        let report = svc.apply_delta(&delta, &g).unwrap();
+        assert_eq!(report.affected, vec![1], "only vcd routed to maintenance");
+        let g2 = report.graph;
+
+        // vab's answer survives the delta: the engine did rebuild, but the
+        // untouched view kept its extension Arc and epoch, so the
+        // epoch-keyed entry still hits.
+        let kept = svc.serve(&qab, None).unwrap();
+        assert!(
+            kept.result_cached,
+            "a delta to vcd must not evict vab-only answers"
+        );
+        assert!(svc.stats().engine_rebuilds > rebuilds, "version did move");
+        let after = svc.store().snapshot();
+        assert!(
+            Arc::ptr_eq(&before.views()[0].ext, &after.views()[0].ext),
+            "untouched extension is the same object"
+        );
+        assert_eq!(before.epochs()[0], after.epochs()[0]);
+        assert!(after.epochs()[1] > before.epochs()[1]);
+
+        // vcd's answer misses and recomputes against the post-delta graph.
+        let fresh = svc.serve(&qcd, None).unwrap();
+        assert!(!fresh.result_cached, "the changed view's answers miss");
+        assert!(fresh.plan_cached, "membership unchanged: the plan survives");
+        assert_eq!(*fresh.result, match_pattern(&qcd, &g2));
+        // …and the recomputed answer re-enters the cache at the new stamp.
+        assert!(svc.serve(&qcd, None).unwrap().result_cached);
+    }
+
+    /// The negative cache: a strict-mode `NeedsGraph` refusal is
+    /// remembered, so repeating the refused query skips the plan cache and
+    /// the planner entirely — and a membership change that makes the query
+    /// answerable re-arms it.
+    #[test]
+    fn repeated_needs_graph_refusals_skip_planning() {
+        let g = graph();
+        let views = ViewSet::new(vec![ViewDef::new("vab", single("A", "B"))]);
+        let store = Arc::new(ViewStore::materialize(views, &g, 2));
+        let svc = ViewService::new(store);
+        let q = chain3();
+        assert!(matches!(svc.serve(&q, None), Err(ServiceError::NeedsGraph)));
+        let cold = svc.stats();
+        assert_eq!(cold.plan_cache_misses, 1, "the first refusal plans");
+        assert_eq!(cold.refusal_cache_size, 1);
+        assert_eq!(cold.refusal_hits, 0);
+
+        assert!(matches!(svc.serve(&q, None), Err(ServiceError::NeedsGraph)));
+        let warm = svc.stats();
+        assert_eq!(warm.refusal_hits, 1);
+        assert_eq!(warm.plan_cache_misses, 1, "the repeat never plans");
+        assert_eq!(warm.plan_cache_hits, 0, "…and never probes the plan cache");
+
+        // Refusals guard strict mode only: with the graph supplied the
+        // hybrid path still executes and answers.
+        let a = svc.serve(&q, Some(&g)).unwrap();
+        assert_eq!(*a.result, match_pattern(&q, &g));
+
+        // A membership change invalidates the refusal: with vbc registered
+        // the query is covered and strict mode now answers.
+        svc.store()
+            .insert(ViewDef::new("vbc", single("B", "C")), &g)
+            .unwrap();
+        let now = svc.serve(&q, None).unwrap();
+        assert_eq!(*now.result, match_pattern(&q, &g));
+        assert_eq!(svc.stats().refusal_cache_size, 0, "stale refusals cleared");
     }
 
     #[test]

@@ -7,16 +7,18 @@
 //! is the concurrent representation: views live in `N` independent shards,
 //! each behind its own [`RwLock`], chosen by a hash of the view's stable id.
 //!
-//! Concurrency contract:
+//! Concurrency contract (MVCC):
 //!
-//! * **Writes** (insert/remove) lock exactly one shard — registrations on
-//!   different shards never contend;
-//! * **Reads** take shard read locks only long enough to clone `Arc`
-//!   handles; readers never block readers;
+//! * **Writes** (insert / remove / [`ViewStore::apply_delta`]) serialize on
+//!   one writer mutex, mutate the owning shard(s), and then *publish* a
+//!   freshly assembled [`StoreSnapshot`] behind an `Arc` swap;
+//! * **Reads never block on writers**: [`ViewStore::snapshot`] clones the
+//!   published `Arc` — in-flight readers keep serving whatever snapshot
+//!   they hold while a writer prepares the next one, and a half-applied
+//!   delta is never observable;
 //! * **The query hot path holds no locks at all**: execution works off a
-//!   [`StoreSnapshot`] — a consistent, immutable set of `Arc`-shared views
-//!   taken once per store version. The serving layer
-//!   ([`crate::service::ViewService`]) rebuilds its
+//!   snapshot — a consistent, immutable set of `Arc`-shared views. The
+//!   serving layer ([`crate::service::ViewService`]) rebuilds its
 //!   [`QueryEngine`](crate::engine::QueryEngine) only when
 //!   [`ViewStore::version`] moves, so steady-state query traffic is
 //!   entirely lock-free.
@@ -26,18 +28,34 @@
 //! [`ViewSet`]: positions shift when views are
 //! retired, ids never do. Snapshots order views by id, so planning and
 //! execution are deterministic regardless of shard count or interleaving.
+//!
+//! ## Epochs
+//!
+//! Every stored view carries an **epoch**: the store version at which its
+//! extension last changed. A version bump no longer means "everything you
+//! cached is stale" — [`ViewStore::apply_delta`] routes an [`EdgeDelta`]
+//! through the [`ViewFootprintIndex`] detector and the warm
+//! [`IncrementalView`] maintainers,
+//! re-freezes only the views whose result actually changed, and leaves
+//! every other view's `Arc` (and epoch) untouched. Cache layers key on the
+//! epochs of the views a plan reads (plus [`StoreSnapshot::graph_epoch`]
+//! for plans that read `G` itself), so a write to view A does not
+//! invalidate answers that only read view B.
 
 use crate::compact::CompactView;
+use crate::delta::{EdgeDelta, ViewFootprintIndex};
+use crate::maintenance::IncrementalView;
 use crate::shard::{decode_shard, encode_shard, ShardError, StoreMeta, SHARD_VERSION};
 use crate::storage::{graph_fingerprint, ViewCache};
 use crate::view::{ViewDef, ViewExtensions, ViewSet};
 use gpv_graph::stats::GraphStats;
-use gpv_graph::DataGraph;
+use gpv_graph::{DataGraph, NodeId};
 use gpv_matching::result::MatchResult;
 use gpv_matching::simulation::match_pattern;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One materialized view as stored: its stable id, definition and cached
 /// extension, shared by `Arc` between the shards and live snapshots.
@@ -53,18 +71,30 @@ pub struct StoredView {
     /// rebuilding an engine never copies the pairs, and a store mutation
     /// re-freezes only the touched view's region.
     pub ext: Arc<CompactView>,
+    /// The store version at which `ext` last changed — the view's MVCC
+    /// epoch. Cache keys derived from the epochs of the views a plan reads
+    /// stay valid across mutations that touch other views.
+    pub epoch: u64,
 }
 
 /// Errors from store mutation.
 #[derive(Debug)]
 pub enum StoreError {
-    /// A view was registered against a different graph than the one the
-    /// store was built on.
+    /// A view was registered (or a delta applied) against a different graph
+    /// than the one the store currently materializes.
     GraphMismatch {
         /// Fingerprint the store was materialized against.
         expected: u64,
         /// Fingerprint of the graph supplied now.
         actual: u64,
+    },
+    /// An [`EdgeDelta`] referenced a node id the graph does not have.
+    /// Deltas mutate edges only — they can never grow the node set.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// The graph's node count.
+        node_count: usize,
     },
 }
 
@@ -75,11 +105,37 @@ impl std::fmt::Display for StoreError {
                 f,
                 "view store was materialized for graph {expected:#x}, not {actual:#x}"
             ),
+            StoreError::NodeOutOfRange { node, node_count } => write!(
+                f,
+                "edge delta references node {node} but the graph has {node_count} nodes"
+            ),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+/// What [`ViewStore::apply_delta`] did: the post-delta graph the caller
+/// should adopt, plus which views the detector routed through incremental
+/// maintenance and which of those actually changed.
+#[derive(Debug)]
+pub struct DeltaReport {
+    /// The post-delta graph (node data `Arc`-free but cheap: interners and
+    /// label/attr columns cloned, edge CSRs rebuilt). The caller serves
+    /// subsequent graph-reading queries against this.
+    pub graph: DataGraph,
+    /// Store version after the delta (also the new
+    /// [`StoreSnapshot::graph_epoch`]).
+    pub version: u64,
+    /// Ids the footprint detector flagged as possibly affected (sorted).
+    pub affected: Vec<u64>,
+    /// The subset of `affected` whose re-frozen extension differed — only
+    /// these views got a new arena region and epoch.
+    pub changed: Vec<u64>,
+    /// Views the detector proved untouched: their `Arc`s and epochs (and
+    /// every cached answer reading only them) survived verbatim.
+    pub unaffected: usize,
+}
 
 /// Occupancy of one shard — how many views it holds and how many
 /// materialized pairs they carry (the serving-layer stats surface this so
@@ -153,8 +209,31 @@ pub struct ViewStore {
     /// Bumped on every successful mutation; snapshot consumers use it to
     /// detect staleness without locking any shard.
     version: AtomicU64,
-    graph_fingerprint: u64,
+    /// Fingerprint of the graph the store currently materializes. Atomic
+    /// because [`Self::apply_delta`] moves it to the post-delta graph.
+    graph_fingerprint: AtomicU64,
+    /// Version of the last applied edge delta (0 = the graph has never
+    /// changed). Mirrored into every snapshot as
+    /// [`StoreSnapshot::graph_epoch`].
+    graph_epoch: AtomicU64,
     graph_stats: Option<GraphStats>,
+    /// The published MVCC snapshot: always fully assembled and internally
+    /// consistent. Readers clone the `Arc`; only the writer path (under
+    /// [`Self::writer`]) replaces it.
+    published: RwLock<Arc<StoreSnapshot>>,
+    /// Serializes all mutations and owns the warm incremental maintainers
+    /// (view id → [`IncrementalView`]). Holding this across shard edits and
+    /// the publish step is what makes half-applied deltas unobservable.
+    writer: Mutex<WriterState>,
+}
+
+#[derive(Debug, Default)]
+struct WriterState {
+    /// Warm maintainers, promoted lazily the first time a delta affects a
+    /// view. Invariant: every warm maintainer's adjacency mirrors the
+    /// store's *current* graph — unaffected views get adjacency-only
+    /// patches on every delta.
+    warm: HashMap<u64, IncrementalView>,
 }
 
 /// FNV-1a over a view id: decorrelates consecutive ids so round-robin
@@ -175,12 +254,28 @@ impl ViewStore {
 
     fn with_fingerprint(fp: u64, stats: Option<GraphStats>, shards: usize) -> Self {
         let n = shards.max(1);
+        let empty = Arc::new(StoreSnapshot {
+            version: 0,
+            fingerprint: view_set_fingerprint(&[]),
+            graph_fingerprint: fp,
+            graph_epoch: 0,
+            graph_stats: stats.clone(),
+            views: Vec::new(),
+            epochs: Vec::new(),
+            view_set: Arc::new(ViewSet::new(Vec::new())),
+            extensions: Arc::new(ViewExtensions {
+                extensions: Vec::new(),
+            }),
+        });
         ViewStore {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             next_id: AtomicU64::new(0),
             version: AtomicU64::new(0),
-            graph_fingerprint: fp,
+            graph_fingerprint: AtomicU64::new(fp),
+            graph_epoch: AtomicU64::new(0),
             graph_stats: stats,
+            published: RwLock::new(empty),
+            writer: Mutex::new(WriterState::default()),
         }
     }
 
@@ -191,8 +286,9 @@ impl ViewStore {
         let store = Self::for_graph(g, shards);
         for (_, def) in views.iter() {
             let ext = match_pattern(&def.pattern, g);
-            store.insert_materialized(def.clone(), ext);
+            store.insert_raw(def.clone(), Arc::new(CompactView::freeze(&ext)));
         }
+        store.publish();
         store
     }
 
@@ -209,8 +305,9 @@ impl ViewStore {
             .cloned()
             .zip(cache.extensions.extensions)
         {
-            store.insert_shared(def, ext);
+            store.insert_raw(def, ext);
         }
+        store.publish();
         store
     }
 
@@ -220,7 +317,7 @@ impl ViewStore {
     pub fn to_cache(&self) -> ViewCache {
         let snap = self.snapshot();
         ViewCache {
-            graph_fingerprint: self.graph_fingerprint,
+            graph_fingerprint: self.graph_fingerprint(),
             graph_stats: self.graph_stats.clone(),
             views: (*snap.view_set()).clone(),
             extensions: (*snap.extensions()).clone(),
@@ -245,9 +342,16 @@ impl ViewStore {
         self.len() == 0
     }
 
-    /// Fingerprint of the graph this store materializes against.
+    /// Fingerprint of the graph this store currently materializes against
+    /// (moves when [`Self::apply_delta`] mutates the edge set).
     pub fn graph_fingerprint(&self) -> u64 {
-        self.graph_fingerprint
+        self.graph_fingerprint.load(Ordering::Acquire)
+    }
+
+    /// Version of the last applied edge delta (0 if the graph never
+    /// changed). Plans that read `G` fold this into their cache keys.
+    pub fn graph_epoch(&self) -> u64 {
+        self.graph_epoch.load(Ordering::Acquire)
     }
 
     /// Statistics of that graph, captured at construction.
@@ -267,15 +371,12 @@ impl ViewStore {
     }
 
     /// Materializes `def` over `g` and registers it, returning its stable
-    /// id. Only the owning shard is write-locked (and only after the
-    /// materialization work is done).
+    /// id. The materialization work runs before any lock is taken.
     pub fn insert(&self, def: ViewDef, g: &DataGraph) -> Result<u64, StoreError> {
         let actual = graph_fingerprint(g);
-        if actual != self.graph_fingerprint {
-            return Err(StoreError::GraphMismatch {
-                expected: self.graph_fingerprint,
-                actual,
-            });
+        let expected = self.graph_fingerprint();
+        if actual != expected {
+            return Err(StoreError::GraphMismatch { expected, actual });
         }
         let ext = match_pattern(&def.pattern, g);
         Ok(self.insert_materialized(def, ext))
@@ -291,15 +392,32 @@ impl ViewStore {
     /// [`Self::insert_materialized`] for a region that is already frozen
     /// and shared — registration keeps the `Arc`, so no pairs are copied.
     pub fn insert_shared(&self, def: ViewDef, ext: Arc<CompactView>) -> u64 {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let id = self.insert_raw(def, ext);
+        self.publish();
+        id
+    }
+
+    /// Shard insertion without publication: the bulk-load path
+    /// (`materialize`, `from_cache`, `load_from_dir`) registers every view
+    /// first and publishes one snapshot at the end, keeping construction
+    /// O(n) instead of O(n²). The new view's epoch is the post-insert
+    /// version.
+    fn insert_raw(&self, def: ViewDef, ext: Arc<CompactView>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let stored = Arc::new(StoredView { id, def, ext });
+        let epoch = self.version.fetch_add(1, Ordering::Release) + 1;
+        let stored = Arc::new(StoredView {
+            id,
+            def,
+            ext,
+            epoch,
+        });
         let shard = self.shard_of(id);
         self.shards[shard]
             .write()
             .expect("shard lock poisoned")
             .views
             .push(stored);
-        self.version.fetch_add(1, Ordering::Release);
         id
     }
 
@@ -308,14 +426,19 @@ impl ViewStore {
     /// exactly. Does not advance `next_id`; the caller restores the
     /// watermark from the metadata.
     fn insert_with_id(&self, id: u64, def: ViewDef, ext: Arc<CompactView>) {
-        let stored = Arc::new(StoredView { id, def, ext });
+        let epoch = self.version.fetch_add(1, Ordering::Release) + 1;
+        let stored = Arc::new(StoredView {
+            id,
+            def,
+            ext,
+            epoch,
+        });
         let shard = self.shard_of(id);
         self.shards[shard]
             .write()
             .expect("shard lock poisoned")
             .views
             .push(stored);
-        self.version.fetch_add(1, Ordering::Release);
     }
 
     /// Persists the store to `dir` as `meta.json` plus one flat
@@ -327,6 +450,7 @@ impl ViewStore {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let snap = self.snapshot();
+        let fp = self.graph_fingerprint();
         for (i, _) in self.shards.iter().enumerate() {
             let mine: Vec<(u64, &ViewDef, &CompactView)> = snap
                 .views()
@@ -334,13 +458,13 @@ impl ViewStore {
                 .filter(|v| self.shard_of(v.id) == i)
                 .map(|v| (v.id, &v.def, &*v.ext))
                 .collect();
-            let bytes = encode_shard(&mine, self.graph_fingerprint);
+            let bytes = encode_shard(&mine, fp);
             std::fs::write(dir.join(format!("shard-{i:04}.bin")), bytes)?;
         }
         let meta = StoreMeta {
             format_version: SHARD_VERSION,
             shard_count: self.shards.len() as u32,
-            graph_fingerprint: self.graph_fingerprint,
+            graph_fingerprint: fp,
             next_id: self.next_id.load(Ordering::Relaxed),
             graph_stats: self.graph_stats.clone(),
         };
@@ -385,6 +509,7 @@ impl ViewStore {
         store
             .next_id
             .store(meta.next_id.max(floor), Ordering::Relaxed);
+        store.publish();
         Ok(store)
     }
 
@@ -416,12 +541,16 @@ impl ViewStore {
 
     /// Retires the view with stable id `id`; returns it if it was present.
     pub fn remove(&self, id: u64) -> Option<Arc<StoredView>> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
         let shard = self.shard_of(id);
-        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
-        let pos = guard.views.iter().position(|v| v.id == id)?;
-        let removed = guard.views.remove(pos);
-        drop(guard);
+        let removed = {
+            let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+            let pos = guard.views.iter().position(|v| v.id == id)?;
+            guard.views.remove(pos)
+        };
+        writer.warm.remove(&id);
         self.version.fetch_add(1, Ordering::Release);
+        self.publish();
         Some(removed)
     }
 
@@ -452,11 +581,21 @@ impl ViewStore {
             .collect()
     }
 
-    /// Takes a consistent, immutable snapshot: `Arc` handles to every
-    /// resident view, ordered by stable id. Each shard is read-locked just
-    /// long enough to clone its handles; after this returns, the caller
-    /// touches no locks.
-    pub fn snapshot(&self) -> StoreSnapshot {
+    /// The current published MVCC snapshot: `Arc` handles to every resident
+    /// view, ordered by stable id. This is a pointer clone — no shard lock
+    /// is touched, and a writer mid-mutation never tears what readers see
+    /// (the next snapshot appears only when its publish completes).
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        self.published
+            .read()
+            .expect("published snapshot lock poisoned")
+            .clone()
+    }
+
+    /// Assembles and publishes a fresh snapshot from the shards. Called at
+    /// the end of every mutation (under [`Self::writer`] for concurrent
+    /// paths; bulk constructors call it once after loading).
+    fn publish(&self) {
         let version = self.version();
         let mut views: Vec<Arc<StoredView>> = Vec::with_capacity(self.len());
         for s in &self.shards {
@@ -464,7 +603,7 @@ impl ViewStore {
         }
         views.sort_by_key(|v| v.id);
         let fingerprint = view_set_fingerprint(&views);
-        // Assembled once per snapshot (i.e. once per store version) and then
+        // Assembled once per publish (i.e. once per store version) and then
         // shared by `Arc` into every engine built from it: the positional
         // view set clones the (small) definitions, the extensions clone one
         // `Arc` per view — never the materialized pairs. A rebuild after a
@@ -473,15 +612,129 @@ impl ViewStore {
         let extensions = Arc::new(ViewExtensions {
             extensions: views.iter().map(|v| v.ext.clone()).collect(),
         });
-        StoreSnapshot {
+        let epochs = views.iter().map(|v| v.epoch).collect();
+        let snap = Arc::new(StoreSnapshot {
             version,
             fingerprint,
-            graph_fingerprint: self.graph_fingerprint,
+            graph_fingerprint: self.graph_fingerprint(),
+            graph_epoch: self.graph_epoch(),
             graph_stats: self.graph_stats.clone(),
             views,
+            epochs,
             view_set,
             extensions,
+        });
+        *self
+            .published
+            .write()
+            .expect("published snapshot lock poisoned") = snap;
+    }
+
+    /// Applies an edge-delta batch to the store's graph and incrementally
+    /// maintains every affected view — the serving path never pays a full
+    /// rebuild.
+    ///
+    /// `current` must be the store's present graph (fingerprint-checked).
+    /// The pipeline, all under the writer mutex:
+    ///
+    /// 1. validate delta endpoints against the node set;
+    /// 2. detect affected views via the [`ViewFootprintIndex`];
+    /// 3. patch the adjacency mirror of every *unaffected* warm maintainer
+    ///    (their results provably cannot change — see [`crate::delta`]);
+    /// 4. route each affected view through its warm [`IncrementalView`]
+    ///    (promoting a cold one directly from the post-delta graph),
+    ///    re-freezing only extensions whose content actually changed and
+    ///    stamping those with the new version as their epoch;
+    /// 5. bump the version, move the graph fingerprint and
+    ///    [`graph_epoch`](Self::graph_epoch), and publish one new snapshot.
+    ///
+    /// In-flight readers keep serving the previous snapshot throughout.
+    pub fn apply_delta(
+        &self,
+        delta: &EdgeDelta,
+        current: &DataGraph,
+    ) -> Result<DeltaReport, StoreError> {
+        let actual = graph_fingerprint(current);
+        let expected = self.graph_fingerprint();
+        if actual != expected {
+            return Err(StoreError::GraphMismatch { expected, actual });
         }
+        delta.validate(current)?;
+
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let next = delta.apply_to(current);
+
+        // Current membership, id-ordered (shards only read under the writer
+        // mutex, so this is a consistent view).
+        let mut resident: Vec<Arc<StoredView>> = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            resident.extend(s.read().expect("shard lock poisoned").views.iter().cloned());
+        }
+        resident.sort_by_key(|v| v.id);
+        let resident_ids: HashSet<u64> = resident.iter().map(|v| v.id).collect();
+        writer.warm.retain(|id, _| resident_ids.contains(id));
+
+        let index = ViewFootprintIndex::build(resident.iter().map(|v| (v.id, &v.def)), current);
+        let affected = index.affected(delta, current);
+        let affected_set: HashSet<u64> = affected.iter().copied().collect();
+
+        // Unaffected warm maintainers still track the evolving edge set —
+        // adjacency-only, no candidate/support work.
+        for (id, m) in writer.warm.iter_mut() {
+            if !affected_set.contains(id) {
+                m.patch_adjacency(&delta.deletes, &delta.inserts);
+            }
+        }
+
+        let new_version = self.version.load(Ordering::Acquire) + 1;
+        let mut changed = Vec::new();
+        for v in resident.iter().filter(|v| affected_set.contains(&v.id)) {
+            // Cold maintainers are promoted straight from the stored
+            // (pre-delta) extension — the relation is already known, so no
+            // refinement fixpoint runs even on the first delta.
+            let m = writer.warm.entry(v.id).or_insert_with(|| {
+                IncrementalView::from_result(v.def.pattern.clone(), current, &v.ext.thaw())
+            });
+            m.apply_batch(&delta.deletes, &delta.inserts);
+            if !m.take_dirty() {
+                // The maintainer proved its extension unchanged: skip the
+                // result extraction and re-freeze outright.
+                continue;
+            }
+            let ext = CompactView::freeze(&m.result());
+            if ext.content_eq(&v.ext) {
+                continue; // identical result: keep the old arena Arc + epoch
+            }
+            let shard = self.shard_of(v.id);
+            let mut guard = self.shards[shard].write().expect("shard lock poisoned");
+            let pos = guard
+                .views
+                .iter()
+                .position(|s| s.id == v.id)
+                .expect("resident view present in its shard");
+            guard.views[pos] = Arc::new(StoredView {
+                id: v.id,
+                def: v.def.clone(),
+                ext: Arc::new(ext),
+                epoch: new_version,
+            });
+            drop(guard);
+            changed.push(v.id);
+        }
+
+        self.graph_fingerprint
+            .store(graph_fingerprint(&next), Ordering::Release);
+        self.graph_epoch.store(new_version, Ordering::Release);
+        self.version.store(new_version, Ordering::Release);
+        self.publish();
+        let unaffected = resident.len() - affected.len();
+        Ok(DeltaReport {
+            graph: next,
+            version: new_version,
+            affected,
+            changed,
+            unaffected,
+        })
     }
 }
 
@@ -511,11 +764,18 @@ pub struct StoreSnapshot {
     pub version: u64,
     /// Fingerprint of the view membership (plan-cache key component).
     pub fingerprint: u64,
-    /// Fingerprint of the underlying graph.
+    /// Fingerprint of the underlying graph *as of this snapshot* — moves
+    /// when a delta is applied.
     pub graph_fingerprint: u64,
+    /// Version of the last applied edge delta (0 = graph never mutated).
+    /// Cache keys for plans that read `G` fold this in, so a delta
+    /// invalidates exactly the graph-reading answers.
+    pub graph_epoch: u64,
     /// Graph statistics captured at store construction.
     pub graph_stats: Option<GraphStats>,
     views: Vec<Arc<StoredView>>,
+    /// Position-aligned with `views`: `epochs[i]` is view `i`'s epoch.
+    epochs: Vec<u64>,
     view_set: Arc<ViewSet>,
     extensions: Arc<ViewExtensions>,
 }
@@ -524,6 +784,26 @@ impl StoreSnapshot {
     /// The snapshot's views in stable-id order.
     pub fn views(&self) -> &[Arc<StoredView>] {
         &self.views
+    }
+
+    /// Per-view epochs, position-aligned with [`views`](Self::views) (and
+    /// therefore with the positional indices a
+    /// [`QueryPlan`](crate::plan::QueryPlan) uses): `epochs()[i]` is the
+    /// store version at which view `i`'s extension last changed.
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// The maximum epoch across all views and the graph epoch — the
+    /// coarsest still-exact staleness stamp (used e.g. to key the negative
+    /// `NeedsGraph` refusal cache, whose decisions depend on every view).
+    pub fn max_epoch(&self) -> u64 {
+        self.epochs
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.graph_epoch))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Stable ids in snapshot order: `ids()[i]` is the store id of the view
@@ -831,5 +1111,150 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(ids, sorted, "ids unique and snapshot id-ordered");
+    }
+
+    use crate::delta::EdgeDelta;
+    use gpv_graph::NodeId;
+
+    #[test]
+    fn apply_delta_maintains_only_affected_views() {
+        // Graph: A -> B -> C plus two D nodes with an edge between them.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(["A"]);
+        let x = b.add_node(["B"]);
+        let c = b.add_node(["C"]);
+        let d1 = b.add_node(["D"]);
+        let d2 = b.add_node(["D"]);
+        b.add_edge(a, x);
+        b.add_edge(x, c);
+        b.add_edge(d1, d2);
+        let g = b.build();
+        let views = ViewSet::new(vec![
+            ViewDef::new("vab", single("A", "B")),
+            ViewDef::new("vdd", single("D", "D")),
+        ]);
+        let store = ViewStore::materialize(views, &g, 2);
+        let before = store.snapshot();
+
+        // Delete the D -> D edge: only vdd is affected.
+        let delta = EdgeDelta::new(vec![], vec![(d1, d2)]);
+        let report = store.apply_delta(&delta, &g).unwrap();
+        assert_eq!(report.affected, vec![1]);
+        assert_eq!(report.changed, vec![1]);
+        assert_eq!(report.unaffected, 1);
+        assert!(!report.graph.has_edge(d1, d2));
+
+        let after = store.snapshot();
+        // The untouched view's arena region survived verbatim (same Arc),
+        // and its epoch did not move; the maintained view re-froze.
+        assert!(Arc::ptr_eq(&before.views()[0].ext, &after.views()[0].ext));
+        assert_eq!(before.epochs()[0], after.epochs()[0]);
+        assert!(after.epochs()[1] > before.epochs()[1]);
+        assert_eq!(after.epochs()[1], report.version);
+        assert_eq!(after.graph_epoch, report.version);
+        assert!(after.views()[1].ext.is_empty(), "vdd lost its only match");
+
+        // The extension now equals a from-scratch materialization, and the
+        // store accepts the post-delta graph for further mutation.
+        let oracle = CompactView::freeze(&gpv_matching::simulation::match_pattern(
+            &single("D", "D"),
+            &report.graph,
+        ));
+        assert!(after.views()[1].ext.content_eq(&oracle));
+        assert_eq!(store.graph_fingerprint(), graph_fingerprint(&report.graph));
+        store
+            .insert(ViewDef::new("vbc", single("B", "C")), &report.graph)
+            .unwrap();
+    }
+
+    #[test]
+    fn apply_delta_insert_revives_view_and_reuses_warm_maintainer() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 2);
+        // Delete A -> B, then re-insert it: vab goes empty and comes back.
+        let d1 = EdgeDelta::new(vec![], vec![(NodeId(0), NodeId(1))]);
+        let r1 = store.apply_delta(&d1, &g).unwrap();
+        assert!(store.snapshot().views()[0].ext.is_empty());
+        let d2 = EdgeDelta::new(vec![(NodeId(0), NodeId(1))], vec![]);
+        let r2 = store.apply_delta(&d2, &r1.graph).unwrap();
+        assert_eq!(r2.changed, vec![0]);
+        let snap = store.snapshot();
+        let oracle = CompactView::freeze(&gpv_matching::simulation::match_pattern(
+            &single("A", "B"),
+            &r2.graph,
+        ));
+        assert!(snap.views()[0].ext.content_eq(&oracle));
+        assert_eq!(
+            store.graph_fingerprint(),
+            graph_fingerprint(&g),
+            "round trip"
+        );
+    }
+
+    #[test]
+    fn apply_delta_no_op_keeps_every_epoch() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 2);
+        let before = store.snapshot();
+        // Deleting a non-existent edge between labeled endpoints: affected
+        // views re-check but nothing changes — every Arc and epoch survives.
+        let delta = EdgeDelta::new(vec![], vec![(NodeId(0), NodeId(2))]);
+        let report = store.apply_delta(&delta, &g).unwrap();
+        assert!(report.changed.is_empty());
+        let after = store.snapshot();
+        for i in 0..2 {
+            assert!(Arc::ptr_eq(&before.views()[i].ext, &after.views()[i].ext));
+            assert_eq!(before.epochs()[i], after.epochs()[i]);
+        }
+        // The graph epoch still moves: G's edge set is only textually the
+        // same because the delete missed, but the version must reflect that
+        // a delta was processed.
+        assert_eq!(after.graph_epoch, report.version);
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_nodes_and_wrong_graph() {
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 2);
+        let v_before = store.version();
+        let bad = EdgeDelta::new(vec![(NodeId(0), NodeId(42))], vec![]);
+        assert!(matches!(
+            store.apply_delta(&bad, &g),
+            Err(StoreError::NodeOutOfRange {
+                node: NodeId(42),
+                node_count: 3
+            })
+        ));
+        assert_eq!(store.version(), v_before, "failed delta mutates nothing");
+
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(["X"]);
+        let y = b.add_node(["Y"]);
+        b.add_edge(x, y);
+        let other = b.build();
+        let ok = EdgeDelta::new(vec![(NodeId(0), NodeId(1))], vec![]);
+        assert!(matches!(
+            store.apply_delta(&ok, &other),
+            Err(StoreError::GraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_published_not_torn() {
+        // snapshot() must be a pointer clone of the last published state:
+        // two calls with no intervening mutation return the same Arc.
+        let g = graph();
+        let store = ViewStore::materialize(two_views(), &g, 4);
+        let a = store.snapshot();
+        let b = store.snapshot();
+        assert!(Arc::ptr_eq(&a, &b));
+        store
+            .insert(ViewDef::new("vac", single("A", "C")), &g)
+            .unwrap();
+        let c = store.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.ids().len(), 3);
+        // The old snapshot keeps serving its own consistent world.
+        assert_eq!(a.ids().len(), 2);
     }
 }

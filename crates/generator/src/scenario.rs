@@ -39,10 +39,10 @@ use gpv_core::differential::{
     PlainOracle,
 };
 use gpv_core::{
-    BoundedViewSet, CostModel, EngineConfig, ExecStrategy, JoinStrategy, ParGranularity,
+    BoundedViewSet, CostModel, EdgeDelta, EngineConfig, ExecStrategy, JoinStrategy, ParGranularity,
     SelectionMode, ServiceConfig, ViewDef, ViewSet,
 };
-use gpv_graph::DataGraph;
+use gpv_graph::{DataGraph, NodeId};
 use gpv_matching::{bmatch_pattern, match_pattern};
 use gpv_pattern::{BoundedPattern, Pattern};
 use rand::rngs::StdRng;
@@ -158,6 +158,13 @@ pub struct Scenario {
     pub rounds: usize,
     /// Views inserted into the store after each round.
     pub updates_per_round: usize,
+    /// Edge operations per [`EdgeDelta`] batch applied to the graph after
+    /// each round (0 keeps the graph static — the pre-delta serving path).
+    pub delta_batch_len: usize,
+    /// Fraction of each delta batch that deletes live edges; the rest
+    /// inserts fresh edges between existing nodes. Sampled from a small
+    /// set including 0.0 (insert-only) and 1.0 (delete-only churn).
+    pub delete_ratio: f64,
     /// Fraction of the covering view set that gets registered
     /// (1.0 except in [`QueryMode::Partial`]).
     pub coverage: f64,
@@ -196,6 +203,9 @@ pub struct ScenarioInputs {
     pub rounds: Vec<Vec<usize>>,
     /// Views inserted after each round.
     pub updates: Vec<Vec<ViewDef>>,
+    /// Edge deltas applied to the graph after each round (empty batches
+    /// when [`Scenario::delta_batch_len`] is 0).
+    pub deltas: Vec<EdgeDelta>,
     /// Bounded workload (queries + covering bounded views), present only
     /// in [`QueryMode::Bounded`].
     pub bounded: Option<(Vec<BoundedPattern>, BoundedViewSet)>,
@@ -308,6 +318,8 @@ impl Scenario {
             batch_len: rng.gen_range(4..=10),
             rounds: rng.gen_range(2..=4),
             updates_per_round: rng.gen_range(0..=2),
+            delta_batch_len: rng.gen_range(0..=3),
+            delete_ratio: [0.0, 0.25, 0.5, 1.0][rng.gen_range(0..4usize)],
             coverage,
             max_fragment: rng.gen_range(2..=3),
             mode,
@@ -404,6 +416,36 @@ impl Scenario {
             })
             .collect();
 
+        // Per-round edge deltas over the *evolving* edge set: deletes pick
+        // live edges (so they actually remove something most of the time),
+        // inserts pick fresh endpoint pairs among the existing nodes
+        // (deltas never grow the node set). Tracking the live set across
+        // rounds makes a long delete-heavy run drain the graph instead of
+        // retrying the same victims.
+        let deltas: Vec<EdgeDelta> = {
+            let mut live: Vec<(NodeId, NodeId)> = graph.edges().collect();
+            let n = graph.node_count() as u32;
+            (0..self.rounds.max(1))
+                .map(|_| {
+                    let mut inserts = Vec::new();
+                    let mut deletes = Vec::new();
+                    for _ in 0..self.delta_batch_len {
+                        if rng.gen::<f64>() < self.delete_ratio && !live.is_empty() {
+                            let k = rng.gen_range(0..live.len());
+                            deletes.push(live.swap_remove(k));
+                        } else if n > 0 {
+                            let e = (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n)));
+                            if !live.contains(&e) {
+                                live.push(e);
+                                inserts.push(e);
+                            }
+                        }
+                    }
+                    EdgeDelta::new(inserts, deletes)
+                })
+                .collect()
+        };
+
         let bounded = (self.mode == QueryMode::Bounded).then(|| {
             let bqueries: Vec<BoundedPattern> = (0..self.queries.max(1))
                 .map(|_| {
@@ -427,6 +469,7 @@ impl Scenario {
             views,
             rounds,
             updates,
+            deltas,
             bounded,
         }
     }
@@ -553,6 +596,7 @@ pub fn check_scenario_with(
         queries: &inputs.queries,
         rounds: &inputs.rounds,
         updates: &inputs.updates,
+        deltas: &inputs.deltas,
         shards: sc.shards.max(1),
         engine: sc.engine_config(),
         service: sc.service_config(),
@@ -600,9 +644,30 @@ mod tests {
         let b = sc.materialize();
         assert_eq!(a.queries, b.queries);
         assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.deltas, b.deltas);
         assert_eq!(a.views.card(), b.views.card());
         assert_eq!(a.graph.node_count(), b.graph.node_count());
         assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    /// Delta batches are valid for the evolving graph: every referenced
+    /// node exists, delete-heavy batches pick live edges, and applying the
+    /// whole stream round by round never errors.
+    #[test]
+    fn generated_deltas_replay_against_the_evolving_graph() {
+        let mut sc = Scenario::sample(17, 1);
+        sc.delta_batch_len = 4;
+        sc.delete_ratio = 0.5;
+        sc.rounds = 4;
+        let inputs = sc.materialize();
+        assert_eq!(inputs.deltas.len(), 4);
+        assert!(inputs.deltas.iter().any(|d| !d.deletes.is_empty()));
+        assert!(inputs.deltas.iter().any(|d| !d.inserts.is_empty()));
+        let mut g = inputs.graph.clone();
+        for d in &inputs.deltas {
+            d.validate(&g).expect("deltas reference live nodes");
+            g = d.apply_to(&g);
+        }
     }
 
     #[test]
@@ -667,6 +732,28 @@ mod tests {
                     sc.to_json_line(),
                     sc.repro_command()
                 );
+            }
+        }
+    }
+
+    /// Update-heavy smoke: force the delta path on (including pure-delete
+    /// churn) and hold delta-maintained serving to the oracle across every
+    /// round. This is the unit-test twin of CI's `gpv fuzz --require-deltas`
+    /// sweep.
+    #[test]
+    fn update_heavy_scenarios_pass_differential_check() {
+        for i in 0..4 {
+            let mut sc = Scenario::sample(13, i);
+            sc.delta_batch_len = 3;
+            sc.delete_ratio = if i % 2 == 0 { 0.5 } else { 1.0 };
+            sc.rounds = 3;
+            match check_scenario(&sc) {
+                Ok(report) => assert!(report.edge_deltas > 0, "deltas must have applied"),
+                Err(d) => panic!(
+                    "{d}\nscenario: {}\nrepro: {}",
+                    sc.to_json_line(),
+                    sc.repro_command()
+                ),
             }
         }
     }

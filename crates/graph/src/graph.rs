@@ -231,6 +231,68 @@ impl DataGraph {
         self.attr_names.rebuild_index();
         self.values.rebuild_index();
     }
+
+    /// Builds a new graph over the **same node set** (labels, attributes,
+    /// interned alphabets all shared by clone) but with `edges` as the full
+    /// edge list. Duplicate edges are dropped; out- and in-adjacency are
+    /// rebuilt sorted, so the result satisfies every CSR invariant of a
+    /// [`GraphBuilder`](crate::GraphBuilder)-constructed graph.
+    ///
+    /// This is the substrate for edge-delta application: the serving layers
+    /// treat `DataGraph` as immutable, so an update batch produces a new
+    /// version rather than mutating in place.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, if any endpoint is `>= node_count()`. Callers that
+    /// accept untrusted deltas must validate ids first.
+    pub fn with_edges(&self, edges: &[(NodeId, NodeId)]) -> DataGraph {
+        let n = self.node_count();
+        let mut sorted: Vec<(NodeId, NodeId)> = edges.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, v) in &sorted {
+            debug_assert!(u.index() < n && v.index() < n, "edge endpoint out of range");
+            out_offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = sorted.iter().map(|&(_, v)| v).collect();
+
+        // In-CSR by counting sort over targets; sources come out sorted
+        // because the edge list is sorted by (source, target).
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v) in &sorted {
+            in_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![NodeId(0); sorted.len()];
+        for &(u, v) in &sorted {
+            let slot = cursor[v.index()] as usize;
+            in_sources[slot] = u;
+            cursor[v.index()] += 1;
+        }
+
+        DataGraph {
+            labels: self.labels.clone(),
+            attr_names: self.attr_names.clone(),
+            values: self.values.clone(),
+            label_offsets: self.label_offsets.clone(),
+            label_data: self.label_data.clone(),
+            attr_offsets: self.attr_offsets.clone(),
+            attr_data: self.attr_data.clone(),
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
 }
 
 /// Iterator over all edges of a [`DataGraph`].
@@ -336,6 +398,32 @@ mod tests {
         assert_eq!(g.attr_str_eq(v, cat, music), Some(true));
         assert_eq!(g.attr_str_eq(w, cat, music), Some(false));
         assert_eq!(g.attr_name(cat), "category");
+    }
+
+    #[test]
+    fn with_edges_rebuilds_adjacency_and_keeps_labels() {
+        let g = diamond();
+        // Drop 0->1, add 3->0 (out of CSR order, plus a duplicate).
+        let edges = vec![
+            (NodeId(3), NodeId(0)),
+            (NodeId(0), NodeId(2)),
+            (NodeId(1), NodeId(3)),
+            (NodeId(2), NodeId(3)),
+            (NodeId(3), NodeId(0)),
+        ];
+        let h = g.with_edges(&edges);
+        assert_eq!(h.node_count(), 4);
+        assert_eq!(h.edge_count(), 4, "duplicate edge deduped");
+        assert!(!h.has_edge(NodeId(0), NodeId(1)));
+        assert!(h.has_edge(NodeId(3), NodeId(0)));
+        assert_eq!(h.in_neighbors(NodeId(0)), &[NodeId(3)]);
+        assert_eq!(h.out_neighbors(NodeId(0)), &[NodeId(2)]);
+        // Node data is untouched.
+        let b_label = h.lookup_label("B").unwrap();
+        assert!(h.has_label(NodeId(1), b_label));
+        assert_eq!(h.label_alphabet_size(), g.label_alphabet_size());
+        // The original graph is unchanged (immutability preserved).
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
     }
 
     #[test]

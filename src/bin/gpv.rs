@@ -12,11 +12,11 @@
 //!              [--repeat K]
 //! gpv serve    --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
 //!              [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain]
-//!              [--store-dir D]
+//!              [--store-dir D] [--updates-per-round N]
 //! gpv advise   --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
 //!              [--budget N]
 //! gpv minimize --pattern Q.txt
-//! gpv fuzz     [--iterations N] [--seed S] [--repro '<json>']
+//! gpv fuzz     [--iterations N] [--seed S] [--repro '<json>'] [--require-deltas]
 //! ```
 //!
 //! `answer` and `plan` go through the unified [`core::QueryEngine`]: the
@@ -57,6 +57,20 @@
 //! built from the same graph — and serving skips materialization
 //! entirely.
 //!
+//! `serve --updates-per-round N` interleaves edge deltas with serving:
+//! after every batch round, N deterministic edge updates (alternating
+//! inserts of fresh edges and deletes of live ones, seeded by `--seed`)
+//! are applied through [`core::ViewService::apply_delta`]. The delta
+//! pipeline routes only the views whose label footprint overlaps the
+//! delta through incremental maintenance and re-freezes just the ones
+//! whose extension actually changed, so untouched views — and every
+//! cached answer reading only them — survive each round verbatim.
+//! Subsequent rounds serve against the post-delta graph, and the summary
+//! reports how many deltas were applied and how many view extensions
+//! were re-frozen. In this mode rounds are barriers: all clients finish
+//! a round before the delta lands, so every answer within one round saw
+//! one consistent store snapshot.
+//!
 //! `advise` recommends a view subset for a workload: it greedily selects
 //! at most `--budget` views maximizing the number of fully-answered
 //! `--pattern` queries ([`core::QueryEngine::advise_views`]), then ranks
@@ -72,9 +86,13 @@
 //! it through `QueryEngine` *and* `ViewService`, and asserts bit-exact
 //! agreement with naive `match_pattern` / `bmatch_pattern` on every
 //! answer. A divergence prints the scenario's one-line JSON and the exact
-//! `gpv fuzz --repro '<json>'` command that replays it. Setting
-//! `GPV_FUZZ_INJECT=1` corrupts the oracle on purpose (test-only) to prove
-//! the harness catches and reproduces divergences.
+//! `gpv fuzz --repro '<json>'` command that replays it. `--require-deltas`
+//! forces every sampled scenario to be update-heavy (nonzero
+//! `delta_batch_len` and `delete_ratio`, at least two rounds), so the
+//! delta-maintenance pipeline is exercised on each iteration — CI runs a
+//! smoke pass in this mode. Setting `GPV_FUZZ_INJECT=1` corrupts the
+//! oracle on purpose (test-only) to prove the harness catches and
+//! reproduces divergences.
 //!
 //! `--exec auto|seq|par` (answer/plan/serve/advise) overrides the cost
 //! model's executor choice: `seq` forces the sequential executor, `par`
@@ -113,6 +131,8 @@ struct Args {
     iterations: usize,
     seed: u64,
     repro: Option<String>,
+    updates_per_round: usize,
+    require_deltas: bool,
 }
 
 fn usage() -> ExitCode {
@@ -121,7 +141,8 @@ fn usage() -> ExitCode {
          [--graph F] [--pattern F]... [--view F]... [--bounded] [--dual] \
          [--select auto|all|minimal|minimum] [--exec auto|seq|par] [--threads N] [--chunk-pairs N] \
          [--calibrated] [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain] \
-         [--store-dir D] [--budget N] [--iterations N] [--seed S] [--repro JSON]"
+         [--store-dir D] [--budget N] [--iterations N] [--seed S] [--repro JSON] \
+         [--updates-per-round N] [--require-deltas]"
     );
     ExitCode::from(2)
 }
@@ -148,6 +169,8 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         iterations: 25,
         seed: 42,
         repro: None,
+        updates_per_round: 0,
+        require_deltas: false,
     };
     let mut i = 0;
     let uint = |flag: &str, v: Option<&String>| -> Result<usize, String> {
@@ -230,6 +253,14 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--repro" => {
                 a.repro = Some(rest.get(i + 1).ok_or("--repro needs a JSON line")?.clone());
                 i += 2;
+            }
+            "--updates-per-round" => {
+                a.updates_per_round = uint("--updates-per-round", rest.get(i + 1))?;
+                i += 2;
+            }
+            "--require-deltas" => {
+                a.require_deltas = true;
+                i += 1;
             }
             "--bounded" => {
                 a.bounded = true;
@@ -537,24 +568,86 @@ fn serve(a: &Args) -> Result<(), String> {
     // plan cache, later ones the cross-batch result cache. Answers are
     // identical across clients and repeats (asserted by tests/service.rs),
     // so only the first client's answers are printed.
+    //
+    // With `--updates-per-round` the repeats become barrier-separated
+    // rounds instead: all clients serve the batch against the current
+    // graph, then one seeded edge delta lands via `apply_delta` before
+    // the next round, so every answer in a round saw one consistent
+    // store snapshot.
     let t0 = std::time::Instant::now();
     let mut answers = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..a.clients)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut served = Vec::new();
-                    for _ in 0..a.repeat {
-                        served.extend(service.serve_batch(&batch, Some(&g)));
+    let mut maintenance = None;
+    if a.updates_per_round > 0 {
+        let mut current = g.clone();
+        let mut live: Vec<(gpv_graph::NodeId, gpv_graph::NodeId)> = current.edges().collect();
+        let mut rng = a.seed ^ 0x6de1_7a5e_ed00_feed;
+        let (mut applied, mut refrozen, mut inserted, mut deleted) =
+            (0usize, 0usize, 0usize, 0usize);
+        answers = (0..a.clients).map(|_| Vec::new()).collect();
+        for _round in 0..a.repeat {
+            std::thread::scope(|s| {
+                let (svc, batch, cur) = (&service, &batch, &current);
+                let handles: Vec<_> = (0..a.clients)
+                    .map(|_| s.spawn(move || svc.serve_batch(batch, Some(cur))))
+                    .collect();
+                for (ci, h) in handles.into_iter().enumerate() {
+                    answers[ci].extend(h.join().expect("client thread panicked"));
+                }
+            });
+            // Alternate inserting a fresh edge and deleting a live one so
+            // the delta stream keeps the edge count roughly stable.
+            let n = current.node_count() as u32;
+            let mut ins = Vec::new();
+            let mut del = Vec::new();
+            for k in 0..a.updates_per_round {
+                if k % 2 == 1 && !live.is_empty() {
+                    let idx = (splitmix64(&mut rng) as usize) % live.len();
+                    del.push(live.swap_remove(idx));
+                } else if n > 0 {
+                    let e = (
+                        gpv_graph::NodeId((splitmix64(&mut rng) % n as u64) as u32),
+                        gpv_graph::NodeId((splitmix64(&mut rng) % n as u64) as u32),
+                    );
+                    if !live.contains(&e) {
+                        live.push(e);
+                        ins.push(e);
                     }
-                    served
-                })
-            })
-            .collect();
-        for h in handles {
-            answers.push(h.join().expect("client thread panicked"));
+                }
+            }
+            let delta = core::EdgeDelta::new(ins, del);
+            if !delta.is_empty() {
+                inserted += delta.inserts.len();
+                deleted += delta.deletes.len();
+                let report = service
+                    .apply_delta(&delta, &current)
+                    .map_err(|e| e.to_string())?;
+                current = report.graph;
+                applied += 1;
+                refrozen += report.changed.len();
+            }
         }
-    });
+        maintenance = Some(format!(
+            "maintenance: {applied} deltas applied ({inserted} inserts / {deleted} deletes), \
+             {refrozen} view extensions re-frozen"
+        ));
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..a.clients)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut served = Vec::new();
+                        for _ in 0..a.repeat {
+                            served.extend(service.serve_batch(&batch, Some(&g)));
+                        }
+                        served
+                    })
+                })
+                .collect();
+            for h in handles {
+                answers.push(h.join().expect("client thread panicked"));
+            }
+        });
+    }
     let wall = t0.elapsed().as_secs_f64();
 
     for (i, r) in answers[0].iter().enumerate() {
@@ -609,6 +702,10 @@ fn serve(a: &Args) -> Result<(), String> {
         stats.result_cache_evictions
     );
     println!(
+        "refusal cache: {} hits, {} refusals remembered",
+        stats.refusal_hits, stats.refusal_cache_size
+    );
+    println!(
         "latency: p50 {}, p99 {}; max queue depth {}",
         stats.latency.quantile_label(0.5),
         stats.latency.quantile_label(0.99),
@@ -647,7 +744,21 @@ fn serve(a: &Args) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(" ")
     );
+    if let Some(m) = maintenance {
+        println!("{m}");
+    }
     Ok(())
+}
+
+/// Tiny deterministic PRNG (splitmix64) for the `--updates-per-round`
+/// delta stream — keeps the binary free of a direct `rand` dependency and
+/// the stream reproducible from `--seed`.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// The `advise` command: greedy view selection for a workload plus
@@ -749,8 +860,8 @@ fn fuzz(a: &Args) -> Result<(), String> {
         let sc = Scenario::from_json_line(json)?;
         let r = run_one(&sc)?;
         println!(
-            "repro ok: {} queries, {} answers over {} rounds, {} store mutations, {} bounded -- all matched the oracle",
-            r.queries, r.served, r.rounds, r.mutations, r.bounded_queries
+            "repro ok: {} queries, {} answers over {} rounds, {} store mutations, {} edge deltas, {} bounded -- all matched the oracle",
+            r.queries, r.served, r.rounds, r.mutations, r.edge_deltas, r.bounded_queries
         );
         return Ok(());
     }
@@ -761,7 +872,17 @@ fn fuzz(a: &Args) -> Result<(), String> {
     let mut weights: BTreeSet<String> = BTreeSet::new();
     let mut caches: BTreeSet<usize> = BTreeSet::new();
     for i in 0..a.iterations as u64 {
-        let sc = Scenario::sample(a.seed, i);
+        let mut sc = Scenario::sample(a.seed, i);
+        if a.require_deltas {
+            // Update-heavy mode (CI smoke): force a nonzero delta stream
+            // with real deletes, and enough rounds that post-delta serving
+            // actually happens.
+            sc.delta_batch_len = sc.delta_batch_len.max(2);
+            if sc.delete_ratio == 0.0 {
+                sc.delete_ratio = 0.5;
+            }
+            sc.rounds = sc.rounds.max(2);
+        }
         modes.insert(format!("{:?}", sc.mode));
         execs.insert(format!("{:?}", sc.exec));
         weights.insert(
@@ -776,7 +897,7 @@ fn fuzz(a: &Args) -> Result<(), String> {
         let r = run_one(&sc)?;
         totals.absorb(&r);
         println!(
-            "fuzz {i:>3}: mode={:?} exec={:?} weights={:?} cache={}B threads={} -- ok ({} answers, plans v/h/d {}/{}/{})",
+            "fuzz {i:>3}: mode={:?} exec={:?} weights={:?} cache={}B threads={} -- ok ({} answers, plans v/h/d {}/{}/{}, {} deltas)",
             sc.mode,
             sc.exec,
             sc.weights,
@@ -785,7 +906,8 @@ fn fuzz(a: &Args) -> Result<(), String> {
             r.served,
             r.plans_views_only,
             r.plans_hybrid,
-            r.plans_direct
+            r.plans_direct,
+            r.edge_deltas
         );
     }
     let join = |s: &BTreeSet<String>| s.iter().cloned().collect::<Vec<_>>().join(",");
@@ -802,7 +924,7 @@ fn fuzz(a: &Args) -> Result<(), String> {
         caches.iter().collect::<Vec<_>>()
     );
     println!(
-        "checked: {} distinct queries, {} served answers, {} rounds, {} store mutations, {} bounded queries; plans views-only/hybrid/direct = {}/{}/{}; cache hits plan/result = {}/{}",
+        "checked: {} distinct queries, {} served answers, {} rounds, {} store mutations, {} bounded queries; plans views-only/hybrid/direct = {}/{}/{}; cache hits plan/result = {}/{}; {} edge deltas maintained {} views",
         totals.queries,
         totals.served,
         totals.rounds,
@@ -812,7 +934,9 @@ fn fuzz(a: &Args) -> Result<(), String> {
         totals.plans_hybrid,
         totals.plans_direct,
         totals.plan_cache_hits,
-        totals.result_cache_hits
+        totals.result_cache_hits,
+        totals.edge_deltas,
+        totals.views_maintained
     );
     Ok(())
 }

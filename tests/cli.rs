@@ -290,6 +290,54 @@ fn serve_repeat_reports_nonzero_result_cache_hit_rate() {
     );
 }
 
+/// `serve --updates-per-round N` interleaves seeded edge deltas with the
+/// serving rounds through the delta-maintenance pipeline and reports a
+/// maintenance summary. Serving must stay green across the deltas.
+#[test]
+fn serve_updates_per_round_applies_deltas_between_rounds() {
+    let g = write_tmp("upd-g.txt", GRAPH);
+    let q = write_tmp("upd-q.txt", QUERY);
+    let v1 = write_tmp("upd-v1.txt", VIEW1);
+    let v2 = write_tmp("upd-v2.txt", VIEW2);
+    let out = gpv()
+        .args([
+            "serve",
+            "--graph",
+            g.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--clients",
+            "2",
+            "--repeat",
+            "3",
+            "--updates-per-round",
+            "2",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    // 1 pattern x 3 rounds x 2 clients.
+    assert!(s.contains("served 6 queries"), "{s}");
+    assert!(s.contains("maintenance: "), "{s}");
+    assert!(s.contains("deltas applied"), "{s}");
+    assert!(s.contains("view extensions re-frozen"), "{s}");
+    // The stats block keeps its grep-stable lines in update mode.
+    assert!(s.contains("plan cache:"), "{s}");
+    assert!(s.contains("result cache:"), "{s}");
+    assert!(s.contains("refusal cache:"), "{s}");
+}
+
 #[test]
 fn minimize_command() {
     let q = write_tmp(
@@ -725,6 +773,50 @@ fn fuzz_smoke_passes_and_reports_coverage() {
     );
     assert!(s.contains("coverage: modes=["), "{s}");
     assert!(s.contains("checked: "), "{s}");
+}
+
+/// `fuzz --require-deltas` forces every sampled scenario to carry a
+/// nonzero insert/delete stream, so the sweep exercises the incremental
+/// maintenance pipeline on each iteration (the CI smoke runs this mode).
+#[test]
+fn fuzz_require_deltas_exercises_maintenance_on_every_scenario() {
+    let out = gpv()
+        .args([
+            "fuzz",
+            "--iterations",
+            "6",
+            "--seed",
+            "7",
+            "--require-deltas",
+        ])
+        .env_remove("GPV_FUZZ_INJECT")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        s.contains("engine and service matched match_pattern on every sample"),
+        "{s}"
+    );
+    let checked = s
+        .lines()
+        .find(|l| l.starts_with("checked: "))
+        .unwrap_or_else(|| panic!("no totals line in: {s}"));
+    let deltas: usize = checked
+        .split("; ")
+        .find(|p| p.contains("edge deltas"))
+        .and_then(|p| p.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable totals line: {checked}"));
+    assert!(
+        deltas > 0,
+        "update-heavy sweep applied no deltas: {checked}"
+    );
 }
 
 /// The acceptance loop for the harness itself: a deliberately injected

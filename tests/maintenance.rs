@@ -1,8 +1,9 @@
 //! Property tests for incremental view maintenance: after any script of
 //! edge deletions and insertions, the incrementally maintained extension
-//! equals recomputation from scratch.
+//! equals recomputation from scratch — both on small random scripts and
+//! on full delta streams sampled from [`gpv_generator::Scenario`]s.
 
-use gpv_generator::{random_graph, random_pattern, PatternShape};
+use gpv_generator::{random_graph, random_pattern, PatternShape, Scenario};
 use graph_views::prelude::*;
 use graph_views::views::IncrementalView;
 use proptest::prelude::*;
@@ -82,5 +83,74 @@ proptest! {
             inc.insert_edge(u, v);
         }
         prop_assert_eq!(inc.result(), match_pattern(&q, &g));
+    }
+
+    /// Scenario-sampled maintenance sweep: sample a full [`Scenario`]
+    /// (forced update-heavy — nonzero `delta_batch_len` and
+    /// `delete_ratio`), keep one warm [`IncrementalView`] per registered
+    /// view, and replay the scenario's generated insert/delete stream,
+    /// checking after every batch that each maintainer equals the boxed
+    /// from-scratch oracle on the evolving graph. Failures print the
+    /// scenario's one-line JSON and the `gpv fuzz --repro` command (plus
+    /// the shim's `GPV_TEST_SEED` replay line).
+    #[test]
+    fn scenario_delta_streams_keep_incremental_views_exact(
+        master in any::<u64>(),
+        idx in 0u64..40,
+    ) {
+        let mut sc = Scenario::sample(master, idx);
+        sc.delta_batch_len = sc.delta_batch_len.max(3);
+        if sc.delete_ratio == 0.0 {
+            sc.delete_ratio = 0.5;
+        }
+        sc.rounds = sc.rounds.max(2);
+        let inputs = sc.materialize();
+
+        // The "boxed match_pattern" oracle — the same shape the
+        // differential harness injects, so this pins maintainer ≡ oracle
+        // rather than maintainer ≡ some inlined shortcut.
+        type Oracle = Box<dyn Fn(&Pattern, &DataGraph) -> MatchResult>;
+        let oracle: Oracle = Box::new(match_pattern);
+
+        let mut incs: Vec<(Pattern, IncrementalView)> = inputs
+            .views
+            .iter()
+            .map(|(_, def)| {
+                (
+                    def.pattern.clone(),
+                    IncrementalView::new(def.pattern.clone(), &inputs.graph),
+                )
+            })
+            .collect();
+        let mut edges: std::collections::BTreeSet<(NodeId, NodeId)> =
+            inputs.graph.edges().collect();
+        for (round, delta) in inputs.deltas.iter().enumerate() {
+            // EdgeDelta semantics: deletes land before inserts.
+            for &(u, v) in &delta.deletes {
+                edges.remove(&(u, v));
+                for (_, inc) in &mut incs {
+                    inc.delete_edge(u, v);
+                }
+            }
+            for &(u, v) in &delta.inserts {
+                edges.insert((u, v));
+                for (_, inc) in &mut incs {
+                    inc.insert_edge(u, v);
+                }
+            }
+            let edge_list: Vec<(NodeId, NodeId)> = edges.iter().copied().collect();
+            let truth_graph = inputs.graph.with_edges(&edge_list);
+            for (vi, (q, inc)) in incs.iter().enumerate() {
+                let want = oracle(q, &truth_graph);
+                if inc.result() != want {
+                    return Err(TestCaseError::fail(format!(
+                        "view {vi} diverged from the oracle after delta round {round}\n\
+                         scenario: {}\nrepro: {}",
+                        sc.to_json_line(),
+                        sc.repro_command()
+                    )));
+                }
+            }
+        }
     }
 }
