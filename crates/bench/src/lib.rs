@@ -10,6 +10,8 @@
 //! in minutes; the *shape* of each comparison (who wins, how curves grow) is
 //! what the reproduction asserts. See DESIGN.md §S1–S2.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod report;
 

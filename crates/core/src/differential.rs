@@ -180,6 +180,86 @@ fn mismatch(stage: &'static str, query: usize, got: usize, want: usize) -> Box<D
     })
 }
 
+/// A static-verifier finding of error severity, reported through the same
+/// [`Divergence`] channel as an oracle mismatch — the fuzz sweep is a
+/// standing false-positive audit for the `GPV0xx` passes.
+fn verify_divergence(
+    stage: &'static str,
+    round: Option<usize>,
+    query: usize,
+    errors: &[crate::verify::Diagnostic],
+) -> Box<Divergence> {
+    Box::new(Divergence {
+        stage,
+        round,
+        slot: None,
+        query,
+        detail: errors
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; "),
+    })
+}
+
+/// Runs the plan verifier and query lints over one freshly-produced plan;
+/// any error-severity diagnostic is a divergence.
+#[allow(clippy::too_many_arguments)]
+fn verify_one_plan(
+    q: &Pattern,
+    plan: &QueryPlan,
+    views: &ViewSet,
+    g: &DataGraph,
+    snap: Option<&crate::store::StoreSnapshot>,
+    stage: &'static str,
+    round: Option<usize>,
+    qi: usize,
+) -> Result<(), Box<Divergence>> {
+    let mut diags = crate::verify::verify_plan(q, plan, views);
+    if let Some(snap) = snap {
+        diags.extend(crate::verify::verify_plan_epochs(plan, snap));
+    }
+    diags.extend(crate::lint::lint_query(q, Some(g)));
+    let errors = crate::verify::errors_only(diags);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(verify_divergence(stage, round, qi, &errors))
+    }
+}
+
+/// Runs the snapshot integrity pass plus the snapshot-engine plan/epoch
+/// verification over every pool query — called on the freshly materialized
+/// store and again after every applied delta.
+fn verify_store_state(
+    case: &DifferentialCase<'_>,
+    store: &ViewStore,
+    current: &DataGraph,
+    round: Option<usize>,
+) -> Result<(), Box<Divergence>> {
+    let snap = store.snapshot();
+    let errors = crate::verify::errors_only(crate::verify::check_snapshot(&snap, Some(current)));
+    if !errors.is_empty() {
+        return Err(verify_divergence("verify.store", round, 0, &errors));
+    }
+    let views = snap.view_set();
+    let engine = QueryEngine::from_snapshot(&snap).with_config(case.engine.clone());
+    for (qi, q) in case.queries.iter().enumerate() {
+        let plan = engine.plan(q);
+        verify_one_plan(
+            q,
+            &plan,
+            &views,
+            current,
+            Some(&snap),
+            "verify.plan_epochs",
+            round,
+            qi,
+        )?;
+    }
+    Ok(())
+}
+
 /// Runs one plain-pattern differential case end to end.
 ///
 /// Phase 1 (engine): plans and answers every query through a fresh
@@ -215,6 +295,19 @@ pub fn check_plain(
             QueryPlan::Hybrid { .. } => report.plans_hybrid += 1,
             QueryPlan::Direct { .. } => report.plans_direct += 1,
         }
+        // Static verifier + query lints on every plan (release builds
+        // included — the debug_assertions hook in `plan` is redundant
+        // here by design, so the optimized fuzz sweep still audits).
+        verify_one_plan(
+            q,
+            &plan,
+            engine.views(),
+            case.graph,
+            None,
+            "verify.plan",
+            None,
+            qi,
+        )?;
         let got = engine.answer(q, case.graph).map_err(|e| {
             Box::new(Divergence {
                 stage: "engine.answer",
@@ -264,6 +357,29 @@ pub fn check_plain(
         case.graph,
         case.shards,
     ));
+    // View-set lints, with fragment-overlap/eviction reporting wired to the
+    // freshly materialized store; then the store-integrity and epoch
+    // passes over the initial snapshot.
+    {
+        let snap = store.snapshot();
+        let needed: Vec<u64> = snap
+            .views()
+            .iter()
+            .filter(|v| {
+                case.queries
+                    .iter()
+                    .any(|q| !crate::containment::view_match(&v.def.pattern, q).is_empty())
+            })
+            .map(|v| v.id)
+            .collect();
+        let advice = store.eviction_advice(&needed);
+        let errors =
+            crate::verify::errors_only(crate::lint::lint_views(case.views, case.queries, &advice));
+        if !errors.is_empty() {
+            return Err(verify_divergence("lint.views", None, 0, &errors));
+        }
+    }
+    verify_store_state(case, &store, case.graph, None)?;
     let service = ViewService::with_config(Arc::clone(&store), case.service.clone());
     let mut current = case.graph.clone();
     let mut truth: Vec<Option<MatchResult>> = expected.into_iter().map(Some).collect();
@@ -329,6 +445,10 @@ pub fn check_plain(
             current = applied.graph;
             report.edge_deltas += 1;
             report.views_maintained += applied.affected.len();
+            // Store integrity after every applied delta: CSR canonicality,
+            // epoch monotonicity, footprint consistency, and epoch-stamped
+            // re-plans against the new snapshot.
+            verify_store_state(case, &store, &current, Some(round))?;
             // The graph moved: every cached oracle answer is stale.
             for t in truth.iter_mut() {
                 *t = None;
@@ -355,6 +475,15 @@ pub fn check_bounded(
         .with_config(engine_cfg)
         .with_bounded_views(views.clone(), graph);
     for (qi, qb) in queries.iter().enumerate() {
+        // Bounded plan verifier: when the engine can plan the bounded
+        // query at all, the plan must pass the static checks.
+        if let Ok(bplan) = engine.plan_bounded(qb) {
+            let errors =
+                crate::verify::errors_only(crate::verify::verify_bounded_plan(qb, &bplan, views));
+            if !errors.is_empty() {
+                return Err(verify_divergence("verify.bounded_plan", None, qi, &errors));
+            }
+        }
         let want = oracle(qb, graph);
         let got = engine.answer_bounded(qb).map_err(|e| {
             Box::new(Divergence {

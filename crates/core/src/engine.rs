@@ -533,7 +533,28 @@ impl QueryEngine {
 
     /// **Analyze → Select**: produces the costed plan for `q` without
     /// executing anything.
+    ///
+    /// Under `debug_assertions` every produced plan runs through the
+    /// static verifier ([`crate::verify::verify_plan`]) before it is
+    /// returned — an unsound plan (unsourced edge, out-of-range or
+    /// non-covering view reference, views-only plan touching `G`) is a
+    /// planner bug and aborts immediately instead of surfacing later as a
+    /// wrong answer.
     pub fn plan(&self, q: &Pattern) -> QueryPlan {
+        let plan = self.plan_unverified(q);
+        #[cfg(debug_assertions)]
+        {
+            let errors =
+                crate::verify::errors_only(crate::verify::verify_plan(q, &plan, &self.views));
+            debug_assert!(
+                errors.is_empty(),
+                "planner produced an unsound plan for {q:?}: {errors:?}"
+            );
+        }
+        plan
+    }
+
+    fn plan_unverified(&self, q: &Pattern) -> QueryPlan {
         let cm = &self.config.cost;
         let zero_stats = GraphStats {
             nodes: 0,

@@ -34,6 +34,7 @@
 //! concurrently-writable [`ViewStore`]), and [`service`] (the concurrent
 //! [`ViewService`] batch facade with plan caching and service stats).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod fnv;
@@ -48,6 +49,7 @@ pub mod delta;
 pub mod differential;
 pub mod dualjoin;
 pub mod engine;
+pub mod lint;
 pub mod maintenance;
 pub mod matchjoin;
 pub mod minimal;
@@ -61,6 +63,7 @@ pub mod service;
 pub mod shard;
 pub mod storage;
 pub mod store;
+pub mod verify;
 pub mod view;
 
 pub use bcontainment::{bcontain, bminimal, bminimum, bounded_query_contained, bounded_view_match};
@@ -76,6 +79,7 @@ pub use differential::{
 };
 pub use dualjoin::{dual_contain, dual_match_join, dual_materialize};
 pub use engine::{BoundedPlan, EngineConfig, EngineError, QueryEngine};
+pub use lint::{lint_query, lint_views};
 pub use maintenance::IncrementalView;
 pub use matchjoin::{match_join, match_join_with, JoinError, JoinStats, JoinStrategy};
 pub use minimal::{minimal, Selection};
@@ -99,5 +103,9 @@ pub use shard::{decode_shard, encode_shard, ShardError, StoreMeta, SHARD_MAGIC, 
 pub use storage::{BoundedViewCache, CacheError, ViewCache};
 pub use store::{
     DeltaReport, EvictionAdvice, ShardOccupancy, StoreError, StoreSnapshot, StoredView, ViewStore,
+};
+pub use verify::{
+    check_snapshot, check_store_dir, classify_shard_error, errors_only, has_errors,
+    verify_bounded_plan, verify_plan, verify_plan_epochs, DiagCode, Diagnostic, Severity,
 };
 pub use view::{materialize, ViewDef, ViewExtensions, ViewSet};

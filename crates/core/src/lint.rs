@@ -1,0 +1,333 @@
+//! Query and view-set lints — the advisory half of the `GPV0xx`
+//! diagnostics engine (the hard invariants live in [`crate::verify`]).
+//!
+//! Lints flag constructs that are *legal but suspicious*: disconnected or
+//! self-looping query patterns, queries whose answer is provably empty on
+//! the given graph, redundant edges the [`mod@crate::minimize`] machinery
+//! would drop, views subsumed by other views, and views no workload query
+//! reads. All lints are warning or info severity — `gpv lint` exits
+//! nonzero only on error-severity findings, and the differential fuzz
+//! harness never treats a lint as a divergence.
+
+use std::collections::HashSet;
+
+use crate::containment::{query_contained, view_match};
+use crate::minimize::minimize;
+use crate::store::EvictionAdvice;
+use crate::verify::{DiagCode, Diagnostic, Severity};
+use crate::view::ViewSet;
+use gpv_graph::{DataGraph, LabelId};
+use gpv_pattern::{Atom, Pattern, PatternNodeId};
+
+/// The resolved label atoms of one pattern node: `None` when some label is
+/// absent from the graph's alphabet (the node can never match), otherwise
+/// the label ids every match must carry.
+fn node_labels(q: &Pattern, u: PatternNodeId, g: &DataGraph) -> Result<Vec<LabelId>, String> {
+    let mut out = Vec::new();
+    for atom in q.pred(u).atoms() {
+        if let Atom::Label(l) = atom {
+            match g.lookup_label(l) {
+                Some(id) => out.push(id),
+                None => return Err(l.clone()),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lints one query pattern: structural checks (connectivity, self-loops,
+/// duplicate edges, redundant edges per [`minimize`]) plus — when a graph
+/// is supplied — provable emptiness (a predicate label absent from `G`'s
+/// alphabet, or an edge whose label pair never occurs in `G`).
+pub fn lint_query(q: &Pattern, g: Option<&DataGraph>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    if q.node_count() > 0 && !q.is_connected() {
+        out.push(Diagnostic::new(
+            DiagCode::QueryDisconnected,
+            Severity::Warning,
+            "query pattern is disconnected; components match independently \
+             (a cartesian blowup of intent, usually a mistake)",
+            "query pattern",
+        ));
+    }
+    for u in q.nodes() {
+        if q.has_self_loop(u) {
+            out.push(Diagnostic::new(
+                DiagCode::QuerySelfLoop,
+                Severity::Warning,
+                format!("query node u{} has a self-loop edge", u.index()),
+                format!("query node u{}", u.index()),
+            ));
+        }
+    }
+    if q.edges().windows(2).any(|w| w[0] == w[1]) {
+        out.push(Diagnostic::new(
+            DiagCode::QueryDuplicateEdge,
+            Severity::Warning,
+            "query pattern repeats an edge",
+            "query pattern",
+        ));
+    }
+    if q.edge_count() > 0 {
+        let m = minimize(q);
+        if m.pattern.edge_count() < q.edge_count() {
+            out.push(Diagnostic::new(
+                DiagCode::QueryRedundantEdges,
+                Severity::Warning,
+                format!(
+                    "query carries redundant edges: its minimized equivalent has {} \
+                     edges vs {} (same answers on every graph)",
+                    m.pattern.edge_count(),
+                    q.edge_count()
+                ),
+                "query pattern",
+            ));
+        }
+    }
+
+    if let Some(g) = g {
+        // Unknown labels first: any node whose predicate names a label
+        // outside G's alphabet makes the whole (connected) query empty.
+        let mut resolved: Vec<Option<Vec<LabelId>>> = Vec::with_capacity(q.node_count());
+        for u in q.nodes() {
+            match node_labels(q, u, g) {
+                Ok(ls) => resolved.push(Some(ls)),
+                Err(label) => {
+                    out.push(Diagnostic::new(
+                        DiagCode::QueryProvablyEmpty,
+                        Severity::Warning,
+                        format!(
+                            "label \"{label}\" on query node u{} does not occur in the \
+                             graph: the answer is provably empty",
+                            u.index()
+                        ),
+                        format!("query node u{}", u.index()),
+                    ));
+                    resolved.push(None);
+                }
+            }
+        }
+        // Label-pair presence: an edge whose endpoint label pair never
+        // occurs as a graph edge can match nothing.
+        let mut present: HashSet<(LabelId, LabelId)> = HashSet::new();
+        for (x, y) in g.edges() {
+            for &la in g.labels_of(x) {
+                for &lb in g.labels_of(y) {
+                    present.insert((la, lb));
+                }
+            }
+        }
+        for (ei, &(u, v)) in q.edges().iter().enumerate() {
+            let (Some(Some(lu)), Some(Some(lv))) =
+                (resolved.get(u.index()), resolved.get(v.index()))
+            else {
+                continue; // unknown label already reported above
+            };
+            if lu.is_empty() || lv.is_empty() {
+                continue; // wildcard endpoint: nothing provable statically
+            }
+            let feasible = lu
+                .iter()
+                .any(|&la| lv.iter().any(|&lb| present.contains(&(la, lb))));
+            if !feasible {
+                out.push(Diagnostic::new(
+                    DiagCode::QueryProvablyEmpty,
+                    Severity::Warning,
+                    format!(
+                        "no graph edge joins the label pair of query edge e{ei}: the \
+                         answer is provably empty"
+                    ),
+                    format!("query edge e{ei}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Lints a view set against an (optional) query workload:
+///
+/// * **subsumption** — `Vi ⊑ Vj` means every query `Vi` helps answer is
+///   answerable from `Vj` alone, so materializing both is redundant
+///   (equivalent pairs are reported once, against the higher index);
+/// * **zero coverage** — a view covering no edge of any workload query
+///   contributes nothing to containment;
+/// * **evictability** — rows from
+///   [`ViewStore::eviction_advice`](crate::store::ViewStore::eviction_advice),
+///   reported as info with the bytes eviction would free.
+pub fn lint_views(
+    views: &ViewSet,
+    workload: &[Pattern],
+    advice: &[EvictionAdvice],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    for (i, vi) in views.iter() {
+        for (j, vj) in views.iter() {
+            if i == j {
+                continue;
+            }
+            if query_contained(&vi.pattern, &vj.pattern)
+                && (!query_contained(&vj.pattern, &vi.pattern) || j < i)
+            {
+                out.push(Diagnostic::new(
+                    DiagCode::ViewSubsumed,
+                    Severity::Warning,
+                    format!(
+                        "view \"{}\" is subsumed by view \"{}\" (V{i} ⊑ V{j}); every \
+                         query it helps answer is answerable without it",
+                        vi.name, vj.name
+                    ),
+                    format!("view {i} \"{}\"", vi.name),
+                ));
+                break; // one subsumer is enough evidence per view
+            }
+        }
+    }
+
+    if !workload.is_empty() {
+        for (i, v) in views.iter() {
+            let covers_any = workload
+                .iter()
+                .any(|q| !view_match(&v.pattern, q).is_empty());
+            if !covers_any {
+                out.push(Diagnostic::new(
+                    DiagCode::ViewZeroCoverage,
+                    Severity::Warning,
+                    format!(
+                        "view \"{}\" covers no edge of any of the {} workload queries",
+                        v.name,
+                        workload.len()
+                    ),
+                    format!("view {i} \"{}\"", v.name),
+                ));
+            }
+        }
+    }
+
+    for a in advice {
+        out.push(Diagnostic::new(
+            DiagCode::ViewEvictable,
+            Severity::Info,
+            format!(
+                "view \"{}\" (id {}) is read by no workload query; evicting frees \
+                 {} bytes ({} pairs)",
+                a.name, a.id, a.resident_bytes, a.pairs
+            ),
+            format!("view id {}", a.id),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::has_errors;
+    use crate::view::ViewDef;
+    use gpv_graph::GraphBuilder;
+    use gpv_pattern::PatternBuilder;
+
+    fn graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        let pm = b.add_node(["PM"]);
+        let dba = b.add_node(["DBA"]);
+        let prg = b.add_node(["PRG"]);
+        b.add_edge(pm, dba);
+        b.add_edge(dba, prg);
+        b.build()
+    }
+
+    fn single(x: &str, y: &str) -> Pattern {
+        let mut b = PatternBuilder::new();
+        let u = b.node_labeled(x);
+        let v = b.node_labeled(y);
+        b.edge(u, v);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_query_has_no_findings() {
+        let diags = lint_query(&single("PM", "DBA"), Some(&graph()));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn disconnected_pattern_warns() {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("PM");
+        let c = b.node_labeled("DBA");
+        let d = b.node_labeled("DBA");
+        let e = b.node_labeled("PRG");
+        b.edge(a, c);
+        b.edge(d, e);
+        let q = b.build().unwrap();
+        let diags = lint_query(&q, None);
+        assert!(diags.iter().any(|d| d.code == DiagCode::QueryDisconnected));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn self_loop_warns() {
+        let mut b = PatternBuilder::new();
+        let a = b.node_labeled("PM");
+        b.edge(a, a);
+        let q = b.build().unwrap();
+        let diags = lint_query(&q, None);
+        assert!(diags.iter().any(|d| d.code == DiagCode::QuerySelfLoop));
+    }
+
+    #[test]
+    fn unknown_label_is_provably_empty() {
+        let diags = lint_query(&single("PM", "CEO"), Some(&graph()));
+        assert!(diags.iter().any(|d| d.code == DiagCode::QueryProvablyEmpty));
+    }
+
+    #[test]
+    fn absent_label_pair_is_provably_empty() {
+        // Both labels exist, but no PRG -> PM edge does.
+        let diags = lint_query(&single("PRG", "PM"), Some(&graph()));
+        assert!(diags.iter().any(|d| d.code == DiagCode::QueryProvablyEmpty));
+    }
+
+    #[test]
+    fn subsumed_view_warns() {
+        // Two views with the same pattern: each is answerable from the
+        // other, so the later registration is redundant. Equivalent pairs
+        // are reported once, against the higher index.
+        let views = ViewSet::new(vec![
+            ViewDef::new("first", single("PM", "DBA")),
+            ViewDef::new("duplicate", single("PM", "DBA")),
+        ]);
+        let diags = lint_views(&views, &[], &[]);
+        let subsumed: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::ViewSubsumed)
+            .collect();
+        assert_eq!(subsumed.len(), 1, "{diags:?}");
+        assert!(subsumed[0].context.contains("view 1"), "{diags:?}");
+    }
+
+    #[test]
+    fn zero_coverage_view_warns() {
+        let views = ViewSet::new(vec![ViewDef::new("v", single("PRG", "PM"))]);
+        let workload = [single("PM", "DBA")];
+        let diags = lint_views(&views, &workload, &[]);
+        assert!(diags.iter().any(|d| d.code == DiagCode::ViewZeroCoverage));
+    }
+
+    #[test]
+    fn eviction_advice_reports_info() {
+        let advice = [EvictionAdvice {
+            id: 7,
+            name: "cold".into(),
+            pairs: 10,
+            resident_bytes: 160,
+        }];
+        let diags = lint_views(&ViewSet::new(vec![]), &[], &advice);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ViewEvictable);
+        assert_eq!(diags[0].severity, Severity::Info);
+    }
+}

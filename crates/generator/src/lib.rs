@@ -16,6 +16,8 @@
 //! Everything is deterministic in an explicit `seed`, so the benchmark
 //! harness and EXPERIMENTS.md numbers are reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod patterns;
 pub mod scenario;

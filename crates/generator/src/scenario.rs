@@ -545,7 +545,7 @@ impl Scenario {
 
     /// Parses a repro string produced by [`to_json_line`](Scenario::to_json_line).
     pub fn from_json_line(s: &str) -> Result<Scenario, String> {
-        serde_json::from_str(s.trim()).map_err(|e| format!("bad scenario JSON: {e:?}"))
+        serde_json::from_str(s.trim()).map_err(|e| format!("bad scenario JSON: {e}"))
     }
 
     /// The exact CLI command that replays this scenario.

@@ -22,6 +22,9 @@
 //! * [`io`] — a line-oriented text format for graphs;
 //! * [`stats`] — degree / label statistics used by the generators and benches.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod bitset;
 pub mod builder;
 pub mod graph;

@@ -14,6 +14,8 @@
 //! * [`result`] — match results `{(e, Se)}` with the paper's `|Q(G)|`
 //!   size measure.
 
+#![forbid(unsafe_code)]
+
 pub mod bounded;
 pub mod bounded_pattern_sim;
 pub mod dual;

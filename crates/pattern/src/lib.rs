@@ -13,6 +13,9 @@
 //!   the weighted-distance view of `Qb` used by bounded containment;
 //! * [`PatternBuilder`] — fluent construction.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod bounded;
 pub mod builder;
 pub mod parse;

@@ -16,13 +16,17 @@
 //! gpv advise   --graph G.txt --view V1.txt ... --pattern Q1.txt [--pattern Q2.txt ...]
 //!              [--budget N]
 //! gpv minimize --pattern Q.txt
+//! gpv lint     --pattern Q1.txt [--pattern Q2.txt ...] [--view V1.txt ...]
+//!              [--graph G.txt] [--json]
+//! gpv check    --store-dir D [--graph G.txt] [--json]
 //! gpv fuzz     [--iterations N] [--seed S] [--repro '<json>'] [--require-deltas]
 //! ```
 //!
 //! `answer` and `plan` go through the unified [`core::QueryEngine`]: the
 //! engine analyzes containment, costs the candidate view selections against
 //! the materialized extension sizes (`--select auto`, the default), and
-//! picks a sequential or parallel executor (`--threads 0` = auto-detect).
+//! picks a sequential or parallel executor (omit `--threads` to
+//! auto-detect the worker count).
 //! Parallel plans also carry a fan-out *granularity* — per pattern edge, or
 //! chunked *within* each edge's pair set when there are more workers than
 //! edges (breaking the per-edge `|Eq|` speedup ceiling); the cost model
@@ -76,6 +80,20 @@
 //! `--pattern` queries ([`core::QueryEngine::advise_views`]), then ranks
 //! the *unselected* resident views by arena bytes as eviction candidates
 //! ([`core::ViewStore::eviction_advice`]).
+//!
+//! `lint` runs the static diagnostic passes (`GPV0xx` codes, catalogued
+//! in `docs/DIAGNOSTICS.md`) over query patterns and a view set:
+//! structural query lints (disconnected patterns, self-loops, duplicate
+//! and redundant edges), provable-emptiness checks when `--graph` is
+//! given, view subsumption, zero-coverage views against the `--pattern`
+//! workload, and eviction advice for resident views no query reads.
+//! `check` is the offline integrity checker for a `--store-dir`
+//! persisted by `serve`: meta.json, per-shard magic / version / checksum
+//! / CSR structure, cross-shard id uniqueness, and — when the bytes are
+//! intact — a full snapshot re-validation (against the graph's
+//! fingerprint and node ranges when `--graph` is given). Both print one
+//! line per finding (or a machine-readable array under `--json`) and
+//! exit nonzero only when an error-severity diagnostic fired.
 //!
 //! `fuzz` is the differential scenario harness (see `docs/TESTING.md`):
 //! each iteration samples a `gpv_generator::Scenario` — graph emulator +
@@ -133,16 +151,17 @@ struct Args {
     repro: Option<String>,
     updates_per_round: usize,
     require_deltas: bool,
+    json: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|advise|minimize|fuzz> \
+        "usage: gpv <stats|match|contain|minimal|minimum|answer|plan|calibrate|serve|advise|minimize|lint|check|fuzz> \
          [--graph F] [--pattern F]... [--view F]... [--bounded] [--dual] \
          [--select auto|all|minimal|minimum] [--exec auto|seq|par] [--threads N] [--chunk-pairs N] \
          [--calibrated] [--shards N] [--clients N] [--repeat K] [--result-cache-mb M] [--explain] \
          [--store-dir D] [--budget N] [--iterations N] [--seed S] [--repro JSON] \
-         [--updates-per-round N] [--require-deltas]"
+         [--updates-per-round N] [--require-deltas] [--json]"
     );
     ExitCode::from(2)
 }
@@ -171,6 +190,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         repro: None,
         updates_per_round: 0,
         require_deltas: false,
+        json: false,
     };
     let mut i = 0;
     let uint = |flag: &str, v: Option<&String>| -> Result<usize, String> {
@@ -199,11 +219,24 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 i += 2;
             }
             "--threads" => {
-                a.threads = uint("--threads", rest.get(i + 1))?;
+                let n = uint("--threads", rest.get(i + 1))?;
+                if n == 0 {
+                    return Err(
+                        "--threads must be at least 1 (omit the flag to auto-detect)".into(),
+                    );
+                }
+                a.threads = n;
                 i += 2;
             }
             "--chunk-pairs" => {
-                a.chunk_pairs = Some(uint("--chunk-pairs", rest.get(i + 1))?.max(1));
+                let n = uint("--chunk-pairs", rest.get(i + 1))?;
+                if n == 0 {
+                    return Err(
+                        "--chunk-pairs must be at least 1 (omit the flag for per-edge fan-out)"
+                            .into(),
+                    );
+                }
+                a.chunk_pairs = Some(n);
                 i += 2;
             }
             "--shards" => {
@@ -260,6 +293,10 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--require-deltas" => {
                 a.require_deltas = true;
+                i += 1;
+            }
+            "--json" => {
+                a.json = true;
                 i += 1;
             }
             "--bounded" => {
@@ -449,6 +486,8 @@ fn run() -> Result<(), String> {
         "calibrate" => calibrate(&a)?,
         "serve" => serve(&a)?,
         "advise" => advise(&a)?,
+        "lint" => lint(&a)?,
+        "check" => check(&a)?,
         "fuzz" => fuzz(&a)?,
         "minimize" => {
             let qb = load_query(&a)?;
@@ -812,6 +851,115 @@ fn advise(a: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Prints a diagnostic report — one human line per finding plus a count
+/// summary, or a machine-readable JSON array under `--json` — and turns
+/// error-severity findings into a nonzero exit status.
+fn emit_diagnostics(diags: &[core::Diagnostic], json: bool) -> Result<(), String> {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(diags).map_err(|e| e.to_string())?
+        );
+    } else {
+        for d in diags {
+            println!("{d}");
+        }
+        let count = |s: core::Severity| diags.iter().filter(|d| d.severity == s).count();
+        println!(
+            "{} findings: {} errors, {} warnings, {} info",
+            diags.len(),
+            count(core::Severity::Error),
+            count(core::Severity::Warning),
+            count(core::Severity::Info)
+        );
+    }
+    if core::has_errors(diags) {
+        let n = diags
+            .iter()
+            .filter(|d| d.severity == core::Severity::Error)
+            .count();
+        return Err(format!("{n} error-severity finding(s)"));
+    }
+    Ok(())
+}
+
+/// The `lint` command: the advisory static passes ([`core::lint_query`] /
+/// [`core::lint_views`]) over `--pattern` queries and `--view` view sets.
+/// With `--graph` the query lints also prove emptiness against the
+/// graph's label alphabet and edge label pairs, and the view lints gain
+/// eviction advice from a materialized [`core::ViewStore`]. Exit status
+/// is nonzero only for error-severity findings — plain lints are
+/// warnings and info.
+fn lint(a: &Args) -> Result<(), String> {
+    if a.patterns.is_empty() && a.views.is_empty() {
+        return Err("lint needs at least one --pattern or --view".into());
+    }
+    let g = a.graph.as_ref().map(|_| load_graph(a)).transpose()?;
+    let mut queries: Vec<(String, gpv_pattern::Pattern)> = Vec::new();
+    for p in &a.patterns {
+        queries.push((p.clone(), require_plain(&load_pattern(p)?, "pattern")?));
+    }
+
+    let mut diags: Vec<core::Diagnostic> = Vec::new();
+    for (path, q) in &queries {
+        for mut d in core::lint_query(q, g.as_ref()) {
+            d.context = format!("{path}: {}", d.context);
+            diags.push(d);
+        }
+    }
+
+    if !a.views.is_empty() {
+        let views = load_views(a)?;
+        let vs = plain_view_set(&views)?;
+        let workload: Vec<gpv_pattern::Pattern> = queries.into_iter().map(|(_, q)| q).collect();
+        // Eviction advice needs resident extensions, which need the graph;
+        // without one the subsumption and coverage lints still run.
+        let advice = match &g {
+            Some(g) => {
+                let store = core::ViewStore::materialize(vs.clone(), g, a.shards);
+                let needed: Vec<u64> = vs
+                    .iter()
+                    .filter(|(_, v)| {
+                        workload
+                            .iter()
+                            .any(|q| !core::view_match(&v.pattern, q).is_empty())
+                    })
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                store.eviction_advice(&needed)
+            }
+            None => Vec::new(),
+        };
+        diags.extend(core::lint_views(&vs, &workload, &advice));
+    }
+    emit_diagnostics(&diags, a.json)
+}
+
+/// The `check` command: the offline integrity checker for a `--store-dir`
+/// persisted by `serve`. [`core::check_store_dir`] validates the bytes
+/// (meta.json, shard magic / version / checksum, CSR offsets, sorted
+/// sets, intern table, cross-shard id uniqueness); when they are intact
+/// the store is loaded and its published snapshot re-validated through
+/// [`core::check_snapshot`] — against the graph's fingerprint, node
+/// ranges, and label footprints when `--graph` is given.
+fn check(a: &Args) -> Result<(), String> {
+    let dir = a.store_dir.as_ref().ok_or("check needs --store-dir")?;
+    let g = a.graph.as_ref().map(|_| load_graph(a)).transpose()?;
+    let mut diags = core::check_store_dir(dir);
+    if !core::has_errors(&diags) {
+        match core::ViewStore::load_from_dir(dir) {
+            Ok(store) => diags.extend(core::check_snapshot(&store.snapshot(), g.as_ref())),
+            Err(e) => diags.push(core::Diagnostic::new(
+                core::classify_shard_error(&e),
+                core::Severity::Error,
+                format!("store failed to load after passing byte-level checks: {e}"),
+                dir.clone(),
+            )),
+        }
+    }
+    emit_diagnostics(&diags, a.json)
 }
 
 /// The `fuzz` command: the differential scenario harness. Samples

@@ -58,6 +58,8 @@
 //! println!("{}", engine.explain(&q));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use gpv_core as views;
 pub use gpv_generator as generator;
 pub use gpv_graph as graph;

@@ -874,3 +874,197 @@ fn fuzz_injected_divergence_reproduces_from_printed_json() {
         String::from_utf8_lossy(&good.stdout)
     );
 }
+
+/// Boundary flag values are structured errors, not silent clamps or
+/// panics: `--threads 0` and `--chunk-pairs 0` each print one clean
+/// `gpv:` line on stderr and exit nonzero.
+#[test]
+fn zero_thread_and_chunk_flags_error_cleanly() {
+    let g = write_tmp("zero-g.txt", GRAPH);
+    let q = write_tmp("zero-q.txt", QUERY);
+    let v1 = write_tmp("zero-v1.txt", VIEW1);
+    for flag in ["--threads", "--chunk-pairs"] {
+        let out = gpv()
+            .args([
+                "answer",
+                "--graph",
+                g.to_str().unwrap(),
+                "--pattern",
+                q.to_str().unwrap(),
+                "--view",
+                v1.to_str().unwrap(),
+                flag,
+                "0",
+            ])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flag} 0 must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("{flag} must be at least 1")),
+            "{flag}: {err}"
+        );
+        assert!(!err.contains("panicked"), "{flag}: {err}");
+        assert_eq!(err.lines().count(), 1, "{flag}: one clean line, got {err}");
+    }
+}
+
+/// A malformed `--repro` descriptor is a structured error: one clean
+/// `gpv:` line, nonzero exit, no panic or backtrace.
+#[test]
+fn fuzz_repro_bad_descriptor_errors_cleanly() {
+    for bad in ["not json at all", "{\"seed\": \"wrong-type\"}", "{", ""] {
+        let out = gpv().args(["fuzz", "--repro", bad]).output().unwrap();
+        assert!(!out.status.success(), "--repro {bad:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("bad scenario JSON"), "{bad:?}: {err}");
+        assert!(!err.contains("panicked"), "{bad:?}: {err}");
+        assert_eq!(err.lines().count(), 1, "{bad:?}: one clean line, got {err}");
+    }
+}
+
+/// `gpv lint` surfaces the advisory diagnostics: a provably-empty query
+/// (no PRG -> PM edge in the fixture graph) and a subsumed duplicate
+/// view. Warnings do not fail the exit status.
+#[test]
+fn lint_reports_findings_and_exits_zero() {
+    let g = write_tmp("lint-g.txt", GRAPH);
+    let q = write_tmp("lint-q.txt", "node a PRG\nnode b PM\nedge a b\n");
+    let v1 = write_tmp("lint-v1.txt", VIEW1);
+    let v2 = write_tmp("lint-v2.txt", VIEW1); // duplicate pattern: subsumed
+    let out = gpv()
+        .args([
+            "lint",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "warnings must not fail the exit: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("GPV013"), "provably-empty warning missing: {s}");
+    assert!(s.contains("GPV020"), "subsumption warning missing: {s}");
+    assert!(s.contains("0 errors"), "summary line missing: {s}");
+}
+
+/// `gpv lint --json` emits one machine-readable JSON array with the
+/// stable code, kebab-case name, severity, message and context per
+/// finding — and nothing else on stdout.
+#[test]
+fn lint_json_emits_machine_readable_array() {
+    let g = write_tmp("lintj-g.txt", GRAPH);
+    let q = write_tmp("lintj-q.txt", "node a PRG\nnode b PM\nedge a b\n");
+    let out = gpv()
+        .args([
+            "lint",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(s.lines().count(), 1, "one JSON line, got {s}");
+    assert!(s.starts_with("[{"), "{s}");
+    for key in [
+        "\"code\":\"GPV013\"",
+        "\"name\":\"query-provably-empty\"",
+        "\"severity\":\"warning\"",
+        "\"message\":",
+        "\"context\":",
+    ] {
+        assert!(s.contains(key), "missing {key}: {s}");
+    }
+}
+
+/// `gpv check --store-dir`: a store persisted by `serve` passes with
+/// zero findings; after a payload bit-flip the checksum mismatch is
+/// reported under its stable code and the exit turns nonzero.
+#[test]
+fn check_command_passes_clean_store_and_flags_corruption() {
+    let g = write_tmp("check-g.txt", GRAPH);
+    let q = write_tmp("check-q.txt", QUERY);
+    let v1 = write_tmp("check-v1.txt", VIEW1);
+    let v2 = write_tmp("check-v2.txt", VIEW2);
+    let dir = std::env::temp_dir().join(format!("gpv-cli-check-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let save = gpv()
+        .args([
+            "serve",
+            "--graph",
+            g.to_str().unwrap(),
+            "--pattern",
+            q.to_str().unwrap(),
+            "--view",
+            v1.to_str().unwrap(),
+            "--view",
+            v2.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--store-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+
+    let clean = gpv()
+        .args([
+            "check",
+            "--store-dir",
+            dir.to_str().unwrap(),
+            "--graph",
+            g.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        clean.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&clean.stdout).contains("0 errors"),
+        "{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    // Flip one payload byte in the first nonempty shard.
+    let shard = (0..2)
+        .map(|i| dir.join(format!("shard-{i:04}.bin")))
+        .find(|p| std::fs::metadata(p).is_ok_and(|m| m.len() > 40))
+        .expect("a nonempty shard file");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&shard, bytes).unwrap();
+
+    let bad = gpv()
+        .args(["check", "--store-dir", dir.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success(), "corruption must fail the exit");
+    let s = String::from_utf8_lossy(&bad.stdout);
+    assert!(s.contains("\"code\":\"GPV054\""), "{s}");
+    assert!(s.contains("shard-checksum-mismatch"), "{s}");
+    std::fs::remove_dir_all(&dir).ok();
+}
